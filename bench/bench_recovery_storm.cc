@@ -1,0 +1,154 @@
+// Experiment E7 — Recovery storms (paper Section 8.2).
+//
+// "The disadvantage is that it presents the possibility of recovery storms.
+//  If a popular service crashes, many clients may invoke the name service at
+//  once to ask for a new object. Because the resolve operation is quite
+//  fast, we do not expect this to be a problem. If performance difficulties
+//  arise, we can modify the library routine to back off when repeating
+//  requests for a new service object."
+//
+// Harness: N clients hold cached references (via the Rebinder library) to a
+// popular service; the service restarts with a new incarnation; every client
+// then calls at the same instant. All calls fail with UNAVAILABLE and
+// re-resolve simultaneously. We measure the storm's size at the name
+// service, the recovery-latency distribution, and the time until every
+// client has recovered.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/naming/name_client.h"
+#include "src/svc/harness.h"
+#include "src/svc/settop_manager.h"
+
+namespace itv {
+namespace {
+
+struct StormResult {
+  size_t clients;
+  size_t recovered;
+  double p50_ms;
+  double p99_ms;
+  double all_recovered_s;
+  uint64_t resolves;
+};
+
+StormResult RunStorm(size_t clients) {
+  svc::HarnessOptions opts;
+  opts.server_count = 2;
+  opts.start_csc = false;
+  svc::ClusterHarness harness(opts);
+  harness.Boot();
+  sim::Cluster& cluster = harness.cluster();
+
+  // The popular service on server 2 (SettopManagerService doubles as a
+  // generic pingable servant).
+  auto spawn_service = [&]() -> wire::ObjectRef {
+    sim::Process& p = harness.SpawnProcessOn(1, "popular");
+    auto* skeleton = p.Emplace<svc::SettopManagerService>(p.executor());
+    wire::ObjectRef ref = p.runtime().Export(skeleton);
+    svc::SscProxy ssc(p.runtime(), svc::SscRefAt(p.host()));
+    ssc.NotifyReady(p.pid(), {ref}).OnReady([](const Result<void>&) {});
+    return ref;
+  };
+  wire::ObjectRef ref_v1 = spawn_service();
+  sim::Process& setup = harness.SpawnProcessOn(0, "setup");
+  (void)bench::WaitOn(cluster, harness.ClientFor(setup).Bind("svc/popular", ref_v1));
+
+  // N clients, each with a Rebinder primed to the current reference.
+  struct Client {
+    sim::Process* process;
+    rpc::Rebinder* rebinder;
+    bool recovered = false;
+    Time recovered_at;
+  };
+  std::vector<Client> all;
+  all.reserve(clients);
+  for (size_t i = 0; i < clients; ++i) {
+    sim::Node& settop = harness.AddSettop(static_cast<uint8_t>(1 + (i % 2)));
+    sim::Process& p = settop.Spawn("client");
+    rpc::Rebinder::Options rb_opts;
+    rb_opts.max_attempts = 6;
+    rb_opts.initial_backoff = Duration::Millis(100);
+    auto* rebinder = p.Emplace<rpc::Rebinder>(
+        p.executor(), harness.ClientFor(p).ResolveFnFor("svc/popular"), rb_opts);
+    rebinder->Prime(ref_v1);
+    all.push_back(Client{&p, rebinder, false, Time()});
+  }
+
+  // Kill + restart the service; rebind the new incarnation.
+  harness.server(1).Kill(harness.server(1).FindProcessByName("popular")->pid());
+  cluster.RunFor(Duration::Millis(200));
+  wire::ObjectRef ref_v2 = spawn_service();
+  (void)bench::WaitOn(cluster, harness.ClientFor(setup).Unbind("svc/popular"));
+  (void)bench::WaitOn(cluster, harness.ClientFor(setup).Bind("svc/popular", ref_v2));
+
+  uint64_t resolves_before = harness.metrics().Get("ns.resolve");
+
+  // The storm: every client calls at the same virtual instant.
+  Time storm_start = cluster.Now();
+  for (Client& c : all) {
+    sim::Process* p = c.process;
+    Client* self = &c;
+    sim::Cluster* cl = &cluster;
+    c.rebinder->Call<void>(
+        [p](const wire::ObjectRef& target) {
+          return svc::SettopManagerProxy(p->runtime(), target)
+              .Heartbeat(p->host());
+        },
+        [self, cl](Result<void> r) {
+          if (r.ok()) {
+            self->recovered = true;
+            self->recovered_at = cl->Now();
+          }
+        });
+  }
+  cluster.RunFor(Duration::Seconds(30));
+
+  StormResult result{};
+  result.clients = clients;
+  Histogram latency_ms;
+  Time last;
+  for (const Client& c : all) {
+    if (!c.recovered) {
+      continue;
+    }
+    ++result.recovered;
+    latency_ms.Record((c.recovered_at - storm_start).seconds() * 1000.0);
+    if (c.recovered_at > last) {
+      last = c.recovered_at;
+    }
+  }
+  result.p50_ms = latency_ms.Percentile(50);
+  result.p99_ms = latency_ms.Percentile(99);
+  result.all_recovered_s = (last - storm_start).seconds();
+  result.resolves = harness.metrics().Get("ns.resolve") - resolves_before;
+  return result;
+}
+
+}  // namespace
+}  // namespace itv
+
+int main() {
+  using namespace itv;
+  bench::PrintHeader(
+      "E7: recovery storm after a popular service crashes (paper 8.2)");
+  std::printf(
+      "N clients with cached refs call simultaneously after a restart; each "
+      "gets UNAVAILABLE,\nre-resolves (100 ms backoff), retries.\n\n");
+  bench::PrintRow({"clients", "recovered", "p50_ms", "p99_ms", "all_done_s",
+                   "resolves"});
+  for (size_t clients : {100, 500, 1000, 4000}) {
+    StormResult r = RunStorm(clients);
+    bench::PrintRow({bench::FmtInt(r.clients), bench::FmtInt(r.recovered),
+                     bench::Fmt("%.1f", r.p50_ms), bench::Fmt("%.1f", r.p99_ms),
+                     bench::Fmt("%.2f", r.all_recovered_s),
+                     bench::FmtInt(r.resolves)});
+  }
+  std::printf(
+      "\nexpect: every client recovers, ~1 resolve per client, and the whole "
+      "storm drains in\nwell under a second of cluster time — 'the resolve "
+      "operation is quite fast', so storms\nare absorbed without the backoff "
+      "escalation the paper holds in reserve.\n");
+  return 0;
+}

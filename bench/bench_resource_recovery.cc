@@ -1,0 +1,115 @@
+// Experiment E4 — Resource-recovery design alternatives (paper Section 7.1).
+//
+// The paper weighed four designs and picked the RAS:
+//   1. Duration time-outs: free, but "too conservative... resource leakage
+//      began to make the system unusable" — resources leak until the timer.
+//   2. Aggressive leases: bounded leakage, but "with thousands of clients,
+//      each holding several resources, this approach could consume too much
+//      network bandwidth and server CPU cycles".
+//   3/4. Failure detection (per-service tracking vs the shared RAS): the RAS
+//      "requires only a small number of network messages".
+//
+// This bench reproduces the comparison: for N settop clients each holding R
+// resources, it computes the steady-state message rate and the worst-case
+// reclamation delay of each scheme. Lease renewals are modelled analytically
+// (N*R/interval, one message each). The RAS column is *measured* from the
+// real stack: N settops heartbeating the Settop Manager + RAS peer polls +
+// one MMS-style audit poll — note it does not grow with R at all.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/ras/audit_client.h"
+#include "src/svc/harness.h"
+#include "src/svc/settop_manager.h"
+
+namespace itv {
+namespace {
+
+// Measures the whole-cluster message rate attributable to liveness tracking
+// with N settops, independent of resources held.
+double MeasureRasMessagesPerSecond(size_t settops, size_t servers) {
+  svc::HarnessOptions opts;
+  opts.server_count = servers;
+  opts.neighborhood_count = static_cast<uint8_t>(servers);
+  opts.start_csc = true;
+  svc::ClusterHarness harness(opts);
+  harness.Boot();
+  harness.cluster().RunFor(Duration::Seconds(5));
+
+  // One audit client playing the MMS's role: it watches every settop through
+  // the local RAS with the paper's 10 s polling.
+  sim::Process& mms_like = harness.SpawnProcessOn(0, "auditor");
+  auto* audit = mms_like.Emplace<ras::AuditClient>(
+      mms_like.runtime(), mms_like.executor(), ras::RasRefAt(mms_like.host()));
+
+  // Settop heartbeat senders (the AppManager's 5 s loop, distilled).
+  for (size_t i = 0; i < settops; ++i) {
+    uint8_t nb = static_cast<uint8_t>(1 + (i % servers));
+    sim::Node& settop = harness.AddSettop(nb);
+    sim::Process& p = settop.Spawn("hb");
+    auto* rebinder = p.Emplace<rpc::Rebinder>(
+        p.executor(),
+        harness.ClientFor(p).ResolveFnFor(std::string(svc::kSettopManagerName)));
+    auto* timer = p.Emplace<PeriodicTimer>();
+    uint32_t host = settop.host();
+    rpc::ObjectRuntime* runtime = &p.runtime();
+    timer->Start(p.executor(), Duration::Seconds(5), [rebinder, runtime, host] {
+      rebinder->Call<void>(
+          [runtime, host](const wire::ObjectRef& mgr) {
+            return svc::SettopManagerProxy(*runtime, mgr).Heartbeat(host);
+          },
+          [](Result<void>) {});
+    });
+    audit->Watch(ras::EntityId::Settop(host), [](const ras::EntityId&) {});
+  }
+  harness.cluster().RunFor(Duration::Seconds(20));  // Warm-up.
+
+  uint64_t before = harness.metrics().Get("net.msg.total");
+  constexpr double kWindowS = 60.0;
+  harness.cluster().RunFor(Duration::Seconds(kWindowS));
+  uint64_t after = harness.metrics().Get("net.msg.total");
+  return static_cast<double>(after - before) / kWindowS;
+}
+
+}  // namespace
+}  // namespace itv
+
+int main() {
+  using namespace itv;
+  bench::PrintHeader(
+      "E4: resource-recovery alternatives — message cost vs reclaim delay "
+      "(paper 7.1)");
+  std::printf(
+      "N clients x R resources. lease interval 30 s; duration time-out 2 h; "
+      "RAS = measured\nfrom the real stack (4 servers; settop heartbeats 5 s "
+      "+ RAS peer polls 5 s + audit 10 s).\n\n");
+  bench::PrintRow({"scheme", "N", "R", "msgs/sec", "worst_reclaim_s"});
+
+  constexpr double kLeaseIntervalS = 30.0;
+  constexpr double kDurationTimeoutS = 7200.0;
+  const size_t kServers = 4;
+
+  for (size_t n : {200, 1000, 4000}) {
+    for (size_t r : {1, 4, 8}) {
+      double lease_msgs =
+          static_cast<double>(n * r) / kLeaseIntervalS * 2.0;  // req+reply
+      bench::PrintRow({"duration-timeout", bench::FmtInt(n), bench::FmtInt(r),
+                       "0", bench::Fmt("%.0f", kDurationTimeoutS)});
+      bench::PrintRow({"lease-renewal", bench::FmtInt(n), bench::FmtInt(r),
+                       bench::Fmt("%.0f", lease_msgs),
+                       bench::Fmt("%.0f", kLeaseIntervalS)});
+    }
+    double ras_msgs = MeasureRasMessagesPerSecond(n, kServers);
+    // Reclaim chain: settop-manager timeout 15 + RAS poll 5 + audit 10.
+    bench::PrintRow({"RAS (measured)", bench::FmtInt(n), "any",
+                     bench::Fmt("%.0f", ras_msgs), "30"});
+    std::printf("\n");
+  }
+  std::printf(
+      "expect: lease cost grows with N*R; RAS cost grows only with N (the "
+      "5 s heartbeat)\nand is independent of R — the paper's scaling "
+      "argument. Both failure-detection\nschemes bound reclamation at tens "
+      "of seconds; duration time-outs leak for hours.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Experiment E3 — Response time (paper Section 9.3).
+//
+// "Our goal was to respond to user requests within 0.5 seconds. The slowest
+//  operation is tuning to a new digital channel that presents a rich
+//  experience with movies, fonts, and images. In our system, various
+//  constraints (notably a download bandwidth of 1 MByte per second) lead to
+//  a start-up time of 2-4 seconds for such applications. However... our
+//  applications are able to display cover within 0.5 seconds."
+//
+// Harness: a settop changes channels; the AM downloads a small cover still
+// first, then the application binary through the RDS, with the Connection
+// Manager capping the settop's downstream. Sweep app size and downstream
+// rate; report cover latency and full start-up latency.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/media/factories.h"
+#include "src/settop/app_manager.h"
+#include "src/svc/harness.h"
+
+namespace itv {
+namespace {
+
+struct Sample {
+  double cover_s = -1;
+  double start_s = -1;
+};
+
+Sample MeasureStartup(int64_t app_bytes, int64_t downstream_bps,
+                      int64_t rds_cap_bps) {
+  svc::HarnessOptions opts;
+  opts.server_count = 2;
+  svc::ClusterHarness harness(opts);
+
+  media::MediaDeployment deploy;
+  deploy.rds_items = {
+      {"app", app_bytes},
+      {"app.cover", 50'000},  // A small still image.
+      {"navigator", 1'000'000},
+  };
+  deploy.rds_max_transfer_bps = rds_cap_bps;
+  media::RegisterMediaServices(harness, deploy);
+  harness.Boot();
+  harness.cluster().RunFor(Duration::Seconds(10));
+
+  sim::Node& settop = harness.AddSettop(1);
+  sim::Process& p = settop.Spawn("am");
+  settop::AppManager::Options am_opts;
+  am_opts.boot_server_host = harness.ServerHostForNeighborhood(1);
+  am_opts.cover_item = "app.cover";
+  auto* am = p.Emplace<settop::AppManager>(p.runtime(), p.executor(), am_opts,
+                                           &harness.metrics());
+  bool booted = false;
+  am->Boot([&](Status s) { booted = s.ok(); });
+  harness.cluster().RunFor(Duration::Seconds(8));
+  if (!booted) {
+    return {};
+  }
+
+  // Narrow the settop's downstream by pre-allocating the difference, as if
+  // other traffic held it (the deployment constant is 6 Mb/s).
+  // Instead of a knob, we emulate rate limits via the RDS transfer cap.
+  Status done_status = InternalError("pending");
+  bool done = false;
+  am->StartApp("app", [&](Status s) {
+    done_status = s;
+    done = true;
+  });
+  harness.cluster().RunFor(Duration::Seconds(60));
+  if (!done || !done_status.ok()) {
+    return {};
+  }
+  Sample sample;
+  sample.cover_s = am->last_cover_latency().seconds();
+  sample.start_s = am->last_app_start_latency().seconds();
+  (void)downstream_bps;
+  return sample;
+}
+
+}  // namespace
+}  // namespace itv
+
+int main() {
+  using namespace itv;
+  bench::PrintHeader(
+      "E3: channel-change response time — cover vs full app start (paper 9.3)");
+  std::printf(
+      "paper: cover < 0.5 s; rich app start-up 2-4 s at ~1 MByte/s; settop "
+      "downstream cap 6 Mb/s\n\n");
+  bench::PrintRow({"app_MB", "link_Mbps", "cover_s", "start_s", "paper_band"});
+
+  struct Case {
+    int64_t app_bytes;
+    int64_t rds_cap_bps;
+    const char* band;
+  };
+  const Case cases[] = {
+      {1'000'000, 8'000'000, "under 2s (small)"},
+      {2'000'000, 8'000'000, "2-4s"},
+      {3'000'000, 8'000'000, "2-4s"},
+      {2'000'000, 4'000'000, "4s+ (slow link)"},
+      {2'000'000, 2'000'000, "8s  (slow link)"},
+      {8'000'000, 8'000'000, "10s+ (huge app)"},
+  };
+  for (const Case& c : cases) {
+    Sample s = MeasureStartup(c.app_bytes, media::kSettopDownstreamBps,
+                              c.rds_cap_bps);
+    bench::PrintRow(
+        {bench::Fmt("%.0f", static_cast<double>(c.app_bytes) / 1e6),
+         bench::Fmt("%.0f", static_cast<double>(c.rds_cap_bps) / 1e6),
+         bench::Fmt("%.3f", s.cover_s), bench::Fmt("%.2f", s.start_s),
+         c.band});
+  }
+  std::printf(
+      "\nexpect: cover stays well under the 0.5 s budget at every size (it "
+      "is a 50 KB still),\nwhile full start-up scales with size/bandwidth — "
+      "2-4 s for the 2-3 MB 'rich' apps at\nthe trial's ~1 MByte/s, exactly "
+      "the paper's band. Effective rate = min(link, settop 6 Mb/s).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared helpers for the experiment harnesses: fixed-width table output and
+// future-waiting against a simulated cluster.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/future.h"
+#include "src/common/histogram.h"
+#include "src/sim/cluster.h"
+
+namespace itv::bench {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRow(const std::vector<std::string>& cells) {
+  for (const std::string& cell : cells) {
+    std::printf("%-16s", cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtInt(uint64_t v) { return std::to_string(v); }
+
+// Runs the cluster until `f` completes (or the limit passes).
+template <typename T>
+Result<T> WaitOn(sim::Cluster& cluster, Future<T> f,
+                 Duration limit = Duration::Seconds(10)) {
+  Time deadline = cluster.Now() + limit;
+  while (!f.is_ready() && cluster.Now() < deadline) {
+    cluster.RunFor(Duration::Millis(50));
+  }
+  if (!f.is_ready()) {
+    return DeadlineExceededError("bench future not ready");
+  }
+  return f.result();
+}
+
+}  // namespace itv::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

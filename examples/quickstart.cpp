@@ -1,0 +1,165 @@
+// Quickstart: the OCS distributed-object workflow over REAL TCP sockets on
+// localhost — no simulator involved.
+//
+//   1. Start a name service replica.
+//   2. Start a "greeter" service: define the IDL interface, write the stub
+//      pair (~20 lines), export the object, bind it into the name space.
+//   3. A client resolves "svc/greeter" and invokes it.
+//   4. Restart the service (new incarnation): the client's stale reference
+//      NACKs, and the Rebinder transparently re-resolves — the paper's
+//      Section 8.2 recovery, live on your machine.
+//
+// Everything shares one event loop here for simplicity; each component has
+// its own transport (socket) and ORB, and they genuinely talk TCP.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/naming/name_client.h"
+#include "src/naming/name_server.h"
+#include "src/net/event_loop.h"
+#include "src/net/tcp_transport.h"
+#include "src/rpc/rebinder.h"
+#include "src/rpc/runtime.h"
+#include "src/rpc/stub_helpers.h"
+
+namespace {
+
+using namespace itv;
+
+// --- The Greeter interface (see idl/README.md for the stub pattern) -----------
+
+inline constexpr std::string_view kGreeterInterface = "itv.example.Greeter";
+enum GreeterMethod : uint32_t { kGreeterMethodGreet = 1 };
+
+class GreeterImpl {
+ public:
+  explicit GreeterImpl(std::string flavor) : flavor_(std::move(flavor)) {}
+  std::string Greet(const std::string& who) const {
+    return "hello " + who + " (from the " + flavor_ + " greeter)";
+  }
+
+ private:
+  std::string flavor_;
+};
+
+class GreeterSkeleton : public rpc::Skeleton {
+ public:
+  explicit GreeterSkeleton(GreeterImpl& impl) : impl_(impl) {}
+  std::string_view interface_name() const override { return kGreeterInterface; }
+  void Dispatch(uint32_t method_id, const wire::Bytes& args,
+                const rpc::CallContext& ctx, rpc::ReplyFn reply) override {
+    if (method_id != kGreeterMethodGreet) {
+      return rpc::ReplyBadMethod(reply, method_id);
+    }
+    std::string who;
+    if (!rpc::DecodeArgs(args, &who)) {
+      return rpc::ReplyBadArgs(reply);
+    }
+    return rpc::ReplyWith(reply, impl_.Greet(who));
+  }
+
+ private:
+  GreeterImpl& impl_;
+};
+
+class GreeterProxy : public rpc::Proxy {
+ public:
+  using Proxy::Proxy;
+  Future<std::string> Greet(const std::string& who) const {
+    return rpc::DecodeReply<std::string>(
+        Call(kGreeterMethodGreet, rpc::EncodeArgs(who)));
+  }
+};
+
+// A greeter "process": transport + ORB + servant.
+struct GreeterProcess {
+  GreeterProcess(net::EventLoop& loop, uint64_t incarnation, std::string flavor)
+      : transport(loop, 0),
+        runtime(loop, transport, incarnation),
+        impl(std::move(flavor)),
+        skeleton(impl) {
+    ref = runtime.Export(&skeleton);
+  }
+  net::TcpTransport transport;
+  rpc::ObjectRuntime runtime;
+  GreeterImpl impl;
+  GreeterSkeleton skeleton;
+  wire::ObjectRef ref;
+};
+
+template <typename T>
+Result<T> Await(net::EventLoop& loop, Future<T> f,
+                Duration limit = Duration::Seconds(3)) {
+  Time deadline = loop.Now() + limit;
+  while (!f.is_ready() && loop.Now() < deadline) {
+    loop.RunFor(Duration::Millis(5));
+  }
+  if (!f.is_ready()) {
+    return DeadlineExceededError("timed out");
+  }
+  return f.result();
+}
+
+}  // namespace
+
+int main() {
+  net::EventLoop loop;
+
+  // 1. Name service replica on a real socket.
+  net::TcpTransport ns_transport(loop, 0);
+  rpc::ObjectRuntime ns_runtime(loop, ns_transport, /*incarnation=*/1);
+  naming::NameServerOptions ns_opts;
+  ns_opts.replica_id = 1;
+  ns_opts.peers = {ns_transport.local_endpoint()};
+  ns_opts.initial_contexts = {{"svc"}};
+  naming::NameServer name_server(ns_runtime, loop, ns_opts);
+  name_server.Start();
+  std::printf("[quickstart] name service listening on %s\n",
+              ns_transport.local_endpoint().ToString().c_str());
+
+  // 2. The greeter service binds itself into the name space.
+  auto greeter = std::make_unique<GreeterProcess>(loop, 100, "original");
+  naming::NameClient service_nc(greeter->runtime, net::kLoopbackHost,
+                                ns_transport.local_endpoint().port);
+  auto bound = Await(loop, service_nc.Bind("svc/greeter", greeter->ref));
+  std::printf("[quickstart] greeter bound at %s: %s\n",
+              greeter->transport.local_endpoint().ToString().c_str(),
+              bound.status().ToString().c_str());
+
+  // 3. A client resolves and calls — through the paper's rebinding library.
+  net::TcpTransport client_transport(loop, 0);
+  rpc::ObjectRuntime client_runtime(loop, client_transport, 200);
+  naming::NameClient client_nc(client_runtime, net::kLoopbackHost,
+                               ns_transport.local_endpoint().port);
+  rpc::Rebinder rebinder(loop, client_nc.ResolveFnFor("svc/greeter"));
+
+  auto call = [&](const std::string& who) {
+    Promise<std::string> done;
+    rebinder.Call<std::string>(
+        [&](const wire::ObjectRef& ref) {
+          return GreeterProxy(client_runtime, ref).Greet(who);
+        },
+        [done](Result<std::string> r) mutable { done.Set(std::move(r)); });
+    auto result = Await(loop, done.future(), Duration::Seconds(5));
+    std::printf("[quickstart] greet(\"%s\") -> %s\n", who.c_str(),
+                result.ok() ? result->c_str() : result.status().ToString().c_str());
+  };
+  call("world");
+
+  // 4. Kill and replace the service: new socket, new incarnation.
+  std::printf("[quickstart] restarting the greeter service...\n");
+  greeter.reset();  // Connection reset: stale references now NACK.
+  auto greeter2 = std::make_unique<GreeterProcess>(loop, 101, "restarted");
+  naming::NameClient service2_nc(greeter2->runtime, net::kLoopbackHost,
+                                 ns_transport.local_endpoint().port);
+  (void)Await(loop, service2_nc.Unbind("svc/greeter"));
+  (void)Await(loop, service2_nc.Bind("svc/greeter", greeter2->ref));
+
+  // The client still holds the old reference; the Rebinder recovers.
+  call("world, again");
+
+  std::printf("[quickstart] done — same calls, new implementor, no client "
+              "code involved.\n");
+  return 0;
+}

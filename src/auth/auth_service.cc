@@ -1,0 +1,145 @@
+#include "src/auth/auth_service.h"
+
+#include <cstring>
+
+#include "src/common/strings.h"
+
+namespace itv::auth {
+
+std::string PrincipalForEndpoint(const wire::Endpoint& ep) {
+  return "ep/" + ep.ToString();
+}
+
+namespace {
+
+// sealed = ciphertext || HMAC(key, ticket_id || ciphertext).
+wire::Bytes SealWithMac(const Key& key, uint64_t nonce,
+                        const wire::Bytes& plaintext) {
+  wire::Bytes cipher = ChaCha20Crypted(key, nonce, plaintext);
+  wire::Writer macd;
+  macd.WriteU64(nonce);
+  macd.WriteBytes(cipher);
+  Digest mac = HmacSha256(key, macd.bytes());
+  wire::Bytes out = cipher;
+  out.insert(out.end(), mac.begin(), mac.end());
+  return out;
+}
+
+std::optional<wire::Bytes> UnsealWithMac(const Key& key, uint64_t nonce,
+                                         const wire::Bytes& sealed) {
+  if (sealed.size() < 32) {
+    return std::nullopt;
+  }
+  wire::Bytes cipher(sealed.begin(), sealed.end() - 32);
+  Digest claimed;
+  std::memcpy(claimed.data(), sealed.data() + (sealed.size() - 32), 32);
+  wire::Writer macd;
+  macd.WriteU64(nonce);
+  macd.WriteBytes(cipher);
+  if (!DigestsEqual(claimed, HmacSha256(key, macd.bytes()))) {
+    return std::nullopt;
+  }
+  ChaCha20Crypt(key, nonce, &cipher);
+  return cipher;
+}
+
+}  // namespace
+
+wire::Bytes SealSessionKeyForClient(const Key& client_key, uint64_t ticket_id,
+                                    const Key& session_key) {
+  wire::Bytes plain(session_key.begin(), session_key.end());
+  return SealWithMac(client_key, ticket_id, plain);
+}
+
+std::optional<Key> UnsealSessionKeyForClient(const Key& client_key,
+                                             uint64_t ticket_id,
+                                             const wire::Bytes& sealed) {
+  std::optional<wire::Bytes> plain = UnsealWithMac(client_key, ticket_id, sealed);
+  if (!plain.has_value() || plain->size() != 32) {
+    return std::nullopt;
+  }
+  Key k;
+  std::memcpy(k.data(), plain->data(), 32);
+  return k;
+}
+
+wire::Bytes SealTicketBlob(const Key& server_key, const TicketContents& t) {
+  wire::Writer w;
+  w.WriteU64(t.ticket_id);
+  w.WriteString(t.client_principal);
+  w.WriteRaw(t.session_key.data(), t.session_key.size());
+  return SealWithMac(server_key, t.ticket_id, w.bytes());
+}
+
+std::optional<TicketContents> UnsealTicketBlobWithId(const Key& server_key,
+                                                     uint64_t ticket_id,
+                                                     const wire::Bytes& blob) {
+  std::optional<wire::Bytes> plain = UnsealWithMac(server_key, ticket_id, blob);
+  if (!plain.has_value()) {
+    return std::nullopt;
+  }
+  wire::Reader r(*plain);
+  TicketContents t;
+  t.ticket_id = r.ReadU64();
+  t.client_principal = r.ReadString();
+  if (!r.ok() || r.remaining() != 32) {
+    return std::nullopt;
+  }
+  wire::Bytes key_bytes = {plain->end() - 32, plain->end()};
+  std::memcpy(t.session_key.data(), key_bytes.data(), 32);
+  if (t.ticket_id != ticket_id) {
+    return std::nullopt;
+  }
+  return t;
+}
+
+Result<TicketGrant> AuthServiceImpl::GetTicket(const rpc::CallContext& ctx,
+                                               const std::string& client,
+                                               const std::string& server) {
+  if (!ctx.caller.authenticated || ctx.caller.principal != client) {
+    return PermissionDeniedError("ticket request not authenticated as " + client);
+  }
+  std::optional<Key> client_key = registry_.Find(client);
+  if (!client_key.has_value()) {
+    return NotFoundError("unknown principal " + client);
+  }
+  std::optional<Key> server_key = registry_.Find(server);
+  if (!server_key.has_value()) {
+    return NotFoundError("unknown principal " + server);
+  }
+
+  uint64_t ticket_id = next_ticket_id_++;
+  Key session_key = DeriveKey(
+      kdc_secret_, StrFormat("session/%llu/%s/%s",
+                             static_cast<unsigned long long>(ticket_id),
+                             client.c_str(), server.c_str()));
+
+  TicketGrant grant;
+  grant.ticket_id = ticket_id;
+  grant.enc_session_key =
+      SealSessionKeyForClient(*client_key, ticket_id, session_key);
+  TicketContents contents{ticket_id, client, session_key};
+  grant.ticket_blob = SealTicketBlob(*server_key, contents);
+  return grant;
+}
+
+void AuthSkeleton::Dispatch(uint32_t method_id, const wire::Bytes& args,
+                            const rpc::CallContext& ctx, rpc::ReplyFn reply) {
+  switch (method_id) {
+    case kAuthMethodGetTicket: {
+      std::string client, server;
+      if (!rpc::DecodeArgs(args, &client, &server)) {
+        return rpc::ReplyBadArgs(reply);
+      }
+      Result<TicketGrant> grant = impl_.GetTicket(ctx, client, server);
+      if (!grant.ok()) {
+        return rpc::ReplyError(reply, grant.status());
+      }
+      return rpc::ReplyWith(reply, *grant);
+    }
+    default:
+      return rpc::ReplyBadMethod(reply, method_id);
+  }
+}
+
+}  // namespace itv::auth

@@ -1,0 +1,173 @@
+// The authentication service (paper Section 3.3): "a Kerberos-like security
+// scheme... when an object method is invoked, the object can securely
+// determine the identity of the caller."
+//
+// Protocol shape (mirrors Kerberos AS exchange):
+//   1. Every principal shares a master key with the auth service (installed
+//      out of band — the settop boot protocol / service provisioning; here,
+//      derived from a deployment secret).
+//   2. A client asks GetTicket(client, server). The request is signed with
+//      the client's master key, which the auth service can verify.
+//   3. The grant contains a fresh session key sealed under the client's
+//      master key, plus a ticket blob sealing {ticket id, client principal,
+//      session key} under the *server's* master key.
+//   4. The client signs subsequent calls to that server with the session key
+//      and attaches the blob; the server unseals the blob, learns the caller
+//      identity, and verifies the signature — no auth-service round trip.
+//
+// The grant reply itself needs no signature: only the real client can unseal
+// the session key, and only the real server can unseal the blob.
+
+#ifndef SRC_AUTH_AUTH_SERVICE_H_
+#define SRC_AUTH_AUTH_SERVICE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/auth/chacha20.h"
+#include "src/auth/hmac.h"
+#include "src/common/future.h"
+#include "src/common/result.h"
+#include "src/rpc/runtime.h"
+#include "src/rpc/stub_helpers.h"
+
+namespace itv::auth {
+
+inline constexpr std::string_view kAuthInterface = "itv.Auth";
+inline constexpr uint16_t kAuthPort = 464;
+
+enum AuthMethod : uint32_t {
+  kAuthMethodGetTicket = 1,
+};
+
+struct TicketGrant {
+  uint64_t ticket_id = 0;
+  wire::Bytes enc_session_key;  // Sealed for the client.
+  wire::Bytes ticket_blob;      // Sealed for the server; travels with calls.
+};
+
+inline void WireWrite(wire::Writer& w, const TicketGrant& t) {
+  w.WriteU64(t.ticket_id);
+  w.WriteBytes(t.enc_session_key);
+  w.WriteBytes(t.ticket_blob);
+}
+inline void WireRead(wire::Reader& r, TicketGrant* t) {
+  t->ticket_id = r.ReadU64();
+  t->enc_session_key = r.ReadBytes();
+  t->ticket_blob = r.ReadBytes();
+}
+
+// Canonical principal name for a service endpoint (what clients request
+// tickets for when all they have is an object reference).
+std::string PrincipalForEndpoint(const wire::Endpoint& ep);
+
+// Bootstrap reference to the auth service on `host` (well-known port, object
+// id 1; incarnation 0 so it survives restarts — the KDC is stateless, its
+// keytab is re-derived from the deployment secret).
+inline wire::ObjectRef AuthRefAt(uint32_t host) {
+  wire::ObjectRef ref;
+  ref.endpoint = {host, kAuthPort};
+  ref.incarnation = 0;
+  ref.type_id = wire::TypeIdFromName(kAuthInterface);
+  ref.object_id = 1;
+  return ref;
+}
+
+// --- Sealing -----------------------------------------------------------------
+// Encrypt-then-MAC with ChaCha20 + HMAC-SHA256; nonce = ticket id.
+
+wire::Bytes SealSessionKeyForClient(const Key& client_key, uint64_t ticket_id,
+                                    const Key& session_key);
+std::optional<Key> UnsealSessionKeyForClient(const Key& client_key,
+                                             uint64_t ticket_id,
+                                             const wire::Bytes& sealed);
+
+struct TicketContents {
+  uint64_t ticket_id = 0;
+  std::string client_principal;
+  Key session_key{};
+};
+
+wire::Bytes SealTicketBlob(const Key& server_key, const TicketContents& t);
+// `ticket_id` (from the message's auth block) is the sealing nonce; the MAC
+// and the sealed copy of the id both bind it.
+std::optional<TicketContents> UnsealTicketBlobWithId(const Key& server_key,
+                                                     uint64_t ticket_id,
+                                                     const wire::Bytes& blob);
+
+// --- Key registry ------------------------------------------------------------
+// The auth service's "keytab": principal -> master key. With a deployment
+// secret configured, unknown principals' keys are derived on demand
+// (DeriveKey(secret, principal)), which is how the simulated provisioning
+// hands every process a key the auth service can reconstruct.
+
+class KeyRegistry {
+ public:
+  void Register(const std::string& principal, const Key& key) {
+    keys_[principal] = key;
+  }
+  void SetDeploymentSecret(const Key& secret) { secret_ = secret; }
+
+  std::optional<Key> Find(const std::string& principal) const {
+    auto it = keys_.find(principal);
+    if (it != keys_.end()) {
+      return it->second;
+    }
+    if (secret_.has_value()) {
+      return DeriveKey(*secret_, principal);
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::map<std::string, Key> keys_;
+  std::optional<Key> secret_;
+};
+
+// --- Service -----------------------------------------------------------------
+
+class AuthServiceImpl {
+ public:
+  // `registry` must outlive the service. `kdc_secret` seeds session keys.
+  AuthServiceImpl(const KeyRegistry& registry, const Key& kdc_secret)
+      : registry_(registry), kdc_secret_(kdc_secret) {}
+
+  // Issues a ticket for (client, server). Requires the request to have been
+  // authenticated as `client` (master-key signature, checked by the policy).
+  Result<TicketGrant> GetTicket(const rpc::CallContext& ctx,
+                                const std::string& client,
+                                const std::string& server);
+
+  uint64_t tickets_issued() const { return next_ticket_id_ - 1; }
+
+ private:
+  const KeyRegistry& registry_;
+  Key kdc_secret_;
+  uint64_t next_ticket_id_ = 1;
+};
+
+class AuthSkeleton : public rpc::Skeleton {
+ public:
+  explicit AuthSkeleton(AuthServiceImpl& impl) : impl_(impl) {}
+  std::string_view interface_name() const override { return kAuthInterface; }
+  void Dispatch(uint32_t method_id, const wire::Bytes& args,
+                const rpc::CallContext& ctx, rpc::ReplyFn reply) override;
+
+ private:
+  AuthServiceImpl& impl_;
+};
+
+class AuthProxy : public rpc::Proxy {
+ public:
+  using Proxy::Proxy;
+  Future<TicketGrant> GetTicket(const std::string& client,
+                                const std::string& server) const {
+    return rpc::DecodeReply<TicketGrant>(
+        Call(kAuthMethodGetTicket, rpc::EncodeArgs(client, server)));
+  }
+};
+
+}  // namespace itv::auth
+
+#endif  // SRC_AUTH_AUTH_SERVICE_H_

@@ -1,0 +1,90 @@
+#include "src/auth/chacha20.h"
+
+#include <cstring>
+
+namespace itv::auth {
+
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d ^= a;
+  d = Rotl(d, 16);
+  c += d;
+  b ^= c;
+  b = Rotl(b, 12);
+  a += b;
+  d ^= a;
+  d = Rotl(d, 8);
+  c += d;
+  b ^= c;
+  b = Rotl(b, 7);
+}
+
+void Block(const uint32_t state[16], uint8_t out[64]) {
+  uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    uint32_t v = x[i] + state[i];
+    out[i * 4] = static_cast<uint8_t>(v);
+    out[i * 4 + 1] = static_cast<uint8_t>(v >> 8);
+    out[i * 4 + 2] = static_cast<uint8_t>(v >> 16);
+    out[i * 4 + 3] = static_cast<uint8_t>(v >> 24);
+  }
+}
+
+}  // namespace
+
+void ChaCha20Crypt(const Key& key, uint64_t nonce, wire::Bytes* data) {
+  uint32_t state[16];
+  state[0] = 0x61707865;  // "expa"
+  state[1] = 0x3320646e;  // "nd 3"
+  state[2] = 0x79622d32;  // "2-by"
+  state[3] = 0x6b206574;  // "te k"
+  for (int i = 0; i < 8; ++i) {
+    state[4 + i] = static_cast<uint32_t>(key[i * 4]) |
+                   (static_cast<uint32_t>(key[i * 4 + 1]) << 8) |
+                   (static_cast<uint32_t>(key[i * 4 + 2]) << 16) |
+                   (static_cast<uint32_t>(key[i * 4 + 3]) << 24);
+  }
+  state[12] = 1;  // Block counter.
+  state[13] = 0;  // Nonce top 32 bits: zero.
+  state[14] = static_cast<uint32_t>(nonce);
+  state[15] = static_cast<uint32_t>(nonce >> 32);
+
+  uint8_t keystream[64];
+  size_t offset = 0;
+  while (offset < data->size()) {
+    Block(state, keystream);
+    ++state[12];
+    size_t n = data->size() - offset;
+    if (n > 64) {
+      n = 64;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      (*data)[offset + i] ^= keystream[i];
+    }
+    offset += n;
+  }
+}
+
+wire::Bytes ChaCha20Crypted(const Key& key, uint64_t nonce,
+                            const wire::Bytes& data) {
+  wire::Bytes out = data;
+  ChaCha20Crypt(key, nonce, &out);
+  return out;
+}
+
+}  // namespace itv::auth

@@ -1,0 +1,30 @@
+// ChaCha20 stream cipher (RFC 8439 core), from scratch. Provides the
+// optional call/reply payload encryption (paper Section 3.3) and seals
+// ticket blobs and session keys in the authentication service.
+//
+// Encryption is XOR with the keystream, so Crypt() both encrypts and
+// decrypts. Integrity is provided separately by HMAC (encrypt-then-MAC in
+// the ticket sealing code).
+
+#ifndef SRC_AUTH_CHACHA20_H_
+#define SRC_AUTH_CHACHA20_H_
+
+#include <cstdint>
+
+#include "src/auth/hmac.h"
+#include "src/wire/serialize.h"
+
+namespace itv::auth {
+
+// In-place XOR of `data` with the ChaCha20 keystream for (key, nonce).
+// The 64-bit nonce is expanded into the 96-bit RFC nonce (top 32 bits zero);
+// nonces must be unique per key — callers use ticket ids / call ids.
+void ChaCha20Crypt(const Key& key, uint64_t nonce, wire::Bytes* data);
+
+// Convenience: returns the transformed copy.
+wire::Bytes ChaCha20Crypted(const Key& key, uint64_t nonce,
+                            const wire::Bytes& data);
+
+}  // namespace itv::auth
+
+#endif  // SRC_AUTH_CHACHA20_H_

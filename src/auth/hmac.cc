@@ -1,0 +1,65 @@
+#include "src/auth/hmac.h"
+
+#include <cstring>
+
+namespace itv::auth {
+
+namespace {
+
+Digest HmacSha256Raw(const Key& key, const void* data, size_t len) {
+  uint8_t ipad[64];
+  uint8_t opad[64];
+  std::memset(ipad, 0x36, sizeof(ipad));
+  std::memset(opad, 0x5c, sizeof(opad));
+  for (size_t i = 0; i < key.size(); ++i) {
+    ipad[i] ^= key[i];
+    opad[i] ^= key[i];
+  }
+  Sha256 inner;
+  inner.Update(ipad, sizeof(ipad));
+  inner.Update(data, len);
+  Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad, sizeof(opad));
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
+
+}  // namespace
+
+Digest HmacSha256(const Key& key, const wire::Bytes& message) {
+  return HmacSha256Raw(key, message.data(), message.size());
+}
+
+Digest HmacSha256(const Key& key, std::string_view message) {
+  return HmacSha256Raw(key, message.data(), message.size());
+}
+
+bool DigestsEqual(const Digest& a, const Digest& b) {
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+Key DeriveKey(const Key& master, std::string_view label) {
+  Digest d = HmacSha256(master, label);
+  Key k;
+  std::memcpy(k.data(), d.data(), k.size());
+  return k;
+}
+
+Key KeyFromString(std::string_view passphrase) {
+  Digest d = Sha256Of(passphrase);
+  Key k;
+  std::memcpy(k.data(), d.data(), k.size());
+  return k;
+}
+
+wire::Bytes DigestToBytes(const Digest& d) {
+  return wire::Bytes(d.begin(), d.end());
+}
+
+}  // namespace itv::auth

@@ -1,0 +1,35 @@
+// HMAC-SHA256 (RFC 2104) over 32-byte keys: the call-signature primitive.
+
+#ifndef SRC_AUTH_HMAC_H_
+#define SRC_AUTH_HMAC_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "src/auth/sha256.h"
+#include "src/wire/serialize.h"
+
+namespace itv::auth {
+
+// All keys in the system are 256-bit.
+using Key = std::array<uint8_t, 32>;
+
+Digest HmacSha256(const Key& key, const wire::Bytes& message);
+Digest HmacSha256(const Key& key, std::string_view message);
+
+// Constant-time comparison (signature checks).
+bool DigestsEqual(const Digest& a, const Digest& b);
+
+// Deterministic key derivation: HMAC(master, label). Used to mint session
+// keys and to derive per-principal master keys from the deployment secret.
+Key DeriveKey(const Key& master, std::string_view label);
+
+// Convenience for tests and provisioning: a key from a passphrase.
+Key KeyFromString(std::string_view passphrase);
+
+wire::Bytes DigestToBytes(const Digest& d);
+
+}  // namespace itv::auth
+
+#endif  // SRC_AUTH_HMAC_H_

@@ -1,0 +1,45 @@
+// SHA-256 (FIPS 180-4), implemented from scratch — the repository has no
+// external crypto dependency. Used for HMAC call signatures and key
+// derivation in the authentication service (paper Section 3.3).
+
+#ifndef SRC_AUTH_SHA256_H_
+#define SRC_AUTH_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "src/wire/serialize.h"
+
+namespace itv::auth {
+
+using Digest = std::array<uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+  void Update(const wire::Bytes& b) { Update(b.data(), b.size()); }
+
+  // Finalizes and returns the digest. The object must not be reused after.
+  Digest Finish();
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+Digest Sha256Of(const void* data, size_t len);
+Digest Sha256Of(std::string_view s);
+Digest Sha256Of(const wire::Bytes& b);
+
+}  // namespace itv::auth
+
+#endif  // SRC_AUTH_SHA256_H_

@@ -1,0 +1,33 @@
+// Cluster addressing scheme, shared by the simulator, the name service's
+// IP-based selectors, and the settop manager.
+//
+// Servers:  10.0.<index>.1
+// Settops:  11.<neighborhood>.<hi>.<lo>
+//
+// "For both load balancing and administrative reasons, we partition the
+// settops into neighborhoods. The neighborhood is determined by the settop's
+// IP address." (paper Section 3.1)
+
+#ifndef SRC_COMMON_ADDRESS_H_
+#define SRC_COMMON_ADDRESS_H_
+
+#include <cstdint>
+
+namespace itv {
+
+constexpr uint32_t MakeServerHost(uint8_t index) {
+  return (10u << 24) | (static_cast<uint32_t>(index) << 8) | 1u;
+}
+constexpr uint32_t MakeSettopHost(uint8_t neighborhood, uint16_t index) {
+  return (11u << 24) | (static_cast<uint32_t>(neighborhood) << 16) | index;
+}
+constexpr bool IsSettopHost(uint32_t host) { return (host >> 24) == 11u; }
+constexpr bool IsServerHost(uint32_t host) { return (host >> 24) == 10u; }
+// Valid only for settop hosts.
+constexpr uint8_t NeighborhoodOfHost(uint32_t host) {
+  return static_cast<uint8_t>((host >> 16) & 0xff);
+}
+
+}  // namespace itv
+
+#endif  // SRC_COMMON_ADDRESS_H_

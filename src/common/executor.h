@@ -1,0 +1,97 @@
+// Executor: the single-threaded scheduling surface every OCS component runs on.
+//
+// Two implementations exist:
+//   - sim::Scheduler (src/sim/scheduler.h): virtual time, deterministic.
+//   - net::EventLoop (src/net/event_loop.h): real time, poll()-driven.
+//
+// Components never call the OS clock or sleep; they ask the Executor for
+// Now() and schedule timers. This is what makes the paper's fail-over-speed
+// experiments exactly reproducible (the measured times are the configured
+// polling intervals, not scheduling noise).
+
+#ifndef SRC_COMMON_EXECUTOR_H_
+#define SRC_COMMON_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "src/common/time.h"
+
+namespace itv {
+
+using TimerId = uint64_t;
+inline constexpr TimerId kInvalidTimerId = 0;
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual Time Now() const = 0;
+
+  // Runs `fn` at (virtual or real) time `when`. Returns an id usable with
+  // Cancel(). Timers fire at most once.
+  virtual TimerId ScheduleAt(Time when, std::function<void()> fn) = 0;
+
+  // Returns true if the timer existed and had not yet fired.
+  virtual bool Cancel(TimerId id) = 0;
+
+  TimerId ScheduleAfter(Duration delay, std::function<void()> fn) {
+    return ScheduleAt(Now() + delay, std::move(fn));
+  }
+
+  // Runs `fn` on the next scheduler turn.
+  TimerId Post(std::function<void()> fn) {
+    return ScheduleAt(Now(), std::move(fn));
+  }
+};
+
+// A repeating timer with RAII cancellation. Used for every polling loop in
+// the system (RAS peer polls, backup bind retries, CSC pings, ...).
+class PeriodicTimer {
+ public:
+  PeriodicTimer() = default;
+  ~PeriodicTimer() { Stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  // Fires `fn` every `period`, first firing after `period` (not immediately).
+  void Start(Executor& executor, Duration period, std::function<void()> fn) {
+    Stop();
+    executor_ = &executor;
+    period_ = period;
+    fn_ = std::move(fn);
+    Arm();
+  }
+
+  void Stop() {
+    if (executor_ != nullptr && timer_ != kInvalidTimerId) {
+      executor_->Cancel(timer_);
+    }
+    timer_ = kInvalidTimerId;
+    executor_ = nullptr;
+  }
+
+  bool running() const { return executor_ != nullptr; }
+  Duration period() const { return period_; }
+
+ private:
+  void Arm() {
+    timer_ = executor_->ScheduleAfter(period_, [this] {
+      timer_ = kInvalidTimerId;
+      // Re-arm before running so `fn_` may Stop() the timer.
+      Arm();
+      fn_();
+    });
+  }
+
+  Executor* executor_ = nullptr;
+  TimerId timer_ = kInvalidTimerId;
+  Duration period_;
+  std::function<void()> fn_;
+};
+
+}  // namespace itv
+
+#endif  // SRC_COMMON_EXECUTOR_H_

@@ -1,0 +1,104 @@
+// Single-threaded Future/Promise used for all asynchronous RPC completions.
+//
+// NOT thread-safe by design: every OCS process is a single-threaded event
+// loop (see src/common/executor.h), matching the paper's observation that
+// most services were single-threaded (Section 7.2). Continuations attached
+// after the value is set run immediately; continuations attached before run
+// synchronously inside Promise::Set.
+
+#ifndef SRC_COMMON_FUTURE_H_
+#define SRC_COMMON_FUTURE_H_
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace itv {
+
+template <typename T>
+class Promise;
+
+template <typename T>
+class Future {
+ public:
+  using Callback = std::function<void(Result<T>)>;
+
+  Future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool is_ready() const { return state_ != nullptr && state_->value.has_value(); }
+
+  // Requires is_ready().
+  const Result<T>& result() const {
+    assert(is_ready());
+    return *state_->value;
+  }
+
+  // Invokes `cb` with the result once available (immediately if already set).
+  // Multiple callbacks may be attached; they run in attachment order.
+  void OnReady(Callback cb) const {
+    assert(valid());
+    if (state_->value.has_value()) {
+      cb(*state_->value);
+    } else {
+      state_->callbacks.push_back(std::move(cb));
+    }
+  }
+
+  // Returns a future holding OK(value) / a failed future — handy for stubbing
+  // and for fast paths that complete synchronously.
+  static Future Ready(Result<T> r) {
+    Future f;
+    f.state_ = std::make_shared<State>();
+    f.state_->value = std::move(r);
+    return f;
+  }
+
+ private:
+  friend class Promise<T>;
+
+  struct State {
+    std::optional<Result<T>> value;
+    std::vector<Callback> callbacks;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<typename Future<T>::State>()) {}
+
+  Future<T> future() const {
+    Future<T> f;
+    f.state_ = state_;
+    return f;
+  }
+
+  bool is_set() const { return state_->value.has_value(); }
+
+  void Set(Result<T> value) {
+    assert(!state_->value.has_value() && "Promise set twice");
+    state_->value = std::move(value);
+    // Callbacks may attach further callbacks (which would then be ready and
+    // run immediately); take the list by move to keep iteration sane.
+    auto callbacks = std::move(state_->callbacks);
+    state_->callbacks.clear();
+    for (auto& cb : callbacks) {
+      cb(*state_->value);
+    }
+  }
+
+ private:
+  std::shared_ptr<typename Future<T>::State> state_;
+};
+
+}  // namespace itv
+
+#endif  // SRC_COMMON_FUTURE_H_

@@ -1,0 +1,71 @@
+// Simple exact histogram for latency distributions in the bench harnesses.
+
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace itv {
+
+class Histogram {
+ public:
+  void Record(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  void RecordDuration(Duration d) { Record(d.seconds()); }
+
+  size_t count() const { return samples_.size(); }
+
+  double Min() const { return count() == 0 ? 0 : *std::min_element(samples_.begin(), samples_.end()); }
+  double Max() const { return count() == 0 ? 0 : *std::max_element(samples_.begin(), samples_.end()); }
+
+  double Mean() const {
+    if (samples_.empty()) {
+      return 0;
+    }
+    double sum = 0;
+    for (double s : samples_) {
+      sum += s;
+    }
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  // p in [0, 100].
+  double Percentile(double p) const {
+    if (samples_.empty()) {
+      return 0;
+    }
+    Sort();
+    double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void Sort() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace itv
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,76 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace itv {
+
+namespace {
+
+LogSink& SinkSlot() {
+  static LogSink sink;
+  return sink;
+}
+
+std::function<Time()>& TimeSourceSlot() {
+  static std::function<Time()> src;
+  return src;
+}
+
+LogLevel& MinLevelSlot() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+void SetLogSink(LogSink sink) { SinkSlot() = std::move(sink); }
+void SetMinLogLevel(LogLevel min) { MinLevelSlot() = min; }
+LogLevel MinLogLevel() { return MinLevelSlot(); }
+void SetLogTimeSource(std::function<Time()> now) {
+  TimeSourceSlot() = std::move(now);
+}
+
+namespace log_internal {
+
+void Emit(LogLevel level, const std::string& message) {
+  Time now;
+  bool have_time = false;
+  if (TimeSourceSlot()) {
+    now = TimeSourceSlot()();
+    have_time = true;
+  }
+  if (SinkSlot()) {
+    SinkSlot()(level, now, message);
+    return;
+  }
+  if (have_time) {
+    std::fprintf(stderr, "[%s %s] %s\n", std::string(LogLevelName(level)).c_str(),
+                 now.ToString().c_str(), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", std::string(LogLevelName(level)).c_str(),
+                 message.c_str());
+  }
+}
+
+}  // namespace log_internal
+
+}  // namespace itv

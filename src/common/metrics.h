@@ -1,0 +1,65 @@
+// Counters and gauges used by the benchmark harnesses.
+//
+// The paper's arguments about scalability are message-count arguments
+// (Sections 7.1, 7.2.1, 9.7): "the RAS needs only a small number of network
+// messages", "updates are serialized through the master but reads are local".
+// Every subsystem increments named counters here so the bench binaries can
+// report exactly those counts.
+
+#ifndef SRC_COMMON_METRICS_H_
+#define SRC_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace itv {
+
+class Metrics {
+ public:
+  void Add(std::string_view counter, uint64_t delta = 1) {
+    counters_[std::string(counter)] += delta;
+  }
+
+  void SetGauge(std::string_view gauge, int64_t value) {
+    gauges_[std::string(gauge)] = value;
+  }
+
+  uint64_t Get(std::string_view counter) const {
+    auto it = counters_.find(std::string(counter));
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  int64_t GetGauge(std::string_view gauge) const {
+    auto it = gauges_.find(std::string(gauge));
+    return it == gauges_.end() ? 0 : it->second;
+  }
+
+  // Sum of all counters whose name starts with `prefix` (e.g. "net.msg.").
+  uint64_t SumPrefix(std::string_view prefix) const {
+    uint64_t total = 0;
+    for (const auto& [name, value] : counters_) {
+      if (name.size() >= prefix.size() &&
+          std::string_view(name).substr(0, prefix.size()) == prefix) {
+        total += value;
+      }
+    }
+    return total;
+  }
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+
+  void Reset() {
+    counters_.clear();
+    gauges_.clear();
+  }
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, int64_t> gauges_;
+};
+
+}  // namespace itv
+
+#endif  // SRC_COMMON_METRICS_H_

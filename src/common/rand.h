@@ -1,0 +1,104 @@
+// Deterministic PRNG (xoshiro256**) for workload generation.
+//
+// Benchmarks and property tests must be reproducible run-to-run, so nothing
+// in the repository uses std::random_device.
+
+#ifndef SRC_COMMON_RAND_H_
+#define SRC_COMMON_RAND_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace itv {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Exponential with the given mean (inter-arrival modelling).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) {
+      u = 1e-18;
+    }
+    return -mean * std::log(u);
+  }
+
+  // Zipf-like popularity rank in [0, n): rank r with weight 1/(r+1)^s.
+  // Used to model movie popularity for the MMS placement benchmarks.
+  uint64_t Zipf(uint64_t n, double s = 1.0) {
+    assert(n > 0);
+    // Inverse-CDF over the harmonic weights; O(n) setup avoided by sampling
+    // with rejection against the continuous envelope.
+    for (;;) {
+      double u = NextDouble();
+      double v = NextDouble();
+      double x = std::floor(std::pow(static_cast<double>(n) + 1.0, u));
+      double t = std::pow(1.0 + 1.0 / x, s - 1.0) * (1.0 + 1.0 / static_cast<double>(n));
+      if (v * x * (t - 1.0) <= t - 1.0 || v <= std::pow(1.0 / x, s)) {
+        uint64_t r = static_cast<uint64_t>(x) - 1;
+        if (r < n) {
+          return r;
+        }
+      }
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace itv
+
+#endif  // SRC_COMMON_RAND_H_

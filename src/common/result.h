@@ -1,0 +1,84 @@
+// Result<T>: a value-or-Status, the return type of fallible operations.
+//
+// Mirrors absl::StatusOr<T>, with a Result<void> specialization so that
+// generic code (notably itv::Future<T>) can treat void-returning RPCs
+// uniformly.
+
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace itv {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit, so `return value;` and `return SomeError();`
+  // both work in functions returning Result<T>.
+  Result(T value) : status_(OkStatus()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() : status_(OkStatus()) {}
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+// `ITV_ASSIGN_OR_RETURN(auto x, MaybeX());` — unwraps or propagates.
+#define ITV_ASSIGN_OR_RETURN(decl, expr)            \
+  ITV_ASSIGN_OR_RETURN_IMPL_(                       \
+      ITV_RESULT_CONCAT_(itv_result_, __LINE__), decl, expr)
+#define ITV_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  decl = std::move(tmp).value()
+#define ITV_RESULT_CONCAT_(a, b) ITV_RESULT_CONCAT_IMPL_(a, b)
+#define ITV_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace itv
+
+#endif  // SRC_COMMON_RESULT_H_

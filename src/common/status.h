@@ -1,0 +1,104 @@
+// Error model used across the OCS libraries.
+//
+// RPC and service code paths do not use exceptions; fallible operations
+// return itv::Status (or itv::Result<T>, see src/common/result.h). The code
+// kUnavailable has a distinguished meaning inherited from the paper: the
+// object reference in hand points at a dead or restarted implementor, and the
+// caller should re-resolve through the name service (paper Section 8.2).
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace itv {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kUnknown = 1,
+  kInvalidArgument = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kPermissionDenied = 5,
+  kUnavailable = 6,       // Dead object reference / unreachable implementor.
+  kDeadlineExceeded = 7,  // RPC timed out.
+  kResourceExhausted = 8, // Admission control rejected the request.
+  kFailedPrecondition = 9,
+  kAborted = 10,
+  kOutOfRange = 11,
+  kUnimplemented = 12,
+  kInternal = 13,
+  kDataLoss = 14,
+};
+
+// Returns a stable, human-readable name ("OK", "NOT_FOUND", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "NOT_FOUND: no binding for svc/mms" (or "OK").
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Constructors for the common codes.
+Status OkStatus();
+Status UnknownError(std::string message);
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status AbortedError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status DataLossError(std::string message);
+
+bool IsNotFound(const Status& s);
+bool IsUnavailable(const Status& s);
+bool IsDeadlineExceeded(const Status& s);
+bool IsAlreadyExists(const Status& s);
+bool IsResourceExhausted(const Status& s);
+bool IsPermissionDenied(const Status& s);
+
+// Propagation helper: `ITV_RETURN_IF_ERROR(expr);`
+#define ITV_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::itv::Status itv_status_tmp_ = (expr);    \
+    if (!itv_status_tmp_.ok()) {               \
+      return itv_status_tmp_;                  \
+    }                                          \
+  } while (0)
+
+}  // namespace itv
+
+#endif  // SRC_COMMON_STATUS_H_

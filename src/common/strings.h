@@ -1,0 +1,70 @@
+// Small string helpers (path splitting for names, joining, formatting).
+
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace itv {
+
+// Splits on `sep`, dropping empty components ("a//b" -> {"a","b"}); matches
+// how the name service treats slash-separated names.
+inline std::vector<std::string> SplitPath(std::string_view s, char sep = '/') {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(sep, start);
+    if (end == std::string_view::npos) {
+      end = s.size();
+    }
+    if (end > start) {
+      parts.emplace_back(s.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+  return parts;
+}
+
+inline std::string JoinPath(const std::vector<std::string>& parts,
+                            char sep = '/') {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+inline bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+// printf-style formatting into a std::string.
+inline std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+inline std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace itv
+
+#endif  // SRC_COMMON_STRINGS_H_

@@ -1,0 +1,40 @@
+#include "src/common/time.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace itv {
+
+std::string Duration::ToString() const {
+  char buf[64];
+  if (is_infinite()) {
+    return "inf";
+  }
+  int64_t abs_ns = ns_ < 0 ? -ns_ : ns_;
+  if (abs_ns >= 1000000000ll) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds());
+  } else if (abs_ns >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ms", millis());
+  } else if (abs_ns >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "us", micros());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", ns_);
+  }
+  return buf;
+}
+
+std::string Time::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns_) / 1e9);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, Time t) {
+  return os << t.ToString();
+}
+
+}  // namespace itv

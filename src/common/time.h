@@ -1,0 +1,82 @@
+// Time types shared by the simulator and the real event loop.
+//
+// All OCS components measure time through an Executor (src/common/executor.h)
+// rather than the wall clock, so the simulator can virtualize it. Durations
+// and instants are nanosecond-resolution integers.
+
+#ifndef SRC_COMMON_TIME_H_
+#define SRC_COMMON_TIME_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace itv {
+
+class Duration {
+ public:
+  constexpr Duration() : ns_(0) {}
+
+  static constexpr Duration Nanos(int64_t n) { return Duration(n); }
+  static constexpr Duration Micros(int64_t n) { return Duration(n * 1000); }
+  static constexpr Duration Millis(int64_t n) { return Duration(n * 1000000); }
+  static constexpr Duration Seconds(double s) {
+    return Duration(static_cast<int64_t>(s * 1e9));
+  }
+  static constexpr Duration Minutes(int64_t m) {
+    return Duration(m * 60ll * 1000000000ll);
+  }
+  static constexpr Duration Infinite() { return Duration(INT64_MAX); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr int64_t micros() const { return ns_ / 1000; }
+  constexpr int64_t millis() const { return ns_ / 1000000; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_infinite() const { return ns_ == INT64_MAX; }
+
+  constexpr Duration operator+(Duration d) const { return Duration(ns_ + d.ns_); }
+  constexpr Duration operator-(Duration d) const { return Duration(ns_ - d.ns_); }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<int64_t>(static_cast<double>(ns_) * k));
+  }
+  constexpr Duration operator/(int64_t k) const { return Duration(ns_ / k); }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string ToString() const;  // "1.5s", "250ms", "10us"
+
+ private:
+  explicit constexpr Duration(int64_t ns) : ns_(ns) {}
+  int64_t ns_;
+};
+
+// An instant: nanoseconds since an arbitrary epoch (simulation start, or the
+// steady-clock epoch in real mode).
+class Time {
+ public:
+  constexpr Time() : ns_(0) {}
+  static constexpr Time FromNanos(int64_t n) { return Time(n); }
+
+  constexpr int64_t nanos() const { return ns_; }
+
+  constexpr Time operator+(Duration d) const { return Time(ns_ + d.nanos()); }
+  constexpr Time operator-(Duration d) const { return Time(ns_ - d.nanos()); }
+  constexpr Duration operator-(Time t) const {
+    return Duration::Nanos(ns_ - t.ns_);
+  }
+  constexpr auto operator<=>(const Time&) const = default;
+
+  std::string ToString() const;  // seconds with ms precision, e.g. "12.345s"
+
+ private:
+  explicit constexpr Time(int64_t ns) : ns_(ns) {}
+  int64_t ns_;
+};
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, Time t);
+
+}  // namespace itv
+
+#endif  // SRC_COMMON_TIME_H_

@@ -1,0 +1,60 @@
+#include "src/db/database_service.h"
+
+namespace itv::db {
+
+void DatabaseSkeleton::Dispatch(uint32_t method_id, const wire::Bytes& args,
+                                const rpc::CallContext& ctx,
+                                rpc::ReplyFn reply) {
+  switch (method_id) {
+    case kDbMethodPut: {
+      std::string table, key, value;
+      if (!rpc::DecodeArgs(args, &table, &key, &value)) {
+        return rpc::ReplyBadArgs(reply);
+      }
+      Status s = store_.Put(table, key, value);
+      if (!s.ok()) {
+        return rpc::ReplyError(reply, s);
+      }
+      return rpc::ReplyOk(reply);
+    }
+    case kDbMethodGet: {
+      std::string table, key;
+      if (!rpc::DecodeArgs(args, &table, &key)) {
+        return rpc::ReplyBadArgs(reply);
+      }
+      Result<std::string> value = store_.Get(table, key);
+      if (!value.ok()) {
+        return rpc::ReplyError(reply, value.status());
+      }
+      return rpc::ReplyWith(reply, *value);
+    }
+    case kDbMethodDelete: {
+      std::string table, key;
+      if (!rpc::DecodeArgs(args, &table, &key)) {
+        return rpc::ReplyBadArgs(reply);
+      }
+      Status s = store_.Delete(table, key);
+      if (!s.ok()) {
+        return rpc::ReplyError(reply, s);
+      }
+      return rpc::ReplyOk(reply);
+    }
+    case kDbMethodScan: {
+      std::string table;
+      if (!rpc::DecodeArgs(args, &table)) {
+        return rpc::ReplyBadArgs(reply);
+      }
+      std::vector<Row> rows;
+      for (auto& [key, value] : store_.Scan(table)) {
+        rows.push_back(Row{key, value});
+      }
+      return rpc::ReplyWith(reply, rows);
+    }
+    case kDbMethodListTables:
+      return rpc::ReplyWith(reply, store_.ListTables());
+    default:
+      return rpc::ReplyBadMethod(reply, method_id);
+  }
+}
+
+}  // namespace itv::db

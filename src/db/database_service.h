@@ -1,0 +1,84 @@
+// The database's exported IDL interface ("itv.Database" — idl/database.idl).
+// One database process runs per cluster (started by the SSC on boot, paper
+// Section 6.3) and serves the CSC's service configuration, the movie
+// catalog, and persistent naming contexts.
+
+#ifndef SRC_DB_DATABASE_SERVICE_H_
+#define SRC_DB_DATABASE_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/future.h"
+#include "src/db/store.h"
+#include "src/rpc/runtime.h"
+#include "src/rpc/stub_helpers.h"
+
+namespace itv::db {
+
+inline constexpr std::string_view kDatabaseInterface = "itv.Database";
+inline constexpr uint16_t kDatabasePort = 600;
+
+enum DatabaseMethod : uint32_t {
+  kDbMethodPut = 1,
+  kDbMethodGet = 2,
+  kDbMethodDelete = 3,
+  kDbMethodScan = 4,
+  kDbMethodListTables = 5,
+};
+
+struct Row {
+  std::string key;
+  std::string value;
+};
+
+inline void WireWrite(wire::Writer& w, const Row& r) {
+  w.WriteString(r.key);
+  w.WriteString(r.value);
+}
+inline void WireRead(wire::Reader& r, Row* out) {
+  out->key = r.ReadString();
+  out->value = r.ReadString();
+}
+
+class DatabaseSkeleton : public rpc::Skeleton {
+ public:
+  explicit DatabaseSkeleton(Store& store) : store_(store) {}
+  std::string_view interface_name() const override { return kDatabaseInterface; }
+  void Dispatch(uint32_t method_id, const wire::Bytes& args,
+                const rpc::CallContext& ctx, rpc::ReplyFn reply) override;
+
+ private:
+  Store& store_;
+};
+
+class DatabaseProxy : public rpc::Proxy {
+ public:
+  using Proxy::Proxy;
+
+  Future<void> Put(const std::string& table, const std::string& key,
+                   const std::string& value) const {
+    return rpc::DecodeEmptyReply(
+        Call(kDbMethodPut, rpc::EncodeArgs(table, key, value)));
+  }
+  Future<std::string> Get(const std::string& table, const std::string& key) const {
+    return rpc::DecodeReply<std::string>(
+        Call(kDbMethodGet, rpc::EncodeArgs(table, key)));
+  }
+  Future<void> Delete(const std::string& table, const std::string& key) const {
+    return rpc::DecodeEmptyReply(
+        Call(kDbMethodDelete, rpc::EncodeArgs(table, key)));
+  }
+  Future<std::vector<Row>> Scan(const std::string& table) const {
+    return rpc::DecodeReply<std::vector<Row>>(
+        Call(kDbMethodScan, rpc::EncodeArgs(table)));
+  }
+  Future<std::vector<std::string>> ListTables() const {
+    return rpc::DecodeReply<std::vector<std::string>>(
+        Call(kDbMethodListTables, {}));
+  }
+};
+
+}  // namespace itv::db
+
+#endif  // SRC_DB_DATABASE_SERVICE_H_

@@ -1,0 +1,81 @@
+#include "src/db/disk.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace itv::db {
+
+namespace fs = std::filesystem;
+
+HostDisk::HostDisk(std::string directory) : directory_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+}
+
+std::string HostDisk::Path(const std::string& name) const {
+  return directory_ + "/" + name;
+}
+
+std::optional<wire::Bytes> HostDisk::Read(const std::string& name) const {
+  std::ifstream in(Path(name), std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  wire::Bytes data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+Status HostDisk::Write(const std::string& name, const wire::Bytes& data) {
+  std::string tmp = Path(name) + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return InternalError("cannot open " + tmp);
+    }
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) {
+      return InternalError("short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, Path(name), ec);
+  if (ec) {
+    return InternalError("rename failed: " + ec.message());
+  }
+  return OkStatus();
+}
+
+Status HostDisk::Append(const std::string& name, const wire::Bytes& data) {
+  std::ofstream out(Path(name), std::ios::binary | std::ios::app);
+  if (!out) {
+    return InternalError("cannot open " + Path(name));
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) {
+    return InternalError("short append to " + Path(name));
+  }
+  return OkStatus();
+}
+
+Status HostDisk::Remove(const std::string& name) {
+  std::error_code ec;
+  fs::remove(Path(name), ec);
+  return OkStatus();
+}
+
+std::vector<std::string> HostDisk::List() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (entry.is_regular_file()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  return names;
+}
+
+}  // namespace itv::db

@@ -1,0 +1,104 @@
+// Storage backends for the database (paper Section 3.3: "Database. Provides
+// access to persistent data via exported IDL interfaces").
+//
+// Disk is the boundary that makes persistence meaningful in the simulator: a
+// MemoryDisk belongs to a *node* (the test harness keeps it across process
+// restarts), so a restarted database process recovers exactly what the dead
+// incarnation had durably written. HostDisk maps to a real directory for the
+// TCP/localhost mode.
+
+#ifndef SRC_DB_DISK_H_
+#define SRC_DB_DISK_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/wire/serialize.h"
+
+namespace itv::db {
+
+class Disk {
+ public:
+  virtual ~Disk() = default;
+
+  virtual std::optional<wire::Bytes> Read(const std::string& name) const = 0;
+  // Atomic full-file replace.
+  virtual Status Write(const std::string& name, const wire::Bytes& data) = 0;
+  virtual Status Append(const std::string& name, const wire::Bytes& data) = 0;
+  virtual Status Remove(const std::string& name) = 0;
+  virtual std::vector<std::string> List() const = 0;
+};
+
+class MemoryDisk : public Disk {
+ public:
+  std::optional<wire::Bytes> Read(const std::string& name) const override {
+    auto it = files_.find(name);
+    if (it == files_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  Status Write(const std::string& name, const wire::Bytes& data) override {
+    files_[name] = data;
+    return OkStatus();
+  }
+
+  Status Append(const std::string& name, const wire::Bytes& data) override {
+    wire::Bytes& f = files_[name];
+    f.insert(f.end(), data.begin(), data.end());
+    return OkStatus();
+  }
+
+  Status Remove(const std::string& name) override {
+    files_.erase(name);
+    return OkStatus();
+  }
+
+  std::vector<std::string> List() const override {
+    std::vector<std::string> names;
+    names.reserve(files_.size());
+    for (const auto& [name, data] : files_) {
+      names.push_back(name);
+    }
+    return names;
+  }
+
+  // Failure injection: lose everything (models a disk wipe, NOT a process
+  // crash — crashes keep the disk).
+  void Wipe() { files_.clear(); }
+
+  size_t TotalBytes() const {
+    size_t total = 0;
+    for (const auto& [name, data] : files_) {
+      total += data.size();
+    }
+    return total;
+  }
+
+ private:
+  std::map<std::string, wire::Bytes> files_;
+};
+
+// Real-directory backend (used by the TCP/localhost examples).
+class HostDisk : public Disk {
+ public:
+  explicit HostDisk(std::string directory);
+
+  std::optional<wire::Bytes> Read(const std::string& name) const override;
+  Status Write(const std::string& name, const wire::Bytes& data) override;
+  Status Append(const std::string& name, const wire::Bytes& data) override;
+  Status Remove(const std::string& name) override;
+  std::vector<std::string> List() const override;
+
+ private:
+  std::string Path(const std::string& name) const;
+  std::string directory_;
+};
+
+}  // namespace itv::db
+
+#endif  // SRC_DB_DISK_H_

@@ -1,0 +1,80 @@
+// Log-structured table store: the cluster's persistent configuration
+// database. Tables hold string key -> string value; mutations append
+// checksummed records to a write-ahead log; a snapshot plus log-truncation
+// compaction bounds recovery time.
+//
+// The paper's services use the database for "slow-changing state" (service
+// configuration, movie catalog, persistent naming contexts — Sections 6.2,
+// 9.4), so a durable KV store with tables covers the workload.
+
+#ifndef SRC_DB_STORE_H_
+#define SRC_DB_STORE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/db/disk.h"
+
+namespace itv::db {
+
+class Store {
+ public:
+  struct Options {
+    // Compact when the log exceeds this many bytes and is at least
+    // `log_to_snapshot_ratio` times the last snapshot size.
+    size_t compaction_min_log_bytes = 64 * 1024;
+    double log_to_snapshot_ratio = 4.0;
+  };
+
+  // `disk` must outlive the store. Recovers state from snapshot + log.
+  explicit Store(Disk& disk) : Store(disk, Options()) {}
+  Store(Disk& disk, Options options);
+
+  Status Put(const std::string& table, const std::string& key,
+             const std::string& value);
+  Result<std::string> Get(const std::string& table, const std::string& key) const;
+  Status Delete(const std::string& table, const std::string& key);
+
+  // All key/value pairs of a table, key-ordered.
+  std::vector<std::pair<std::string, std::string>> Scan(
+      const std::string& table) const;
+  std::vector<std::string> ListTables() const;
+  size_t TableSize(const std::string& table) const;
+
+  // Rewrites the snapshot and truncates the log. Called automatically; public
+  // for tests and an operator tool.
+  Status Compact();
+
+  // Observability.
+  uint64_t log_records() const { return log_records_; }
+  uint64_t compactions() const { return compactions_; }
+  bool recovered_from_snapshot() const { return recovered_from_snapshot_; }
+
+ private:
+  enum class Op : uint8_t { kPut = 1, kDelete = 2 };
+
+  void Recover();
+  Status AppendRecord(Op op, const std::string& table, const std::string& key,
+                      const std::string& value);
+  void ApplyRecord(Op op, const std::string& table, const std::string& key,
+                   const std::string& value);
+  wire::Bytes EncodeSnapshot() const;
+  bool LoadSnapshot(const wire::Bytes& data);
+  void MaybeCompact();
+
+  Disk& disk_;
+  Options options_;
+  std::map<std::string, std::map<std::string, std::string>> tables_;
+  uint64_t log_records_ = 0;
+  size_t log_bytes_ = 0;
+  size_t snapshot_bytes_ = 0;
+  uint64_t compactions_ = 0;
+  bool recovered_from_snapshot_ = false;
+};
+
+}  // namespace itv::db
+
+#endif  // SRC_DB_STORE_H_

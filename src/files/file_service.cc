@@ -1,0 +1,433 @@
+#include "src/files/file_service.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace itv::files {
+
+namespace {
+constexpr char kBackingFile[] = "fs.image";
+constexpr int kMaxDepth = 16;
+}  // namespace
+
+struct FileService::FsNode {
+  bool is_dir = true;
+  wire::Bytes contents;                              // Files.
+  std::map<std::string, std::unique_ptr<FsNode>> entries;  // Directories.
+  // Exported servant (set lazily by ExportTree).
+  std::unique_ptr<rpc::Skeleton> skeleton;
+  wire::ObjectRef ref;
+};
+
+// --- File objects ---------------------------------------------------------------
+
+class FileService::FileSkeleton : public rpc::Skeleton {
+ public:
+  FileSkeleton(FileService& service, FsNode* node)
+      : service_(service), node_(node) {}
+
+  std::string_view interface_name() const override { return kFileInterface; }
+
+  void Dispatch(uint32_t method_id, const wire::Bytes& args,
+                const rpc::CallContext& ctx, rpc::ReplyFn reply) override {
+    switch (method_id) {
+      case kFileMethodRead: {
+        int64_t offset = 0, length = 0;
+        if (!rpc::DecodeArgs(args, &offset, &length)) {
+          return rpc::ReplyBadArgs(reply);
+        }
+        const wire::Bytes& data = node_->contents;
+        if (offset < 0 || offset > static_cast<int64_t>(data.size()) ||
+            length < 0) {
+          return rpc::ReplyError(reply, OutOfRangeError("read out of range"));
+        }
+        int64_t end = std::min<int64_t>(offset + length,
+                                        static_cast<int64_t>(data.size()));
+        wire::Bytes out(data.begin() + offset, data.begin() + end);
+        return rpc::ReplyWith(reply, out);
+      }
+      case kFileMethodWrite: {
+        int64_t offset = 0;
+        wire::Bytes data;
+        if (!rpc::DecodeArgs(args, &offset, &data)) {
+          return rpc::ReplyBadArgs(reply);
+        }
+        if (offset < 0 || offset > static_cast<int64_t>(node_->contents.size())) {
+          return rpc::ReplyError(reply, OutOfRangeError("write out of range"));
+        }
+        if (offset + static_cast<int64_t>(data.size()) >
+            static_cast<int64_t>(node_->contents.size())) {
+          node_->contents.resize(offset + data.size());
+        }
+        std::copy(data.begin(), data.end(), node_->contents.begin() + offset);
+        service_.Persist();
+        return rpc::ReplyOk(reply);
+      }
+      case kFileMethodSize:
+        return rpc::ReplyWith(reply,
+                              static_cast<int64_t>(node_->contents.size()));
+      default:
+        return rpc::ReplyBadMethod(reply, method_id);
+    }
+  }
+
+ private:
+  FileService& service_;
+  FsNode* node_;
+};
+
+// --- Directory contexts -----------------------------------------------------------
+
+class FileService::DirSkeleton : public rpc::Skeleton {
+ public:
+  DirSkeleton(FileService& service, FsNode* node)
+      : service_(service), node_(node) {}
+
+  std::string_view interface_name() const override {
+    return naming::kFileSystemContextInterface;
+  }
+
+  void Dispatch(uint32_t method_id, const wire::Bytes& args,
+                const rpc::CallContext& ctx, rpc::ReplyFn reply) override {
+    switch (method_id) {
+      case naming::kNcMethodResolve: {
+        naming::Name name;
+        if (!rpc::DecodeArgs(args, &name)) {
+          return rpc::ReplyBadArgs(reply);
+        }
+        FsNode* node = node_;
+        for (size_t i = 0; i < name.size(); ++i) {
+          if (!node->is_dir) {
+            return rpc::ReplyError(
+                reply, NotFoundError("'" + name[i - 1] + "' is a file"));
+          }
+          auto it = node->entries.find(name[i]);
+          if (it == node->entries.end()) {
+            return rpc::ReplyError(
+                reply, NotFoundError("no such file: " + JoinPath(name)));
+          }
+          node = it->second.get();
+        }
+        service_.ExportTree(node);
+        return rpc::ReplyWith(reply, node->ref);
+      }
+      case naming::kNcMethodList:
+      case naming::kNcMethodListRepl: {
+        naming::Name name;
+        if (!rpc::DecodeArgs(args, &name)) {
+          return rpc::ReplyBadArgs(reply);
+        }
+        FsNode* node = node_;
+        for (const std::string& component : name) {
+          auto it = node->entries.find(component);
+          if (it == node->entries.end() || !node->is_dir) {
+            return rpc::ReplyError(reply,
+                                   NotFoundError("no such directory: " +
+                                                 JoinPath(name)));
+          }
+          node = it->second.get();
+        }
+        naming::BindingList out;
+        for (auto& [entry_name, child] : node->entries) {
+          service_.ExportTree(child.get());
+          naming::Binding b;
+          b.name = entry_name;
+          b.ref = child->ref;
+          b.kind = child->is_dir ? naming::BindingKind::kContext
+                                 : naming::BindingKind::kObject;
+          out.push_back(std::move(b));
+        }
+        return rpc::ReplyWith(reply, out);
+      }
+      case naming::kNcMethodBindNewContext: {
+        naming::Name name;
+        if (!rpc::DecodeArgs(args, &name)) {
+          return rpc::ReplyBadArgs(reply);
+        }
+        if (name.empty()) {
+          return rpc::ReplyError(reply, InvalidArgumentError("empty name"));
+        }
+        Result<FsNode*> parent = WalkFrom(node_, name, /*drop_last=*/true);
+        if (!parent.ok()) {
+          return rpc::ReplyError(reply, parent.status());
+        }
+        if ((*parent)->entries.count(name.back()) > 0) {
+          return rpc::ReplyError(
+              reply, AlreadyExistsError(JoinPath(name) + " exists"));
+        }
+        auto dir = std::make_unique<FsNode>();
+        dir->is_dir = true;
+        (*parent)->entries[name.back()] = std::move(dir);
+        service_.Persist();
+        return rpc::ReplyOk(reply);
+      }
+      case naming::kNcMethodUnbind: {
+        naming::Name name;
+        if (!rpc::DecodeArgs(args, &name)) {
+          return rpc::ReplyBadArgs(reply);
+        }
+        if (name.empty()) {
+          return rpc::ReplyError(reply, InvalidArgumentError("empty name"));
+        }
+        Result<FsNode*> parent = WalkFrom(node_, name, /*drop_last=*/true);
+        if (!parent.ok()) {
+          return rpc::ReplyError(reply, parent.status());
+        }
+        auto it = (*parent)->entries.find(name.back());
+        if (it == (*parent)->entries.end()) {
+          return rpc::ReplyError(reply, NotFoundError(JoinPath(name)));
+        }
+        if (it->second->is_dir && !it->second->entries.empty()) {
+          return rpc::ReplyError(
+              reply, FailedPreconditionError("directory not empty"));
+        }
+        if (it->second->skeleton != nullptr) {
+          service_.runtime_.Unexport(it->second->ref);
+        }
+        (*parent)->entries.erase(it);
+        service_.Persist();
+        return rpc::ReplyOk(reply);
+      }
+      case kFscMethodCreateFile: {
+        naming::Name name;
+        wire::Bytes initial;
+        if (!rpc::DecodeArgs(args, &name, &initial)) {
+          return rpc::ReplyBadArgs(reply);
+        }
+        if (name.empty()) {
+          return rpc::ReplyError(reply, InvalidArgumentError("empty name"));
+        }
+        Result<FsNode*> parent = WalkFrom(node_, name, /*drop_last=*/true);
+        if (!parent.ok()) {
+          return rpc::ReplyError(reply, parent.status());
+        }
+        if ((*parent)->entries.count(name.back()) > 0) {
+          return rpc::ReplyError(
+              reply, AlreadyExistsError(JoinPath(name) + " exists"));
+        }
+        auto file = std::make_unique<FsNode>();
+        file->is_dir = false;
+        file->contents = std::move(initial);
+        FsNode* raw = file.get();
+        (*parent)->entries[name.back()] = std::move(file);
+        service_.ExportTree(raw);
+        service_.Persist();
+        return rpc::ReplyWith(reply, raw->ref);
+      }
+      case naming::kNcMethodBind:
+      case naming::kNcMethodBindReplContext:
+        // Foreign objects cannot be bound into a file system.
+        return rpc::ReplyError(
+            reply, UnimplementedError("unsupported on FileSystemContext"));
+      default:
+        return rpc::ReplyBadMethod(reply, method_id);
+    }
+  }
+
+ private:
+  static Result<FsNode*> WalkFrom(FsNode* node,
+                                  const std::vector<std::string>& path,
+                                  bool drop_last) {
+    size_t end = path.size() - (drop_last ? 1 : 0);
+    for (size_t i = 0; i < end; ++i) {
+      if (!node->is_dir) {
+        return NotFoundError("not a directory");
+      }
+      auto it = node->entries.find(path[i]);
+      if (it == node->entries.end()) {
+        return NotFoundError("no such directory: " + path[i]);
+      }
+      node = it->second.get();
+    }
+    if (!node->is_dir) {
+      return NotFoundError("not a directory");
+    }
+    return node;
+  }
+
+  FileService& service_;
+  FsNode* node_;
+};
+
+// --- FileService -------------------------------------------------------------------
+
+FileService::FileService(rpc::ObjectRuntime& runtime, db::Disk* backing,
+                         Metrics* metrics)
+    : runtime_(runtime),
+      backing_(backing),
+      metrics_(metrics),
+      root_(std::make_unique<FsNode>()) {
+  Load();
+  ExportTree(root_.get());
+  root_ref_ = root_->ref;
+}
+
+FileService::~FileService() = default;
+
+void FileService::ExportTree(FsNode* node) {
+  if (node->skeleton != nullptr) {
+    return;
+  }
+  if (node->is_dir) {
+    node->skeleton = std::make_unique<DirSkeleton>(*this, node);
+  } else {
+    node->skeleton = std::make_unique<FileSkeleton>(*this, node);
+  }
+  node->ref = runtime_.Export(node->skeleton.get());
+}
+
+FileService::FsNode* FileService::WalkDir(const std::vector<std::string>& path,
+                                          bool create) const {
+  FsNode* node = root_.get();
+  for (const std::string& component : path) {
+    auto it = node->entries.find(component);
+    if (it == node->entries.end()) {
+      if (!create) {
+        return nullptr;
+      }
+      auto dir = std::make_unique<FsNode>();
+      dir->is_dir = true;
+      it = node->entries.emplace(component, std::move(dir)).first;
+    }
+    if (!it->second->is_dir) {
+      return nullptr;
+    }
+    node = it->second.get();
+  }
+  return node;
+}
+
+Status FileService::MakeDirectory(const std::string& path) {
+  if (WalkDir(SplitPath(path), /*create=*/true) == nullptr) {
+    return FailedPreconditionError("path crosses a file: " + path);
+  }
+  Persist();
+  return OkStatus();
+}
+
+Status FileService::CreateFile(const std::string& path, wire::Bytes contents) {
+  std::vector<std::string> components = SplitPath(path);
+  if (components.empty()) {
+    return InvalidArgumentError("empty path");
+  }
+  std::string leaf = components.back();
+  components.pop_back();
+  FsNode* dir = WalkDir(components, /*create=*/true);
+  if (dir == nullptr) {
+    return FailedPreconditionError("path crosses a file: " + path);
+  }
+  if (dir->entries.count(leaf) > 0) {
+    return AlreadyExistsError(path + " exists");
+  }
+  auto file = std::make_unique<FsNode>();
+  file->is_dir = false;
+  file->contents = std::move(contents);
+  dir->entries[leaf] = std::move(file);
+  Persist();
+  return OkStatus();
+}
+
+Result<wire::Bytes> FileService::ReadWholeFile(const std::string& path) const {
+  std::vector<std::string> components = SplitPath(path);
+  if (components.empty()) {
+    return InvalidArgumentError("empty path");
+  }
+  std::string leaf = components.back();
+  components.pop_back();
+  FsNode* dir = WalkDir(components, /*create=*/false);
+  if (dir == nullptr) {
+    return NotFoundError(path);
+  }
+  auto it = dir->entries.find(leaf);
+  if (it == dir->entries.end() || it->second->is_dir) {
+    return NotFoundError(path);
+  }
+  return it->second->contents;
+}
+
+size_t FileService::file_count() const {
+  size_t count = 0;
+  std::function<void(const FsNode&)> walk = [&](const FsNode& node) {
+    for (const auto& [name, child] : node.entries) {
+      if (child->is_dir) {
+        walk(*child);
+      } else {
+        ++count;
+      }
+    }
+  };
+  walk(*root_);
+  return count;
+}
+
+// --- Persistence --------------------------------------------------------------------
+
+void FileService::EncodeNode(wire::Writer& w, const FsNode& node) {
+  w.WriteBool(node.is_dir);
+  if (!node.is_dir) {
+    w.WriteBytes(node.contents);
+    return;
+  }
+  w.WriteU32(static_cast<uint32_t>(node.entries.size()));
+  for (const auto& [name, child] : node.entries) {
+    w.WriteString(name);
+    EncodeNode(w, *child);
+  }
+}
+
+bool FileService::DecodeNode(wire::Reader& r, FsNode* node, int depth) {
+  if (depth > kMaxDepth) {
+    return false;
+  }
+  node->is_dir = r.ReadBool();
+  if (!node->is_dir) {
+    node->contents = r.ReadBytes();
+    return r.ok();
+  }
+  uint32_t count = r.ReadU32();
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    std::string name = r.ReadString();
+    auto child = std::make_unique<FsNode>();
+    if (!DecodeNode(r, child.get(), depth + 1)) {
+      return false;
+    }
+    node->entries[name] = std::move(child);
+  }
+  return r.ok();
+}
+
+void FileService::Persist() {
+  if (backing_ == nullptr) {
+    return;
+  }
+  wire::Writer w;
+  EncodeNode(w, *root_);
+  Status s = backing_->Write(kBackingFile, w.bytes());
+  if (!s.ok()) {
+    ITV_LOG(Error) << "files: persist failed: " << s;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Add("files.persist");
+  }
+}
+
+void FileService::Load() {
+  if (backing_ == nullptr) {
+    return;
+  }
+  std::optional<wire::Bytes> image = backing_->Read(kBackingFile);
+  if (!image.has_value()) {
+    return;
+  }
+  wire::Reader r(*image);
+  auto root = std::make_unique<FsNode>();
+  if (!DecodeNode(r, root.get(), 0) || r.remaining() != 0) {
+    ITV_LOG(Error) << "files: backing image corrupt; starting empty";
+    return;
+  }
+  root_ = std::move(root);
+}
+
+}  // namespace itv::files

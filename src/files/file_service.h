@@ -1,0 +1,109 @@
+// File Service (paper Sections 3.3, 4.6): "provides settops access to UNIX
+// files". It demonstrates the naming system's extensibility: "the file
+// service implements a subclass of the NamingContext interface called a
+// FileSystemContext. It exports additional operations for file creation. The
+// file system exports its objects by binding FileSystemContext objects into
+// the cluster-wide name space." A resolve that reaches the bound context is
+// recursively forwarded to this service by the name service (Section 4.3).
+//
+// Files are objects ("an object may be a file, whose interface includes the
+// operations read and write", Section 3.2) exported one per file; directory
+// contexts are exported one per directory. Contents persist to the node's
+// disk so a restarted file service recovers them.
+
+#ifndef SRC_FILES_FILE_SERVICE_H_
+#define SRC_FILES_FILE_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/db/disk.h"
+#include "src/naming/stubs.h"
+#include "src/rpc/runtime.h"
+
+namespace itv::files {
+
+inline constexpr std::string_view kFileInterface = "itv.File";
+
+enum FileMethod : uint32_t {
+  kFileMethodRead = 1,   // (offset, length) -> bytes
+  kFileMethodWrite = 2,  // (offset, bytes)
+  kFileMethodSize = 3,
+};
+
+// FileSystemContext = NamingContext methods 1..7 (same ids and argument
+// shapes, so naming-unaware clients and the name service's recursive resolve
+// both work) plus:
+enum FileSystemContextMethod : uint32_t {
+  kFscMethodCreateFile = 8,  // (name, initial bytes) -> file ref
+};
+
+class FileProxy : public rpc::Proxy {
+ public:
+  using Proxy::Proxy;
+  Future<wire::Bytes> Read(int64_t offset, int64_t length) const {
+    return rpc::DecodeReply<wire::Bytes>(
+        Call(kFileMethodRead, rpc::EncodeArgs(offset, length)));
+  }
+  Future<void> Write(int64_t offset, const wire::Bytes& data) const {
+    return rpc::DecodeEmptyReply(Call(kFileMethodWrite, rpc::EncodeArgs(offset, data)));
+  }
+  Future<int64_t> Size() const {
+    return rpc::DecodeReply<int64_t>(Call(kFileMethodSize, {}));
+  }
+};
+
+class FileSystemContextProxy : public naming::NamingContextProxy {
+ public:
+  using NamingContextProxy::NamingContextProxy;
+  Future<wire::ObjectRef> CreateFile(const naming::Name& name,
+                                     const wire::Bytes& initial) const {
+    return rpc::DecodeReply<wire::ObjectRef>(
+        Call(kFscMethodCreateFile, rpc::EncodeArgs(name, initial)));
+  }
+};
+
+class FileService {
+ public:
+  // `backing` (optional) persists the tree across restarts.
+  FileService(rpc::ObjectRuntime& runtime, db::Disk* backing = nullptr,
+              Metrics* metrics = nullptr);
+  ~FileService();
+
+  FileService(const FileService&) = delete;
+  FileService& operator=(const FileService&) = delete;
+
+  // The root FileSystemContext — bind this into the cluster name space.
+  wire::ObjectRef root_ref() const { return root_ref_; }
+
+  // Local (non-RPC) manipulation for provisioning and tests.
+  Status MakeDirectory(const std::string& path);
+  Status CreateFile(const std::string& path, wire::Bytes contents);
+  Result<wire::Bytes> ReadWholeFile(const std::string& path) const;
+  size_t file_count() const;
+
+ private:
+  struct FsNode;
+  class DirSkeleton;
+  class FileSkeleton;
+
+  FsNode* WalkDir(const std::vector<std::string>& path, bool create) const;
+  void ExportTree(FsNode* node);
+  void Persist();
+  void Load();
+  static void EncodeNode(wire::Writer& w, const FsNode& node);
+  static bool DecodeNode(wire::Reader& r, FsNode* node, int depth);
+
+  rpc::ObjectRuntime& runtime_;
+  db::Disk* backing_;
+  Metrics* metrics_;
+  std::unique_ptr<FsNode> root_;
+  wire::ObjectRef root_ref_;
+};
+
+}  // namespace itv::files
+
+#endif  // SRC_FILES_FILE_SERVICE_H_

@@ -1,0 +1,248 @@
+#include "src/media/factories.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/media/cmgr.h"
+
+namespace itv::media {
+
+namespace {
+
+// Starts a PrimaryBinder after making sure the parent contexts exist.
+void BindAfterEnsure(const svc::ServiceContext& ctx, const std::string& path,
+                     const wire::ObjectRef& ref) {
+  std::string parent;
+  auto components = SplitPath(path);
+  for (size_t i = 0; i + 1 < components.size(); ++i) {
+    if (i > 0) {
+      parent += '/';
+    }
+    parent += components[i];
+  }
+  // `ctx` is copied: the factory's context argument dies when the launcher
+  // returns, but these continuations run later on the process executor.
+  auto start_binder = [ctx, path, ref] {
+    auto* binder = ctx.process.Emplace<naming::PrimaryBinder>(
+        ctx.process.executor(), ctx.MakeNameClient(), path, ref,
+        ctx.harness.options().binder);
+    binder->Start();
+  };
+  if (parent.empty()) {
+    start_binder();
+    return;
+  }
+  naming::EnsureContextPath(ctx.process.executor(), ctx.MakeNameClient(), parent,
+                            [start_binder](Status s) {
+                              if (s.ok()) {
+                                start_binder();
+                              } else {
+                                ITV_LOG(Error)
+                                    << "media: context creation failed: " << s;
+                              }
+                            });
+}
+
+size_t ServerIndexOf(svc::ClusterHarness& harness, uint32_t host) {
+  for (size_t i = 0; i < harness.server_count(); ++i) {
+    if (harness.HostOf(i) == host) {
+      return i;
+    }
+  }
+  ITV_LOG(Fatal) << "not a server host: " << host;
+  return 0;
+}
+
+}  // namespace
+
+std::vector<MovieSpec> SyntheticCatalog(size_t count, size_t server_count,
+                                        size_t replicas, int64_t bitrate_bps,
+                                        int64_t minutes) {
+  std::vector<MovieSpec> catalog;
+  catalog.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    MovieSpec spec;
+    spec.info.title = "movie-" + std::to_string(i);
+    spec.info.bitrate_bps = bitrate_bps;
+    spec.info.size_bytes = bitrate_bps / 8 * minutes * 60;
+    for (size_t r = 0; r < replicas && r < server_count; ++r) {
+      spec.server_indexes.push_back((i + r) % server_count);
+    }
+    catalog.push_back(std::move(spec));
+  }
+  return catalog;
+}
+
+void RegisterMediaServices(svc::ClusterHarness& harness,
+                           const MediaDeployment& deployment) {
+  ITV_CHECK(!harness.booted());
+  const size_t servers = harness.server_count();
+  const uint8_t neighborhoods = harness.options().neighborhood_count;
+
+  // --- MDS: one per server, library filtered by placement ----------------------
+  harness.RegisterServiceType("mdsd", [deployment](
+                                          const svc::ServiceContext& ctx) {
+    size_t index = ServerIndexOf(ctx.harness, ctx.process.host());
+    std::vector<MovieInfo> library;
+    for (const MovieSpec& spec : deployment.movies) {
+      for (size_t server_index : spec.server_indexes) {
+        if (server_index == index) {
+          library.push_back(spec.info);
+          break;
+        }
+      }
+    }
+    MdsService::Options opts;
+    opts.capacity_bps = deployment.mds_capacity_bps;
+    opts.chunk_period = deployment.mds_chunk_period;
+    auto* mds = ctx.process.Emplace<MdsService>(
+        ctx.process.runtime(), ctx.process.executor(), std::move(library), opts,
+        ctx.metrics);
+    wire::ObjectRef ref = mds->Export();
+    ctx.NotifyReady({ref});
+    BindAfterEnsure(ctx, "svc/mds/" + std::to_string(index + 1), ref);
+  });
+
+  // --- Trunk replicas -----------------------------------------------------------
+  harness.RegisterServiceType("trunkd", [deployment](
+                                            const svc::ServiceContext& ctx) {
+    auto* trunk = ctx.process.Emplace<TrunkService>(
+        deployment.trunk_capacity_bps, ctx.metrics);
+    wire::ObjectRef ref = ctx.process.runtime().Export(trunk);
+    ctx.NotifyReady({ref});
+    BindAfterEnsure(ctx, TrunkName(ctx.process.host()), ref);
+  });
+
+  // --- Connection managers per neighborhood --------------------------------------
+  for (uint8_t nb = 1; nb <= neighborhoods; ++nb) {
+    harness.RegisterServiceType(
+        "cmgrd-" + std::to_string(nb),
+        [nb](const svc::ServiceContext& ctx) {
+          CmgrService::Options opts;
+          opts.neighborhood = nb;
+          opts.binder = ctx.harness.options().binder;
+          auto* cmgr = ctx.process.Emplace<CmgrService>(
+              ctx.process.runtime(), ctx.process.executor(),
+              ctx.MakeNameClient(), opts, ctx.metrics);
+          naming::EnsureContextPath(
+              ctx.process.executor(), ctx.MakeNameClient(),
+              CmgrStandbyContext(nb), [cmgr, ctx](Status s) {
+                if (!s.ok()) {
+                  ITV_LOG(Error) << "cmgr: context creation failed: " << s;
+                  return;
+                }
+                cmgr->Start();
+                ctx.NotifyReady({cmgr->ref()});
+              });
+        });
+  }
+
+  // --- RDS per neighborhood -------------------------------------------------------
+  for (uint8_t nb = 1; nb <= neighborhoods; ++nb) {
+    harness.RegisterServiceType(
+        "rdsd-" + std::to_string(nb),
+        [nb, deployment](const svc::ServiceContext& ctx) {
+          RdsService::Options opts;
+          opts.max_transfer_bps = deployment.rds_max_transfer_bps;
+          auto* rds = ctx.process.Emplace<RdsService>(
+              ctx.process.runtime(), ctx.process.executor(),
+              ctx.MakeNameClient(), deployment.rds_items, opts, ctx.metrics);
+          wire::ObjectRef ref = rds->Export();
+          ctx.NotifyReady({ref});
+          BindAfterEnsure(ctx, "svc/rds/" + std::to_string(nb), ref);
+        });
+  }
+
+  // --- MMS --------------------------------------------------------------------------
+  harness.RegisterServiceType("mmsd", [deployment](
+                                          const svc::ServiceContext& ctx) {
+    MmsService::Options opts = deployment.mms;
+    opts.binder = ctx.harness.options().binder;
+    auto* mms = ctx.process.Emplace<MmsService>(
+        ctx.process.runtime(), ctx.process.executor(), ctx.MakeNameClient(),
+        opts, ctx.metrics);
+    mms->Start();
+    ctx.NotifyReady({mms->ref()});
+  });
+
+  // --- Kernel broadcast (primary/backup source of the settop kernel) -------------
+  harness.RegisterServiceType("kernelcastd", [deployment](
+                                                 const svc::ServiceContext& ctx) {
+    KernelInfo info;
+    info.version = 1;
+    info.size_bytes = deployment.kernel_size_bytes;
+    auto* kernelcast = ctx.process.Emplace<KernelBroadcastService>(info);
+    wire::ObjectRef ref = ctx.process.runtime().Export(kernelcast);
+    ctx.NotifyReady({ref});
+    auto* binder = ctx.process.Emplace<naming::PrimaryBinder>(
+        ctx.process.executor(), ctx.MakeNameClient(),
+        std::string(kKernelCastName), ref, ctx.harness.options().binder);
+    binder->Start();
+  });
+
+  // --- Boot broadcast ------------------------------------------------------------------
+  harness.RegisterServiceType("bootd", [deployment](
+                                           const svc::ServiceContext& ctx) {
+    BootParams params;
+    params.ns_host = ctx.ns_host;
+    params.kernel_version = 1;
+    params.kernel_size_bytes = deployment.kernel_size_bytes;
+    params.boot_channel_bps = deployment.boot_channel_bps;
+    auto* boot = ctx.process.Emplace<BootBroadcastService>(params);
+    wire::ObjectRef ref = ctx.process.runtime().ExportAt(boot, 1);
+    ctx.NotifyReady({ref});
+
+    // The boot channel refreshes its advertised kernel from the Kernel
+    // Broadcast Service, so operator-published kernels roll out everywhere.
+    auto* kernelcast = ctx.process.Emplace<rpc::Rebinder>(
+        ctx.process.executor(),
+        ctx.MakeNameClient().ResolveFnFor(std::string(kKernelCastName)));
+    auto* refresh = ctx.process.Emplace<PeriodicTimer>();
+    rpc::ObjectRuntime* runtime = &ctx.process.runtime();
+    refresh->Start(ctx.process.executor(), Duration::Seconds(10),
+                   [kernelcast, runtime, boot] {
+                     kernelcast->Call<KernelInfo>(
+                         [runtime](const wire::ObjectRef& ref) {
+                           return KernelBroadcastProxy(*runtime, ref)
+                               .GetKernelInfo();
+                         },
+                         [boot](Result<KernelInfo> info) {
+                           if (!info.ok()) {
+                             return;
+                           }
+                           BootParams params = boot->params();
+                           params.kernel_version = info->version;
+                           params.kernel_size_bytes = info->size_bytes;
+                           boot->set_params(params);
+                         });
+                   });
+  });
+
+  harness.SetWellKnownPort("bootd", kBootBroadcastPort);
+
+  // --- Placement (the CSC's database configuration) -----------------------------------
+  for (size_t i = 0; i < servers; ++i) {
+    harness.AssignService("mdsd", harness.HostOf(i));
+    harness.AssignService("trunkd", harness.HostOf(i));
+    harness.AssignService("bootd", harness.HostOf(i));
+  }
+  for (uint8_t nb = 1; nb <= neighborhoods; ++nb) {
+    uint32_t home = harness.ServerHostForNeighborhood(nb);
+    size_t home_index = ServerIndexOf(harness, home);
+    harness.AssignService("rdsd-" + std::to_string(nb), home);
+    // Primary candidate on the neighborhood's server, standby on the next.
+    harness.AssignService("cmgrd-" + std::to_string(nb), home);
+    if (servers > 1) {
+      harness.AssignService("cmgrd-" + std::to_string(nb),
+                            harness.HostOf((home_index + 1) % servers));
+    }
+  }
+  harness.AssignService("mmsd", harness.HostOf(0));
+  harness.AssignService("kernelcastd", harness.HostOf(0));
+  if (servers > 1) {
+    harness.AssignService("mmsd", harness.HostOf(1));
+    harness.AssignService("kernelcastd", harness.HostOf(1));
+  }
+}
+
+}  // namespace itv::media

@@ -1,0 +1,62 @@
+// Registers the media stack's service types with a ClusterHarness and writes
+// their placement into the cluster configuration database, mirroring the
+// Orlando deployment shape (paper Sections 3.1, 8.1):
+//
+//   mdsd          one replica per server ("there is no reason to restart its
+//                 MDS replica on another server"), movies placed per server
+//   rdsd-<nb>     per-neighborhood replica assigned to that neighborhood's
+//                 server, published under svc/rds/<nb>
+//   cmgrd-<nb>    per-neighborhood Connection Manager: one primary + one
+//                 standby on the next server
+//   trunkd        per-server trunk capacity replica
+//   mmsd          primary/backup on the first two servers
+//   bootd         boot/kernel broadcast per server
+
+#ifndef SRC_MEDIA_FACTORIES_H_
+#define SRC_MEDIA_FACTORIES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/media/broadcast.h"
+#include "src/media/mds.h"
+#include "src/media/mms.h"
+#include "src/media/rds.h"
+#include "src/svc/harness.h"
+
+namespace itv::media {
+
+struct MovieSpec {
+  MovieInfo info;
+  std::vector<size_t> server_indexes;  // Replica placement.
+};
+
+struct MediaDeployment {
+  std::vector<MovieSpec> movies;
+  std::vector<DataItem> rds_items;  // Served by every RDS replica.
+
+  int64_t mds_capacity_bps = 48'000'000;
+  int64_t trunk_capacity_bps = 200'000'000;
+  int64_t rds_max_transfer_bps = 8'000'000;  // ~1 MByte/s (Section 9.3).
+  int64_t kernel_size_bytes = 2'000'000;
+  int64_t boot_channel_bps = 8'000'000;
+
+  MmsService::Options mms;
+  Duration mds_chunk_period = Duration::Millis(500);
+};
+
+// Must be called before harness.Boot().
+void RegisterMediaServices(svc::ClusterHarness& harness,
+                           const MediaDeployment& deployment);
+
+// Convenience for workload generators: a catalog of `count` synthetic movies
+// ("movie-0".."movie-N"), `bitrate` CBR, `minutes` long, each replicated on
+// `replicas` servers chosen round-robin.
+std::vector<MovieSpec> SyntheticCatalog(size_t count, size_t server_count,
+                                        size_t replicas,
+                                        int64_t bitrate_bps = 3'000'000,
+                                        int64_t minutes = 90);
+
+}  // namespace itv::media
+
+#endif  // SRC_MEDIA_FACTORIES_H_

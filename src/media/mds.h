@@ -1,0 +1,192 @@
+// Media Delivery Service (paper Section 3.3): "delivers constant bit rate
+// data (e.g. MPEG video) to settops". One replica per server, each serving
+// the movies present on its local disk; the MMS picks a replica per open.
+//
+// The MDS is the system's only service that dynamically creates objects
+// (Section 9.2): every open mints a Movie object, which the settop drives
+// directly (play/pause/position). Delivery is simulated as periodic OnData
+// invocations on the settop's MediaSink at the movie's bitrate — the paper's
+// evaluation depends on placement, admission and failure behaviour, not on
+// actual MPEG bytes (see DESIGN.md substitutions).
+
+#ifndef SRC_MEDIA_MDS_H_
+#define SRC_MEDIA_MDS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/executor.h"
+#include "src/common/metrics.h"
+#include "src/media/types.h"
+#include "src/rpc/runtime.h"
+
+namespace itv::media {
+
+inline constexpr std::string_view kMdsInterface = "itv.MediaDelivery";
+inline constexpr std::string_view kMovieInterface = "itv.Movie";
+
+enum MdsMethod : uint32_t {
+  kMdsMethodOpen = 1,
+  kMdsMethodGetInventory = 2,
+  kMdsMethodGetLoad = 3,
+  kMdsMethodListSessions = 4,
+  kMdsMethodClose = 5,
+};
+
+enum MovieMethod : uint32_t {
+  kMovieMethodPlay = 1,   // (from_position_bytes)
+  kMovieMethodPause = 2,
+  kMovieMethodPosition = 3,
+};
+
+struct MdsLoad {
+  uint32_t active_streams = 0;
+  int64_t reserved_bps = 0;
+  int64_t capacity_bps = 0;
+
+  friend bool operator==(const MdsLoad&, const MdsLoad&) = default;
+};
+
+inline void WireWrite(wire::Writer& w, const MdsLoad& l) {
+  w.WriteU32(l.active_streams);
+  w.WriteI64(l.reserved_bps);
+  w.WriteI64(l.capacity_bps);
+}
+inline void WireRead(wire::Reader& r, MdsLoad* l) {
+  l->active_streams = r.ReadU32();
+  l->reserved_bps = r.ReadI64();
+  l->capacity_bps = r.ReadI64();
+}
+
+struct MovieTicket {
+  uint64_t stream_id = 0;
+  wire::ObjectRef movie;
+
+  friend bool operator==(const MovieTicket&, const MovieTicket&) = default;
+};
+
+inline void WireWrite(wire::Writer& w, const MovieTicket& t) {
+  w.WriteU64(t.stream_id);
+  WireWrite(w, t.movie);
+}
+inline void WireRead(wire::Reader& r, MovieTicket* t) {
+  t->stream_id = r.ReadU64();
+  WireRead(r, &t->movie);
+}
+
+struct SessionInfo {
+  uint64_t stream_id = 0;
+  std::string title;
+  uint32_t settop_host = 0;
+  ConnectionGrant connection;
+  wire::ObjectRef movie;
+};
+
+inline void WireWrite(wire::Writer& w, const SessionInfo& s) {
+  w.WriteU64(s.stream_id);
+  w.WriteString(s.title);
+  w.WriteU32(s.settop_host);
+  WireWrite(w, s.connection);
+  WireWrite(w, s.movie);
+}
+inline void WireRead(wire::Reader& r, SessionInfo* s) {
+  s->stream_id = r.ReadU64();
+  s->title = r.ReadString();
+  s->settop_host = r.ReadU32();
+  WireRead(r, &s->connection);
+  WireRead(r, &s->movie);
+}
+
+class MdsProxy : public rpc::Proxy {
+ public:
+  using Proxy::Proxy;
+  Future<MovieTicket> Open(const std::string& title, uint32_t settop_host,
+                           const ConnectionGrant& connection,
+                           const wire::ObjectRef& sink) const {
+    return rpc::DecodeReply<MovieTicket>(Call(
+        kMdsMethodOpen, rpc::EncodeArgs(title, settop_host, connection, sink)));
+  }
+  Future<std::vector<MovieInfo>> GetInventory() const {
+    return rpc::DecodeReply<std::vector<MovieInfo>>(
+        Call(kMdsMethodGetInventory, {}));
+  }
+  Future<MdsLoad> GetLoad() const {
+    return rpc::DecodeReply<MdsLoad>(Call(kMdsMethodGetLoad, {}));
+  }
+  Future<std::vector<SessionInfo>> ListSessions() const {
+    return rpc::DecodeReply<std::vector<SessionInfo>>(
+        Call(kMdsMethodListSessions, {}));
+  }
+  Future<void> Close(uint64_t stream_id) const {
+    return rpc::DecodeEmptyReply(Call(kMdsMethodClose, rpc::EncodeArgs(stream_id)));
+  }
+};
+
+class MovieProxy : public rpc::Proxy {
+ public:
+  using Proxy::Proxy;
+  Future<void> Play(int64_t from_position_bytes = 0) const {
+    return rpc::DecodeEmptyReply(
+        Call(kMovieMethodPlay, rpc::EncodeArgs(from_position_bytes)));
+  }
+  Future<void> Pause() const {
+    return rpc::DecodeEmptyReply(Call(kMovieMethodPause, {}));
+  }
+  Future<int64_t> Position() const {
+    return rpc::DecodeReply<int64_t>(Call(kMovieMethodPosition, {}));
+  }
+};
+
+class MdsService : public rpc::Skeleton {
+ public:
+  struct Options {
+    // Total streaming capacity of this server's disks+NIC. 48 Mb/s = sixteen
+    // 3 Mb/s MPEG streams.
+    int64_t capacity_bps = 48'000'000;
+    // OnData cadence while a movie plays.
+    Duration chunk_period = Duration::Millis(500);
+  };
+
+  MdsService(rpc::ObjectRuntime& runtime, Executor& executor,
+             std::vector<MovieInfo> library, Options options,
+             Metrics* metrics = nullptr);
+  ~MdsService();
+
+  std::string_view interface_name() const override { return kMdsInterface; }
+  void Dispatch(uint32_t method_id, const wire::Bytes& args,
+                const rpc::CallContext& ctx, rpc::ReplyFn reply) override;
+
+  wire::ObjectRef Export() { return ref_ = runtime_.Export(this); }
+  wire::ObjectRef ref() const { return ref_; }
+
+  size_t active_streams() const { return sessions_.size(); }
+  int64_t reserved_bps() const { return reserved_bps_; }
+  const std::vector<MovieInfo>& library() const { return library_; }
+
+ private:
+  class MovieObject;
+
+  Result<MovieTicket> HandleOpen(const std::string& title, uint32_t settop_host,
+                                 const ConnectionGrant& connection,
+                                 const wire::ObjectRef& sink);
+  void HandleClose(uint64_t stream_id);
+  const MovieInfo* FindMovie(const std::string& title) const;
+  void Count(std::string_view name);
+
+  rpc::ObjectRuntime& runtime_;
+  Executor& executor_;
+  std::vector<MovieInfo> library_;
+  Options options_;
+  Metrics* metrics_;
+  wire::ObjectRef ref_;
+
+  uint64_t next_stream_id_;
+  int64_t reserved_bps_ = 0;
+  std::map<uint64_t, std::unique_ptr<MovieObject>> sessions_;
+};
+
+}  // namespace itv::media
+
+#endif  // SRC_MEDIA_MDS_H_

@@ -1,0 +1,440 @@
+#include "src/media/mms.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/address.h"
+#include "src/common/logging.h"
+
+namespace itv::media {
+
+MmsService::MmsService(rpc::ObjectRuntime& runtime, Executor& executor,
+                       naming::NameClient name_client, Options options,
+                       Metrics* metrics)
+    : runtime_(runtime),
+      executor_(executor),
+      name_client_(std::move(name_client)),
+      options_(options),
+      metrics_(metrics),
+      next_session_id_(runtime.incarnation() << 20) {}
+
+MmsService::~MmsService() = default;
+
+void MmsService::Start() {
+  ref_ = runtime_.Export(this);
+  ras::AuditClient::Options audit_opts;
+  audit_opts.poll_interval = options_.ras_poll_interval;
+  audit_opts.rpc_timeout = options_.rpc_timeout;
+  audit_ = std::make_unique<ras::AuditClient>(
+      runtime_, executor_, ras::RasRefAt(runtime_.local_endpoint().host),
+      audit_opts);
+
+  RefreshMdsDirectory();
+  refresh_timer_.Start(executor_, options_.mds_refresh_interval,
+                       [this] { RefreshMdsDirectory(); });
+
+  binder_ = std::make_unique<naming::PrimaryBinder>(
+      executor_, name_client_, std::string(kMmsName), ref_, options_.binder);
+  binder_->Start([this] {
+    ITV_LOG(Info) << "mms@" << runtime_.local_endpoint().ToString()
+                  << ": became primary";
+    Count("mms.became_primary");
+    RebuildStateFromMds();
+  });
+}
+
+// --- MDS directory -------------------------------------------------------------
+
+void MmsService::RefreshMdsDirectory() {
+  name_client_.ListRepl("svc/mds").OnReady(
+      [this](const Result<naming::BindingList>& r) {
+        if (!r.ok()) {
+          return;
+        }
+        for (const naming::Binding& binding : *r) {
+          if (binding.kind != naming::BindingKind::kObject) {
+            continue;
+          }
+          MdsReplica& replica = mds_[binding.name];
+          replica.name = binding.name;
+          if (replica.ref != binding.ref) {
+            // New incarnation bound (restart): probe it afresh.
+            replica.ref = binding.ref;
+            replica.alive = false;
+          }
+          ProbeReplica(binding.name, binding.ref);
+        }
+      });
+}
+
+void MmsService::ProbeReplica(const std::string& name,
+                              const wire::ObjectRef& ref) {
+  MdsProxy mds(runtime_, ref);
+  rpc::CallOptions opts;
+  opts.timeout = options_.rpc_timeout;
+  mds.GetInventory().OnReady([this, name,
+                              ref](const Result<std::vector<MovieInfo>>& inv) {
+    auto it = mds_.find(name);
+    if (it == mds_.end() || it->second.ref != ref) {
+      return;
+    }
+    if (!inv.ok()) {
+      it->second.alive = false;
+      return;
+    }
+    it->second.titles.clear();
+    for (const MovieInfo& movie : *inv) {
+      it->second.titles[movie.title] = movie;
+    }
+    MdsProxy mds(runtime_, ref);
+    mds.GetLoad().OnReady([this, name, ref](const Result<MdsLoad>& load) {
+      auto iter = mds_.find(name);
+      if (iter == mds_.end() || iter->second.ref != ref) {
+        return;
+      }
+      if (!load.ok()) {
+        iter->second.alive = false;
+        return;
+      }
+      iter->second.load = *load;
+      iter->second.alive = true;
+    });
+  });
+}
+
+std::vector<MmsService::MdsReplica*> MmsService::CandidatesFor(
+    const std::string& title, bool* saw_title) {
+  std::vector<MdsReplica*> candidates;
+  for (auto& [name, replica] : mds_) {
+    if (!replica.alive) {
+      continue;
+    }
+    auto movie = replica.titles.find(title);
+    if (movie == replica.titles.end()) {
+      continue;
+    }
+    if (saw_title != nullptr) {
+      *saw_title = true;
+    }
+    if (replica.load.reserved_bps + movie->second.bitrate_bps >
+        replica.load.capacity_bps) {
+      continue;  // No disk/NIC bandwidth left on that server.
+    }
+    candidates.push_back(&replica);
+  }
+  // "based on... the current loads at servers": least reserved first.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const MdsReplica* a, const MdsReplica* b) {
+              return a->load.reserved_bps < b->load.reserved_bps;
+            });
+  return candidates;
+}
+
+// --- Open ------------------------------------------------------------------------
+
+rpc::Rebinder& MmsService::CmgrFor(uint8_t neighborhood) {
+  auto it = cmgrs_.find(neighborhood);
+  if (it == cmgrs_.end()) {
+    rpc::Rebinder::Options opts;
+    opts.max_attempts = 2;
+    it = cmgrs_
+             .emplace(neighborhood,
+                      std::make_unique<rpc::Rebinder>(
+                          executor_,
+                          name_client_.ResolveFnFor(CmgrName(neighborhood)),
+                          opts))
+             .first;
+  }
+  return *it->second;
+}
+
+void MmsService::HandleOpen(const std::string& title, uint32_t settop_host,
+                            const wire::ObjectRef& sink, rpc::ReplyFn reply) {
+  Count("mms.open");
+  if (!IsSettopHost(settop_host)) {
+    return rpc::ReplyError(reply,
+                           InvalidArgumentError("open requires a settop host"));
+  }
+  bool saw_title = false;
+  std::vector<MdsReplica*> candidates = CandidatesFor(title, &saw_title);
+  if (candidates.empty()) {
+    Count("mms.open_no_replica");
+    if (saw_title) {
+      // The movie exists but every replica holding it is out of streaming
+      // capacity: an admission failure, not a catalog miss.
+      return rpc::ReplyError(reply, ResourceExhaustedError(
+                                        "all replicas of " + title + " are full"));
+    }
+    return rpc::ReplyError(
+        reply, NotFoundError("no live MDS replica can serve " + title));
+  }
+  TryOpenOn(std::move(candidates), 0, title, settop_host, sink, std::move(reply));
+}
+
+void MmsService::TryOpenOn(std::vector<MdsReplica*> candidates, size_t index,
+                           const std::string& title, uint32_t settop_host,
+                           const wire::ObjectRef& sink, rpc::ReplyFn reply) {
+  if (index >= candidates.size()) {
+    Count("mms.open_exhausted");
+    return rpc::ReplyError(
+        reply, UnavailableError("all candidate MDS replicas failed for " + title));
+  }
+  MdsReplica* replica = candidates[index];
+  int64_t bitrate_bps = replica->titles[title].bitrate_bps;
+  uint32_t mds_host = replica->ref.endpoint.host;
+  uint8_t neighborhood = NeighborhoodOfHost(settop_host);
+
+  // Step 4: allocate the high-bandwidth connection for the chosen server.
+  CmgrFor(neighborhood)
+      .Call<ConnectionGrant>(
+          [this, mds_host, settop_host, bitrate_bps](const wire::ObjectRef& cmgr) {
+            return CmgrProxy(runtime_, cmgr)
+                .Allocate(settop_host, mds_host, bitrate_bps,
+                          /*allow_partial=*/false);
+          },
+          [this, candidates = std::move(candidates), index, title, settop_host,
+           sink, reply, replica](Result<ConnectionGrant> grant) mutable {
+            if (!grant.ok()) {
+              Count("mms.cmgr_denied");
+              return rpc::ReplyError(reply, grant.status());
+            }
+            FinishOpen(replica, title, settop_host, sink, *grant,
+                       std::move(candidates), index, std::move(reply));
+          });
+}
+
+void MmsService::FinishOpen(MdsReplica* replica, const std::string& title,
+                            uint32_t settop_host, const wire::ObjectRef& sink,
+                            const ConnectionGrant& grant,
+                            std::vector<MdsReplica*> candidates, size_t index,
+                            rpc::ReplyFn reply) {
+  // Step 6: open the movie on the chosen MDS replica.
+  MdsProxy mds(runtime_, replica->ref);
+  rpc::CallOptions opts;
+  opts.timeout = options_.rpc_timeout;
+  std::string mds_name = replica->name;
+  wire::ObjectRef mds_ref = replica->ref;
+  mds.Open(title, settop_host, grant, sink)
+      .OnReady([this, mds_name, mds_ref, title, settop_host, sink, grant,
+                candidates = std::move(candidates), index,
+                reply](const Result<MovieTicket>& ticket) mutable {
+        if (!ticket.ok()) {
+          // Release the connection and handle the replica failure per
+          // Section 3.5.2: rebindable errors mark the replica dead and the
+          // next candidate is tried.
+          uint8_t neighborhood = NeighborhoodOfHost(settop_host);
+          CmgrFor(neighborhood)
+              .Call<void>(
+                  [this, grant](const wire::ObjectRef& cmgr) {
+                    return CmgrProxy(runtime_, cmgr).Release(grant.connection_id);
+                  },
+                  [](Result<void>) {});
+          if (rpc::IsRebindable(ticket.status())) {
+            auto it = mds_.find(mds_name);
+            if (it != mds_.end() && it->second.ref == mds_ref) {
+              it->second.alive = false;
+              Count("mms.mds_marked_dead");
+            }
+            return TryOpenOn(std::move(candidates), index + 1, title,
+                             settop_host, sink, std::move(reply));
+          }
+          return rpc::ReplyError(reply, ticket.status());
+        }
+
+        Session session;
+        session.session_id = ++next_session_id_;
+        session.title = title;
+        session.settop_host = settop_host;
+        session.mds_name = mds_name;
+        session.mds_ref = mds_ref;
+        session.stream_id = ticket->stream_id;
+        session.movie = ticket->movie;
+        session.connection = grant;
+        // Step 9-10: watch the settop through the RAS; reclaim on death.
+        session.watch = audit_->Watch(
+            ras::EntityId::Settop(settop_host),
+            [this, settop_host](const ras::EntityId&) { OnSettopDead(settop_host); });
+        uint64_t session_id = session.session_id;
+        // Optimistically bump the cached load so rapid-fire opens spread.
+        auto it = mds_.find(mds_name);
+        if (it != mds_.end()) {
+          auto movie = it->second.titles.find(title);
+          if (movie != it->second.titles.end()) {
+            it->second.load.reserved_bps += movie->second.bitrate_bps;
+            it->second.load.active_streams += 1;
+          }
+        }
+        sessions_[session_id] = std::move(session);
+        Count("mms.open_ok");
+
+        MmsTicket out;
+        out.session_id = session_id;
+        out.stream_id = ticket->stream_id;
+        out.movie = ticket->movie;
+        out.mds_host = mds_ref.endpoint.host;
+        rpc::ReplyWith(reply, out);
+      });
+}
+
+// --- Close / reclamation -----------------------------------------------------------
+
+void MmsService::HandleClose(const wire::ObjectRef& movie, rpc::ReplyFn reply) {
+  for (const auto& [id, session] : sessions_) {
+    if (session.movie == movie) {
+      ReclaimSession(id, /*tell_mds=*/true);
+      Count("mms.close");
+      return rpc::ReplyOk(reply);
+    }
+  }
+  return rpc::ReplyError(reply, NotFoundError("unknown movie session"));
+}
+
+void MmsService::ReclaimSession(uint64_t session_id, bool tell_mds) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return;
+  }
+  Session session = std::move(it->second);
+  sessions_.erase(it);
+  audit_->Unwatch(session.watch);
+
+  if (tell_mds) {
+    // "it tells the MDS to deallocate movie resources" (Section 3.4.5).
+    MdsProxy mds(runtime_, session.mds_ref);
+    mds.Close(session.stream_id).OnReady([](const Result<void>&) {});
+  }
+  // "...and tells the connection manager to deallocate network bandwidth."
+  uint8_t neighborhood = NeighborhoodOfHost(session.settop_host);
+  uint64_t connection_id = session.connection.connection_id;
+  CmgrFor(neighborhood)
+      .Call<void>(
+          [this, connection_id](const wire::ObjectRef& cmgr) {
+            return CmgrProxy(runtime_, cmgr).Release(connection_id);
+          },
+          [](Result<void>) {});
+
+  // Reflect the freed load locally right away.
+  auto replica = mds_.find(session.mds_name);
+  if (replica != mds_.end()) {
+    auto movie = replica->second.titles.find(session.title);
+    if (movie != replica->second.titles.end() &&
+        replica->second.load.reserved_bps >= movie->second.bitrate_bps) {
+      replica->second.load.reserved_bps -= movie->second.bitrate_bps;
+      if (replica->second.load.active_streams > 0) {
+        replica->second.load.active_streams -= 1;
+      }
+    }
+  }
+}
+
+void MmsService::OnSettopDead(uint32_t settop_host) {
+  Count("mms.settop_reclaim");
+  ITV_LOG(Info) << "mms: settop " << settop_host
+                << " reported dead; reclaiming its sessions";
+  std::vector<uint64_t> doomed;
+  for (const auto& [id, session] : sessions_) {
+    if (session.settop_host == settop_host) {
+      doomed.push_back(id);
+    }
+  }
+  for (uint64_t id : doomed) {
+    ReclaimSession(id, /*tell_mds=*/true);
+  }
+}
+
+// --- Fail-over state rebuild ----------------------------------------------------
+
+void MmsService::RebuildStateFromMds() {
+  name_client_.ListRepl("svc/mds").OnReady(
+      [this](const Result<naming::BindingList>& r) {
+        if (!r.ok()) {
+          return;
+        }
+        for (const naming::Binding& binding : *r) {
+          if (binding.kind != naming::BindingKind::kObject) {
+            continue;
+          }
+          MdsProxy mds(runtime_, binding.ref);
+          std::string name = binding.name;
+          wire::ObjectRef ref = binding.ref;
+          mds.ListSessions().OnReady(
+              [this, name, ref](const Result<std::vector<SessionInfo>>& sessions) {
+                if (sessions.ok()) {
+                  AdoptSessions(name, ref, *sessions);
+                }
+              });
+        }
+      });
+}
+
+void MmsService::AdoptSessions(const std::string& mds_name,
+                               const wire::ObjectRef& mds_ref,
+                               const std::vector<SessionInfo>& sessions) {
+  for (const SessionInfo& info : sessions) {
+    bool known = false;
+    for (const auto& [id, session] : sessions_) {
+      if (session.stream_id == info.stream_id && session.mds_name == mds_name) {
+        known = true;
+        break;
+      }
+    }
+    if (known) {
+      continue;
+    }
+    Session session;
+    session.session_id = ++next_session_id_;
+    session.title = info.title;
+    session.settop_host = info.settop_host;
+    session.mds_name = mds_name;
+    session.mds_ref = mds_ref;
+    session.stream_id = info.stream_id;
+    session.movie = info.movie;
+    session.connection = info.connection;
+    session.watch = audit_->Watch(
+        ras::EntityId::Settop(info.settop_host),
+        [this, host = info.settop_host](const ras::EntityId&) {
+          OnSettopDead(host);
+        });
+    sessions_[session.session_id] = std::move(session);
+    Count("mms.session_adopted");
+  }
+}
+
+// --- Dispatch ---------------------------------------------------------------------
+
+void MmsService::Dispatch(uint32_t method_id, const wire::Bytes& args,
+                          const rpc::CallContext& ctx, rpc::ReplyFn reply) {
+  switch (method_id) {
+    case kMmsMethodOpen: {
+      std::string title;
+      uint32_t settop_host = 0;
+      wire::ObjectRef sink;
+      if (!rpc::DecodeArgs(args, &title, &settop_host, &sink)) {
+        return rpc::ReplyBadArgs(reply);
+      }
+      if (settop_host == 0) {
+        settop_host = ctx.caller_endpoint.host;
+      }
+      return HandleOpen(title, settop_host, sink, std::move(reply));
+    }
+    case kMmsMethodClose: {
+      wire::ObjectRef movie;
+      if (!rpc::DecodeArgs(args, &movie)) {
+        return rpc::ReplyBadArgs(reply);
+      }
+      return HandleClose(movie, std::move(reply));
+    }
+    case kMmsMethodListSessions:
+      return rpc::ReplyWith(reply, static_cast<uint32_t>(sessions_.size()));
+    default:
+      return rpc::ReplyBadMethod(reply, method_id);
+  }
+}
+
+void MmsService::Count(std::string_view name) {
+  if (metrics_ != nullptr) {
+    metrics_->Add(name);
+  }
+}
+
+}  // namespace itv::media

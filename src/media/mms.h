@@ -1,0 +1,189 @@
+// Media Management Service (paper Sections 3.3-3.5): the broker that opens
+// movies. For each open it (Figure 4):
+//
+//   3. resolves the Connection Manager for the settop's neighborhood,
+//   4. chooses an MDS replica "based on where the movie is available and the
+//      current loads at servers" and allocates a high-bandwidth connection,
+//   5-7. opens the movie on the chosen MDS and returns the movie object,
+//   9-10. polls the RAS about the settop and reclaims everything if it dies.
+//
+// Replication: primary/backup (Section 5.2) with NO replicated state — "the
+// volatile state of the MMS can be reconstructed by querying each MDS in the
+// cluster and by querying the Connection Manager" (Section 10.1.1); a newly
+// promoted primary does exactly that.
+//
+// MDS replica health (Section 3.5.2): "Once an attempt to open a movie from
+// an MDS replica fails, the MMS assumes that the replica is dead. The MMS
+// will periodically re-resolve and retry the MDS object reference."
+
+#ifndef SRC_MEDIA_MMS_H_
+#define SRC_MEDIA_MMS_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/executor.h"
+#include "src/common/metrics.h"
+#include "src/media/cmgr.h"
+#include "src/media/mds.h"
+#include "src/media/types.h"
+#include "src/naming/name_client.h"
+#include "src/ras/audit_client.h"
+
+namespace itv::media {
+
+inline constexpr std::string_view kMmsInterface = "itv.MediaManagement";
+inline constexpr std::string_view kMmsName = "svc/mms";
+
+enum MmsMethod : uint32_t {
+  kMmsMethodOpen = 1,
+  kMmsMethodClose = 2,
+  kMmsMethodListSessions = 3,
+};
+
+struct MmsTicket {
+  uint64_t session_id = 0;
+  uint64_t stream_id = 0;
+  wire::ObjectRef movie;
+  uint32_t mds_host = 0;
+
+  friend bool operator==(const MmsTicket&, const MmsTicket&) = default;
+};
+
+inline void WireWrite(wire::Writer& w, const MmsTicket& t) {
+  w.WriteU64(t.session_id);
+  w.WriteU64(t.stream_id);
+  WireWrite(w, t.movie);
+  w.WriteU32(t.mds_host);
+}
+inline void WireRead(wire::Reader& r, MmsTicket* t) {
+  t->session_id = r.ReadU64();
+  t->stream_id = r.ReadU64();
+  WireRead(r, &t->movie);
+  t->mds_host = r.ReadU32();
+}
+
+class MmsProxy : public rpc::Proxy {
+ public:
+  using Proxy::Proxy;
+  // `sink` is the settop's MediaSink object; `settop_host` defaults to the
+  // caller (servers opening on behalf of a settop pass it explicitly).
+  Future<MmsTicket> Open(const std::string& title, uint32_t settop_host,
+                         const wire::ObjectRef& sink) const {
+    return rpc::DecodeReply<MmsTicket>(
+        Call(kMmsMethodOpen, rpc::EncodeArgs(title, settop_host, sink)));
+  }
+  // Close is keyed by the movie object so it stays valid across an MMS
+  // fail-over (a promoted primary adopts sessions with fresh session ids,
+  // but the movie object lives in the MDS and is stable).
+  Future<void> Close(const wire::ObjectRef& movie) const {
+    return rpc::DecodeEmptyReply(Call(kMmsMethodClose, rpc::EncodeArgs(movie)));
+  }
+  Future<uint32_t> ListSessions() const {  // Returns the session count.
+    return rpc::DecodeReply<uint32_t>(Call(kMmsMethodListSessions, {}));
+  }
+};
+
+class MmsService : public rpc::Skeleton {
+ public:
+  struct Options {
+    Duration mds_refresh_interval = Duration::Seconds(5);
+    // Paper Figure 4 step 10 / Section 9.7: the MMS polls the RAS about
+    // settops that hold open movies.
+    Duration ras_poll_interval = Duration::Seconds(10);
+    Duration rpc_timeout = Duration::Seconds(2);
+    // Re-probe an MDS replica marked dead (Section 3.5.2).
+    Duration mds_retry_interval = Duration::Seconds(10);
+    naming::PrimaryBinder::Options binder;
+  };
+
+  MmsService(rpc::ObjectRuntime& runtime, Executor& executor,
+             naming::NameClient name_client, Options options,
+             Metrics* metrics = nullptr);
+  ~MmsService();
+
+  // Exports the MMS object, starts the MDS directory refresh, and competes
+  // for the primary binding; on promotion, rebuilds session state from the
+  // MDS replicas.
+  void Start();
+
+  bool is_primary() const { return binder_ && binder_->is_primary(); }
+  wire::ObjectRef ref() const { return ref_; }
+  size_t session_count() const { return sessions_.size(); }
+  size_t known_mds_count() const { return mds_.size(); }
+
+  std::string_view interface_name() const override { return kMmsInterface; }
+  void Dispatch(uint32_t method_id, const wire::Bytes& args,
+                const rpc::CallContext& ctx, rpc::ReplyFn reply) override;
+
+ private:
+  struct MdsReplica {
+    std::string name;  // Binding name under svc/mds.
+    wire::ObjectRef ref;
+    bool alive = false;
+    std::map<std::string, MovieInfo> titles;
+    MdsLoad load;
+  };
+
+  struct Session {
+    uint64_t session_id = 0;
+    std::string title;
+    uint32_t settop_host = 0;
+    std::string mds_name;
+    uint64_t stream_id = 0;
+    wire::ObjectRef movie;
+    wire::ObjectRef mds_ref;
+    ConnectionGrant connection;
+    ras::AuditClient::WatchId watch = 0;
+  };
+
+  void RefreshMdsDirectory();
+  void ProbeReplica(const std::string& name, const wire::ObjectRef& ref);
+  // Candidates able to serve `title` now, best (least loaded) first.
+  // `saw_title` (optional) reports whether any live replica holds the title
+  // at all (distinguishes catalog misses from capacity exhaustion).
+  std::vector<MdsReplica*> CandidatesFor(const std::string& title,
+                                         bool* saw_title = nullptr);
+
+  void HandleOpen(const std::string& title, uint32_t settop_host,
+                  const wire::ObjectRef& sink, rpc::ReplyFn reply);
+  void TryOpenOn(std::vector<MdsReplica*> candidates, size_t index,
+                 const std::string& title, uint32_t settop_host,
+                 const wire::ObjectRef& sink, rpc::ReplyFn reply);
+  void FinishOpen(MdsReplica* replica, const std::string& title,
+                  uint32_t settop_host, const wire::ObjectRef& sink,
+                  const ConnectionGrant& grant,
+                  std::vector<MdsReplica*> candidates, size_t index,
+                  rpc::ReplyFn reply);
+  void HandleClose(const wire::ObjectRef& movie, rpc::ReplyFn reply);
+  void ReclaimSession(uint64_t session_id, bool tell_mds);
+  void OnSettopDead(uint32_t settop_host);
+  void RebuildStateFromMds();
+  void AdoptSessions(const std::string& mds_name, const wire::ObjectRef& mds_ref,
+                     const std::vector<SessionInfo>& sessions);
+
+  rpc::Rebinder& CmgrFor(uint8_t neighborhood);
+  void Count(std::string_view name);
+
+  rpc::ObjectRuntime& runtime_;
+  Executor& executor_;
+  naming::NameClient name_client_;
+  Options options_;
+  Metrics* metrics_;
+
+  wire::ObjectRef ref_;
+  std::unique_ptr<naming::PrimaryBinder> binder_;
+  std::unique_ptr<ras::AuditClient> audit_;
+  std::map<std::string, MdsReplica> mds_;
+  std::map<uint64_t, Session> sessions_;
+  std::map<uint8_t, std::unique_ptr<rpc::Rebinder>> cmgrs_;
+  uint64_t next_session_id_;
+  PeriodicTimer refresh_timer_;
+};
+
+}  // namespace itv::media
+
+#endif  // SRC_MEDIA_MMS_H_

@@ -1,0 +1,158 @@
+// Reliable Delivery Service (paper Section 3.3): "downloads to the settop
+// such data as fonts, images, and binaries, using a variable bit rate
+// connection." Replicated per neighborhood behind svc/rds (Section 5.1's
+// running example).
+//
+// A download allocates whatever downstream bandwidth the settop has left
+// (allow_partial through the Connection Manager), transfers for
+// size/bandwidth simulated seconds, then completes through the caller's
+// DataSink object. This is what the paper's application start-up time
+// measurement (Section 9.3) exercises.
+
+#ifndef SRC_MEDIA_RDS_H_
+#define SRC_MEDIA_RDS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/executor.h"
+#include "src/common/metrics.h"
+#include "src/media/cmgr.h"
+#include "src/media/types.h"
+#include "src/naming/name_client.h"
+#include "src/rpc/rebinder.h"
+
+namespace itv::media {
+
+inline constexpr std::string_view kRdsInterface = "itv.ReliableDelivery";
+inline constexpr std::string_view kDataSinkInterface = "itv.DataSink";
+
+enum RdsMethod : uint32_t {
+  kRdsMethodOpenData = 1,
+  kRdsMethodListItems = 2,
+};
+
+enum DataSinkMethod : uint32_t {
+  kDataSinkMethodOnComplete = 1,
+};
+
+struct DataItem {
+  DataItem() = default;
+  DataItem(std::string name, int64_t size_bytes, wire::Bytes content = {})
+      : name(std::move(name)),
+        size_bytes(size_bytes),
+        content(std::move(content)) {}
+
+  std::string name;
+  int64_t size_bytes = 0;
+  // Actual bytes (fonts, images, channel lineups, ...). May be empty for
+  // synthetic items whose size alone matters (binaries in the benchmarks);
+  // when non-empty, size_bytes covers at least the content. Content is
+  // delivered via DataSink::onComplete after the transfer time elapses.
+  wire::Bytes content;
+
+  friend bool operator==(const DataItem&, const DataItem&) = default;
+};
+
+inline void WireWrite(wire::Writer& w, const DataItem& d) {
+  w.WriteString(d.name);
+  w.WriteI64(d.size_bytes);
+  w.WriteBytes(d.content);
+}
+inline void WireRead(wire::Reader& r, DataItem* d) {
+  d->name = r.ReadString();
+  d->size_bytes = r.ReadI64();
+  d->content = r.ReadBytes();
+}
+
+struct TransferTicket {
+  uint64_t transfer_id = 0;
+  int64_t size_bytes = 0;
+  int64_t granted_bps = 0;
+
+  friend bool operator==(const TransferTicket&, const TransferTicket&) = default;
+};
+
+inline void WireWrite(wire::Writer& w, const TransferTicket& t) {
+  w.WriteU64(t.transfer_id);
+  w.WriteI64(t.size_bytes);
+  w.WriteI64(t.granted_bps);
+}
+inline void WireRead(wire::Reader& r, TransferTicket* t) {
+  t->transfer_id = r.ReadU64();
+  t->size_bytes = r.ReadI64();
+  t->granted_bps = r.ReadI64();
+}
+
+class DataSinkProxy : public rpc::Proxy {
+ public:
+  using Proxy::Proxy;
+  Future<void> OnComplete(uint64_t transfer_id, const std::string& name,
+                          int64_t size_bytes, const wire::Bytes& content) const {
+    return rpc::DecodeEmptyReply(
+        Call(kDataSinkMethodOnComplete,
+             rpc::EncodeArgs(transfer_id, name, size_bytes, content)));
+  }
+};
+
+class RdsProxy : public rpc::Proxy {
+ public:
+  using Proxy::Proxy;
+  Future<TransferTicket> OpenData(const std::string& name,
+                                  const wire::ObjectRef& sink) const {
+    return rpc::DecodeReply<TransferTicket>(
+        Call(kRdsMethodOpenData, rpc::EncodeArgs(name, sink)));
+  }
+  Future<std::vector<DataItem>> ListItems() const {
+    return rpc::DecodeReply<std::vector<DataItem>>(Call(kRdsMethodListItems, {}));
+  }
+};
+
+class RdsService : public rpc::Skeleton {
+ public:
+  struct Options {
+    // Per-transfer rate cap (the trial's "download bandwidth of 1 MByte per
+    // second", Section 9.3).
+    int64_t max_transfer_bps = 8'000'000;
+    Duration rpc_timeout = Duration::Seconds(2);
+  };
+
+  RdsService(rpc::ObjectRuntime& runtime, Executor& executor,
+             naming::NameClient name_client, std::vector<DataItem> items,
+             Options options, Metrics* metrics = nullptr);
+
+  std::string_view interface_name() const override { return kRdsInterface; }
+  void Dispatch(uint32_t method_id, const wire::Bytes& args,
+                const rpc::CallContext& ctx, rpc::ReplyFn reply) override;
+
+  wire::ObjectRef Export() { return ref_ = runtime_.Export(this); }
+  wire::ObjectRef ref() const { return ref_; }
+  void AddItem(const DataItem& item) { items_[item.name] = item; }
+  uint64_t transfers_started() const { return transfers_started_; }
+
+ private:
+  void HandleOpenData(const std::string& name, const wire::ObjectRef& sink,
+                      uint32_t caller_host, rpc::ReplyFn reply);
+  void StartTransfer(const DataItem& item, const wire::ObjectRef& sink,
+                     uint32_t settop_host, const ConnectionGrant& grant,
+                     rpc::ReplyFn reply);
+  rpc::Rebinder& CmgrFor(uint8_t neighborhood);
+  void Count(std::string_view name);
+
+  rpc::ObjectRuntime& runtime_;
+  Executor& executor_;
+  naming::NameClient name_client_;
+  std::map<std::string, DataItem> items_;
+  Options options_;
+  Metrics* metrics_;
+  wire::ObjectRef ref_;
+  uint64_t next_transfer_id_;
+  uint64_t transfers_started_ = 0;
+  std::map<uint8_t, std::unique_ptr<rpc::Rebinder>> cmgrs_;
+};
+
+}  // namespace itv::media
+
+#endif  // SRC_MEDIA_RDS_H_

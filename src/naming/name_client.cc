@@ -1,0 +1,87 @@
+#include "src/naming/name_client.h"
+
+#include "src/common/logging.h"
+
+namespace itv::naming {
+
+namespace {
+
+void EnsureStep(Executor& executor, NameClient client, Name path, size_t depth,
+                std::function<void(Status)> done, Duration retry,
+                int attempts_left) {
+  if (depth == path.size()) {
+    done(OkStatus());
+    return;
+  }
+  Name prefix(path.begin(), path.begin() + static_cast<long>(depth) + 1);
+  NamingContextProxy proxy(client.runtime(), client.root());
+  proxy.BindNewContext(prefix).OnReady([&executor, client, path, depth, done,
+                                        retry, attempts_left](
+                                           const Result<void>& r) {
+    if (r.ok() || IsAlreadyExists(r.status())) {
+      EnsureStep(executor, client, path, depth + 1, done, retry, attempts_left);
+      return;
+    }
+    if (attempts_left <= 1) {
+      done(r.status());
+      return;
+    }
+    executor.ScheduleAfter(retry, [&executor, client, path, depth, done, retry,
+                                   attempts_left] {
+      EnsureStep(executor, client, path, depth, done, retry, attempts_left - 1);
+    });
+  });
+}
+
+}  // namespace
+
+void EnsureContextPath(Executor& executor, NameClient client,
+                       const std::string& path,
+                       std::function<void(Status)> done, Duration retry,
+                       int max_attempts) {
+  EnsureStep(executor, client, SplitPath(path), 0, std::move(done), retry,
+             max_attempts);
+}
+
+void PrimaryBinder::Start(std::function<void()> on_primary) {
+  ITV_CHECK(!running_);
+  running_ = true;
+  on_primary_ = std::move(on_primary);
+  TryBind();
+}
+
+void PrimaryBinder::Stop() {
+  running_ = false;
+  if (retry_timer_ != kInvalidTimerId) {
+    executor_.Cancel(retry_timer_);
+    retry_timer_ = kInvalidTimerId;
+  }
+}
+
+void PrimaryBinder::TryBind() {
+  if (!running_ || is_primary_) {
+    return;
+  }
+  ++bind_attempts_;
+  client_.Bind(path_, my_ref_).OnReady([this](const Result<void>& r) {
+    if (!running_) {
+      return;
+    }
+    if (r.ok()) {
+      is_primary_ = true;
+      ITV_LOG(Info) << "primary/backup: became primary for " << path_;
+      if (on_primary_) {
+        on_primary_();
+      }
+      return;
+    }
+    // ALREADY_EXISTS: a primary is alive. Anything else (no master elected,
+    // name service briefly unreachable): retry as well.
+    retry_timer_ = executor_.ScheduleAfter(options_.retry_interval, [this] {
+      retry_timer_ = kInvalidTimerId;
+      TryBind();
+    });
+  });
+}
+
+}  // namespace itv::naming

@@ -1,0 +1,146 @@
+// Client-side naming library: string-path convenience over the
+// NamingContext stubs, plus PrimaryBinder — the paper's primary/backup
+// election building block (Section 5.2):
+//
+//   "When the replicas begin execution, they try to bind themselves in the
+//    global name space under the service name. The first one to succeed
+//    becomes the primary. The others periodically retry the binding request,
+//    which will fail so long as the primary is alive. If the primary fails,
+//    its binding will be removed from the name service [by auditing], and
+//    subsequently one of the backup replicas' bind requests will succeed."
+
+#ifndef SRC_NAMING_NAME_CLIENT_H_
+#define SRC_NAMING_NAME_CLIENT_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "src/common/executor.h"
+#include "src/naming/stubs.h"
+#include "src/rpc/rebinder.h"
+
+namespace itv::naming {
+
+class NameClient {
+ public:
+  // Bootstrap from the name service address handed out at boot (paper
+  // Section 3.4.1); the reference survives name service restarts.
+  NameClient(rpc::ObjectRuntime& runtime, uint32_t ns_host,
+             uint16_t ns_port = kNameServicePort)
+      : runtime_(runtime), root_(BootstrapRootRef(ns_host, ns_port)) {}
+
+  NameClient(rpc::ObjectRuntime& runtime, wire::ObjectRef root)
+      : runtime_(runtime), root_(root) {}
+
+  const wire::ObjectRef& root() const { return root_; }
+  rpc::ObjectRuntime& runtime() const { return runtime_; }
+
+  Future<wire::ObjectRef> Resolve(const std::string& path) const {
+    return Proxy().Resolve(SplitPath(path));
+  }
+  Future<void> Bind(const std::string& path, const wire::ObjectRef& obj) const {
+    return Proxy().Bind(SplitPath(path), obj);
+  }
+  Future<void> Unbind(const std::string& path) const {
+    return Proxy().Unbind(SplitPath(path));
+  }
+  Future<void> BindNewContext(const std::string& path) const {
+    return Proxy().BindNewContext(SplitPath(path));
+  }
+  Future<void> BindReplContext(const std::string& path) const {
+    return Proxy().BindReplContext(SplitPath(path));
+  }
+  // Binds a builtin selector under `<path>/selector`.
+  Future<void> SetSelector(const std::string& path, BuiltinSelector kind) const {
+    Name name = SplitPath(path);
+    name.emplace_back(kSelectorBindingName);
+    return Proxy().Bind(name, MakeBuiltinSelectorRef(kind));
+  }
+  // Binds a custom selector object.
+  Future<void> SetSelectorObject(const std::string& path,
+                                 const wire::ObjectRef& selector) const {
+    Name name = SplitPath(path);
+    name.emplace_back(kSelectorBindingName);
+    return Proxy().Bind(name, selector);
+  }
+  Future<BindingList> List(const std::string& path) const {
+    return Proxy().List(SplitPath(path));
+  }
+  Future<BindingList> ListRepl(const std::string& path) const {
+    return Proxy().ListRepl(SplitPath(path));
+  }
+
+  // A resolve function for rpc::Rebinder: re-resolves `path` on demand.
+  rpc::Rebinder::ResolveFn ResolveFnFor(std::string path) const {
+    return [client = *this, path = std::move(path)](
+               std::function<void(Result<wire::ObjectRef>)> cb) {
+      client.Resolve(path).OnReady(
+          [cb](const Result<wire::ObjectRef>& r) { cb(r); });
+    };
+  }
+
+ private:
+  NamingContextProxy Proxy() const {
+    return NamingContextProxy(runtime_, root_);
+  }
+
+  rpc::ObjectRuntime& runtime_;
+  wire::ObjectRef root_;
+};
+
+// Creates every component of `path` as a nested plain context, treating
+// ALREADY_EXISTS as success and retrying (every `retry` up to `max_attempts`
+// whole-path attempts) while the name service has no master. Services use it
+// to guarantee their parent contexts before starting a PrimaryBinder.
+void EnsureContextPath(Executor& executor, NameClient client,
+                       const std::string& path,
+                       std::function<void(Status)> done,
+                       Duration retry = Duration::Seconds(2),
+                       int max_attempts = 100);
+
+class PrimaryBinder {
+ public:
+  struct Options {
+    // "Backup retries bind every 10 seconds" (paper Section 9.7).
+    Duration retry_interval = Duration::Seconds(10);
+  };
+
+  PrimaryBinder(Executor& executor, NameClient client, std::string path,
+                wire::ObjectRef my_ref)
+      : PrimaryBinder(executor, std::move(client), std::move(path), my_ref,
+                      Options()) {}
+  PrimaryBinder(Executor& executor, NameClient client, std::string path,
+                wire::ObjectRef my_ref, Options options)
+      : executor_(executor),
+        client_(std::move(client)),
+        path_(std::move(path)),
+        my_ref_(my_ref),
+        options_(options) {}
+
+  // Begins attempting to bind; `on_primary` (optional) fires once when this
+  // replica wins.
+  void Start(std::function<void()> on_primary = nullptr);
+  void Stop();
+
+  bool is_primary() const { return is_primary_; }
+  uint64_t bind_attempts() const { return bind_attempts_; }
+
+ private:
+  void TryBind();
+
+  Executor& executor_;
+  NameClient client_;
+  std::string path_;
+  wire::ObjectRef my_ref_;
+  Options options_;
+  std::function<void()> on_primary_;
+  bool running_ = false;
+  bool is_primary_ = false;
+  uint64_t bind_attempts_ = 0;
+  TimerId retry_timer_ = kInvalidTimerId;
+};
+
+}  // namespace itv::naming
+
+#endif  // SRC_NAMING_NAME_CLIENT_H_

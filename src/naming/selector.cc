@@ -1,0 +1,102 @@
+#include "src/naming/selector.h"
+
+#include "src/common/address.h"
+
+namespace itv::naming {
+
+std::optional<size_t> EvalBuiltinSelector(BuiltinSelector kind,
+                                          uint32_t caller_host,
+                                          const std::vector<std::string>& names,
+                                          const std::vector<wire::ObjectRef>& refs,
+                                          uint64_t* rr_cursor) {
+  if (names.empty()) {
+    return std::nullopt;
+  }
+  switch (kind) {
+    case BuiltinSelector::kFirst:
+      return 0;
+    case BuiltinSelector::kRoundRobin: {
+      size_t index = static_cast<size_t>(*rr_cursor % names.size());
+      ++*rr_cursor;
+      return index;
+    }
+    case BuiltinSelector::kByCallerHost: {
+      for (size_t i = 0; i < refs.size(); ++i) {
+        if (refs[i].endpoint.host == caller_host) {
+          return i;
+        }
+      }
+      return 0;  // Fall back to the first replica.
+    }
+    case BuiltinSelector::kNeighborhood: {
+      if (!IsSettopHost(caller_host)) {
+        return std::nullopt;  // Non-settop callers must name a replica.
+      }
+      std::string neighborhood =
+          std::to_string(NeighborhoodOfHost(caller_host));
+      for (size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == neighborhood) {
+          return i;
+        }
+      }
+      return std::nullopt;  // No replica assigned to this neighborhood.
+    }
+    case BuiltinSelector::kRandomish: {
+      // Deterministic spread: FNV of the caller host over the replicas.
+      uint64_t h = 0xcbf29ce484222325ull;
+      for (int shift = 0; shift < 32; shift += 8) {
+        h ^= (caller_host >> shift) & 0xff;
+        h *= 0x100000001b3ull;
+      }
+      return static_cast<size_t>(h % names.size());
+    }
+  }
+  return std::nullopt;
+}
+
+void SelectorSkeleton::Dispatch(uint32_t method_id, const wire::Bytes& args,
+                                const rpc::CallContext& ctx,
+                                rpc::ReplyFn reply) {
+  switch (method_id) {
+    case kSelectorMethodSelect: {
+      uint32_t caller_host = 0;
+      std::vector<std::string> names;
+      std::vector<wire::ObjectRef> refs;
+      if (!rpc::DecodeArgs(args, &caller_host, &names, &refs)) {
+        return rpc::ReplyBadArgs(reply);
+      }
+      Result<uint32_t> index = impl_.Select(caller_host, names, refs);
+      if (!index.ok()) {
+        return rpc::ReplyError(reply, index.status());
+      }
+      if (*index >= names.size()) {
+        return rpc::ReplyError(reply,
+                               InternalError("selector chose an invalid index"));
+      }
+      return rpc::ReplyWith(reply, *index);
+    }
+    default:
+      return rpc::ReplyBadMethod(reply, method_id);
+  }
+}
+
+Result<uint32_t> LeastLoadedSelector::Select(
+    uint32_t caller_host, const std::vector<std::string>& names,
+    const std::vector<wire::ObjectRef>& refs) {
+  if (names.empty()) {
+    return NotFoundError("no replicas to select from");
+  }
+  size_t best = 0;
+  int64_t best_load = INT64_MAX;
+  for (size_t i = 0; i < names.size(); ++i) {
+    auto it = loads_.find(names[i]);
+    int64_t load = it == loads_.end() ? 0 : it->second;
+    if (load < best_load) {
+      best_load = load;
+      best = i;
+    }
+  }
+  return static_cast<uint32_t>(best);
+}
+
+}  // namespace itv::naming

@@ -1,0 +1,91 @@
+// Selector objects (paper Section 4.5): given the bindings of a replicated
+// context and the identity of the caller, pick the replica a resolve returns.
+//
+//   object = selector->select(<"1", object>, <"2", object>);
+//
+// Built-in policies are evaluated inline by the name service (see
+// types.h/BuiltinSelector); arbitrary policies are real objects implementing
+// this interface, invoked remotely by the name service during resolution —
+// "The implementation of Selector objects can be arbitrarily complex."
+
+#ifndef SRC_NAMING_SELECTOR_H_
+#define SRC_NAMING_SELECTOR_H_
+
+#include <optional>
+#include <string>
+
+#include "src/common/future.h"
+#include "src/naming/types.h"
+#include "src/rpc/runtime.h"
+#include "src/rpc/stub_helpers.h"
+
+namespace itv::naming {
+
+enum SelectorMethod : uint32_t {
+  kSelectorMethodSelect = 1,
+};
+
+// Evaluates a builtin selector. `caller_host` is the resolver's caller (used
+// by the IP-based static policies). Returns the index into `bindings`, or
+// nullopt if the policy cannot choose (e.g. no replica for the caller's
+// neighborhood). `rr_cursor` carries round-robin state.
+std::optional<size_t> EvalBuiltinSelector(BuiltinSelector kind,
+                                          uint32_t caller_host,
+                                          const std::vector<std::string>& names,
+                                          const std::vector<wire::ObjectRef>& refs,
+                                          uint64_t* rr_cursor);
+
+// --- Custom selector stubs -----------------------------------------------------
+
+class SelectorImpl {
+ public:
+  virtual ~SelectorImpl() = default;
+  // Returns the chosen index into the parallel names/refs arrays.
+  virtual Result<uint32_t> Select(uint32_t caller_host,
+                                  const std::vector<std::string>& names,
+                                  const std::vector<wire::ObjectRef>& refs) = 0;
+};
+
+class SelectorSkeleton : public rpc::Skeleton {
+ public:
+  explicit SelectorSkeleton(SelectorImpl& impl) : impl_(impl) {}
+  std::string_view interface_name() const override { return kSelectorInterface; }
+  void Dispatch(uint32_t method_id, const wire::Bytes& args,
+                const rpc::CallContext& ctx, rpc::ReplyFn reply) override;
+
+ private:
+  SelectorImpl& impl_;
+};
+
+class SelectorProxy : public rpc::Proxy {
+ public:
+  using Proxy::Proxy;
+  Future<uint32_t> Select(uint32_t caller_host,
+                          const std::vector<std::string>& names,
+                          const std::vector<wire::ObjectRef>& refs) const {
+    return rpc::DecodeReply<uint32_t>(
+        Call(kSelectorMethodSelect, rpc::EncodeArgs(caller_host, names, refs)));
+  }
+};
+
+// A dynamic load-balancing selector (the paper's "we believe replicated
+// contexts and selectors can be used to implement a variety of dynamic load
+// balancing policies"): replicas report a load figure; Select returns the
+// least-loaded one. Load defaults to zero for unknown replicas.
+class LeastLoadedSelector : public SelectorImpl {
+ public:
+  void ReportLoad(const std::string& replica_name, int64_t load) {
+    loads_[replica_name] = load;
+  }
+
+  Result<uint32_t> Select(uint32_t caller_host,
+                          const std::vector<std::string>& names,
+                          const std::vector<wire::ObjectRef>& refs) override;
+
+ private:
+  std::map<std::string, int64_t> loads_;
+};
+
+}  // namespace itv::naming
+
+#endif  // SRC_NAMING_SELECTOR_H_

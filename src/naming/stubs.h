@@ -1,0 +1,137 @@
+// Hand-written stubs for the naming interfaces (idl/naming.idl):
+//   itv.NamingContext — the paper's Section 4.4 interface (resolve, bind,
+//     unbind, bindNewContext, bindReplContext, list) plus listRepl from the
+//     ReplicatedContext subtype (Section 4.5).
+//   itv.NameReplica — the internal replication interface (master election,
+//     update forwarding, heartbeats, snapshot transfer; Section 4.6).
+//
+// Method ids are part of the wire contract; never renumber.
+
+#ifndef SRC_NAMING_STUBS_H_
+#define SRC_NAMING_STUBS_H_
+
+#include <string>
+
+#include "src/common/future.h"
+#include "src/naming/types.h"
+#include "src/rpc/runtime.h"
+#include "src/rpc/stub_helpers.h"
+
+namespace itv::naming {
+
+enum NamingContextMethod : uint32_t {
+  kNcMethodResolve = 1,
+  kNcMethodBind = 2,
+  kNcMethodUnbind = 3,
+  kNcMethodBindNewContext = 4,
+  kNcMethodBindReplContext = 5,
+  kNcMethodList = 6,
+  kNcMethodListRepl = 7,
+};
+
+class NamingContextProxy : public rpc::Proxy {
+ public:
+  using Proxy::Proxy;
+
+  Future<wire::ObjectRef> Resolve(const Name& name,
+                                  rpc::CallOptions opts = {}) const {
+    return rpc::DecodeReply<wire::ObjectRef>(
+        Call(kNcMethodResolve, rpc::EncodeArgs(name), opts));
+  }
+  Future<void> Bind(const Name& name, const wire::ObjectRef& obj) const {
+    return rpc::DecodeEmptyReply(Call(kNcMethodBind, rpc::EncodeArgs(name, obj)));
+  }
+  Future<void> Unbind(const Name& name) const {
+    return rpc::DecodeEmptyReply(Call(kNcMethodUnbind, rpc::EncodeArgs(name)));
+  }
+  Future<void> BindNewContext(const Name& name) const {
+    return rpc::DecodeEmptyReply(
+        Call(kNcMethodBindNewContext, rpc::EncodeArgs(name)));
+  }
+  Future<void> BindReplContext(const Name& name) const {
+    return rpc::DecodeEmptyReply(
+        Call(kNcMethodBindReplContext, rpc::EncodeArgs(name)));
+  }
+  Future<BindingList> List(const Name& name) const {
+    return rpc::DecodeReply<BindingList>(Call(kNcMethodList, rpc::EncodeArgs(name)));
+  }
+  Future<BindingList> ListRepl(const Name& name) const {
+    return rpc::DecodeReply<BindingList>(
+        Call(kNcMethodListRepl, rpc::EncodeArgs(name)));
+  }
+};
+
+enum NameReplicaMethod : uint32_t {
+  kNrMethodRequestVote = 1,
+  kNrMethodHeartbeat = 2,
+  kNrMethodForwardUpdate = 3,
+  kNrMethodApplyUpdate = 4,
+  kNrMethodGetSnapshot = 5,
+};
+
+struct SnapshotReply {
+  uint64_t seq = 0;
+  uint64_t epoch = 0;
+  wire::Bytes data;
+};
+
+inline void WireWrite(wire::Writer& w, const SnapshotReply& s) {
+  w.WriteU64(s.seq);
+  w.WriteU64(s.epoch);
+  w.WriteBytes(s.data);
+}
+inline void WireRead(wire::Reader& r, SnapshotReply* s) {
+  s->seq = r.ReadU64();
+  s->epoch = r.ReadU64();
+  s->data = r.ReadBytes();
+}
+
+class NameReplicaProxy : public rpc::Proxy {
+ public:
+  using Proxy::Proxy;
+
+  // `candidate_seq` carries the candidate's applied update sequence; voters
+  // deny candidates whose name space is behind their own, so a rejoining
+  // stale replica can never win mastership and wipe the name space.
+  Future<bool> RequestVote(uint64_t epoch, uint32_t candidate_id,
+                           uint64_t candidate_seq) const {
+    return rpc::DecodeReply<bool>(Call(
+        kNrMethodRequestVote, rpc::EncodeArgs(epoch, candidate_id, candidate_seq)));
+  }
+  // Returns the receiver's applied sequence number.
+  Future<uint64_t> Heartbeat(uint64_t epoch, uint32_t master_id,
+                             uint64_t master_seq) const {
+    return rpc::DecodeReply<uint64_t>(
+        Call(kNrMethodHeartbeat, rpc::EncodeArgs(epoch, master_id, master_seq)));
+  }
+  Future<void> ForwardUpdate(const NameUpdate& update) const {
+    return rpc::DecodeEmptyReply(
+        Call(kNrMethodForwardUpdate, rpc::EncodeArgs(update)));
+  }
+  Future<void> ApplyUpdate(uint64_t seq, uint64_t epoch,
+                           const NameUpdate& update) const {
+    return rpc::DecodeEmptyReply(
+        Call(kNrMethodApplyUpdate, rpc::EncodeArgs(seq, epoch, update)));
+  }
+  Future<SnapshotReply> GetSnapshot() const {
+    return rpc::DecodeReply<SnapshotReply>(Call(kNrMethodGetSnapshot, {}));
+  }
+};
+
+// Reference to a name replica's internal interface at a known endpoint
+// (well-known object id 2 on the name service port; bootstrap semantics like
+// the root context).
+inline constexpr uint64_t kReplicaObjectId = 2;
+
+inline wire::ObjectRef ReplicaRefAt(const wire::Endpoint& ep) {
+  wire::ObjectRef ref;
+  ref.endpoint = ep;
+  ref.incarnation = 0;  // Survives restarts; replicas re-sync via epoch/seq.
+  ref.type_id = wire::TypeIdFromName(kNameReplicaInterface);
+  ref.object_id = kReplicaObjectId;
+  return ref;
+}
+
+}  // namespace itv::naming
+
+#endif  // SRC_NAMING_STUBS_H_

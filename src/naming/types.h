@@ -1,0 +1,146 @@
+// Shared types of the naming system (paper Section 4).
+//
+// The name space is a graph of contexts (Unix-directory-like objects holding
+// name -> object bindings). ReplicatedContext is the paper's novel subtype:
+// its bindings are service replicas, and a *selector* object bound under the
+// reserved name "selector" picks which replica a resolve returns.
+
+#ifndef SRC_NAMING_TYPES_H_
+#define SRC_NAMING_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/wire/object_ref.h"
+#include "src/wire/serialize.h"
+
+namespace itv::naming {
+
+inline constexpr std::string_view kNamingContextInterface = "itv.NamingContext";
+inline constexpr std::string_view kNameReplicaInterface = "itv.NameReplica";
+inline constexpr std::string_view kSelectorInterface = "itv.Selector";
+
+inline constexpr uint16_t kNameServicePort = 500;
+// The root context is always exported at this well-known object id, so a
+// bootstrap reference can be built from the name service IP alone
+// (paper Section 3.4.1: boot broadcast hands settops the NS address).
+inline constexpr uint64_t kRootContextObjectId = 1;
+
+// The reserved binding name for a replicated context's selector.
+inline constexpr std::string_view kSelectorBindingName = "selector";
+
+using Name = std::vector<std::string>;  // Path components; see SplitPath().
+
+enum class BindingKind : uint8_t {
+  kObject = 1,        // Leaf object reference.
+  kContext = 2,       // Plain naming context.
+  kReplContext = 3,   // Replicated context.
+};
+
+struct Binding {
+  std::string name;
+  wire::ObjectRef ref;
+  BindingKind kind = BindingKind::kObject;
+
+  friend bool operator==(const Binding&, const Binding&) = default;
+};
+
+inline void WireWrite(wire::Writer& w, const Binding& b) {
+  w.WriteString(b.name);
+  WireWrite(w, b.ref);
+  w.WriteU8(static_cast<uint8_t>(b.kind));
+}
+inline void WireRead(wire::Reader& r, Binding* b) {
+  b->name = r.ReadString();
+  WireRead(r, &b->ref);
+  b->kind = static_cast<BindingKind>(r.ReadU8());
+}
+
+using BindingList = std::vector<Binding>;
+
+// --- Built-in selectors --------------------------------------------------------
+// A selector is any object implementing itv.Selector; for the common static
+// policies (paper Section 5.1: "two forms of selectors, both implementing a
+// static assignment based on the IP address of the caller") the name service
+// recognizes *builtin* pseudo-references and evaluates them locally, saving a
+// round trip. A builtin ref has a null endpoint and the policy in object_id.
+
+enum class BuiltinSelector : uint64_t {
+  kFirst = 1,        // Lowest binding name.
+  kRoundRobin = 2,   // Rotate per resolve.
+  kByCallerHost = 3, // Replica whose endpoint host equals the caller's host
+                     // (per-server replication); falls back to first.
+  kNeighborhood = 4, // Binding named after the caller's neighborhood number
+                     // (per-neighborhood replication).
+  kRandomish = 5,    // Deterministic hash of caller host over replicas.
+};
+
+inline wire::ObjectRef MakeBuiltinSelectorRef(BuiltinSelector kind) {
+  wire::ObjectRef ref;
+  ref.endpoint = {};
+  ref.incarnation = 1;  // Non-zero so the ref is not is_null().
+  ref.type_id = wire::TypeIdFromName(kSelectorInterface);
+  ref.object_id = static_cast<uint64_t>(kind);
+  return ref;
+}
+
+inline bool IsBuiltinSelectorRef(const wire::ObjectRef& ref) {
+  return ref.endpoint.is_null() &&
+         ref.type_id == wire::TypeIdFromName(kSelectorInterface);
+}
+
+// Context-typed interfaces the resolver will recurse into when a binding
+// points at a remotely implemented context (paper Section 4.3). The file
+// service's FileSystemContext is the canonical subtype (Section 4.6).
+inline constexpr std::string_view kFileSystemContextInterface =
+    "itv.FileSystemContext";
+
+inline bool IsContextTypeId(uint64_t type_id) {
+  return type_id == wire::TypeIdFromName(kNamingContextInterface) ||
+         type_id == wire::TypeIdFromName(kFileSystemContextInterface);
+}
+
+// --- Replicated update records -------------------------------------------------
+
+enum class NameOp : uint8_t {
+  kBind = 1,
+  kUnbind = 2,
+  kBindNewContext = 3,
+  kBindReplContext = 4,
+};
+
+struct NameUpdate {
+  NameOp op = NameOp::kBind;
+  Name path;
+  wire::ObjectRef ref;  // For kBind only.
+
+  friend bool operator==(const NameUpdate&, const NameUpdate&) = default;
+};
+
+inline void WireWrite(wire::Writer& w, const NameUpdate& u) {
+  w.WriteU8(static_cast<uint8_t>(u.op));
+  WireWrite(w, u.path);
+  WireWrite(w, u.ref);
+}
+inline void WireRead(wire::Reader& r, NameUpdate* u) {
+  u->op = static_cast<NameOp>(r.ReadU8());
+  WireRead(r, &u->path);
+  WireRead(r, &u->ref);
+}
+
+// Bootstrap reference to a name service replica's root context, built from
+// the address alone (incarnation 0 = valid across restarts).
+inline wire::ObjectRef BootstrapRootRef(uint32_t host,
+                                        uint16_t port = kNameServicePort) {
+  wire::ObjectRef ref;
+  ref.endpoint = {host, port};
+  ref.incarnation = 0;
+  ref.type_id = wire::TypeIdFromName(kNamingContextInterface);
+  ref.object_id = kRootContextObjectId;
+  return ref;
+}
+
+}  // namespace itv::naming
+
+#endif  // SRC_NAMING_TYPES_H_

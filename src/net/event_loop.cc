@@ -1,0 +1,118 @@
+#include "src/net/event_loop.h"
+
+#include <poll.h>
+
+#include <utility>
+
+namespace itv::net {
+
+EventLoop::EventLoop() : epoch_(std::chrono::steady_clock::now()) {}
+
+EventLoop::~EventLoop() = default;
+
+Time EventLoop::Now() const {
+  auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return Time::FromNanos(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+TimerId EventLoop::ScheduleAt(Time when, std::function<void()> fn) {
+  TimerId id = next_timer_id_++;
+  timer_handlers_.emplace(id, std::move(fn));
+  timer_queue_.push(TimerEntry{when, next_seq_++, id});
+  return id;
+}
+
+bool EventLoop::Cancel(TimerId id) { return timer_handlers_.erase(id) > 0; }
+
+void EventLoop::RunDueTimers() {
+  Time now = Now();
+  while (!timer_queue_.empty() && timer_queue_.top().when <= now) {
+    TimerEntry entry = timer_queue_.top();
+    timer_queue_.pop();
+    auto it = timer_handlers_.find(entry.id);
+    if (it == timer_handlers_.end()) {
+      continue;  // Cancelled.
+    }
+    std::function<void()> fn = std::move(it->second);
+    timer_handlers_.erase(it);
+    fn();
+  }
+}
+
+bool EventLoop::Turn(Duration max_wait) {
+  if (stop_.load()) {
+    return false;
+  }
+  RunDueTimers();
+
+  Duration wait = max_wait;
+  if (!timer_queue_.empty()) {
+    Duration until_timer = timer_queue_.top().when - Now();
+    if (until_timer < wait) {
+      wait = until_timer;
+    }
+  }
+  int timeout_ms = wait.nanos() <= 0
+                       ? 0
+                       : static_cast<int>(std::min<int64_t>(wait.millis() + 1, 100));
+
+  std::vector<pollfd> pollfds;
+  std::vector<int> watched;
+  pollfds.reserve(fds_.size());
+  for (const auto& [fd, watch] : fds_) {
+    short events = 0;
+    if (watch.want_read) {
+      events |= POLLIN;
+    }
+    if (watch.want_write) {
+      events |= POLLOUT;
+    }
+    pollfds.push_back(pollfd{fd, events, 0});
+    watched.push_back(fd);
+  }
+
+  int ready = ::poll(pollfds.empty() ? nullptr : pollfds.data(),
+                     static_cast<nfds_t>(pollfds.size()), timeout_ms);
+  if (ready > 0) {
+    for (size_t i = 0; i < pollfds.size(); ++i) {
+      short revents = pollfds[i].revents;
+      if (revents == 0) {
+        continue;
+      }
+      auto it = fds_.find(watched[i]);
+      if (it == fds_.end()) {
+        continue;  // Unwatched by an earlier callback this turn.
+      }
+      bool readable = (revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+      bool writable = (revents & (POLLOUT | POLLERR)) != 0;
+      // Copy: the callback may unwatch/rewatch this fd.
+      auto cb = it->second.cb;
+      cb(readable, writable);
+    }
+  }
+  RunDueTimers();
+  return !stop_.load();
+}
+
+void EventLoop::Run() {
+  stop_.store(false);
+  while (Turn(Duration::Millis(100))) {
+  }
+}
+
+void EventLoop::RunFor(Duration d) {
+  stop_.store(false);
+  Time deadline = Now() + d;
+  while (Now() < deadline && Turn(deadline - Now())) {
+  }
+}
+
+void EventLoop::WatchFd(int fd, bool want_read, bool want_write,
+                        std::function<void(bool, bool)> cb) {
+  fds_[fd] = FdWatch{want_read, want_write, std::move(cb)};
+}
+
+void EventLoop::UnwatchFd(int fd) { fds_.erase(fd); }
+
+}  // namespace itv::net

@@ -1,0 +1,84 @@
+// Real-time, single-threaded Executor: timers + file-descriptor readiness
+// over poll(2). The TCP transport runs on this; together they let the same
+// OCS services that run in the simulator run over real sockets on localhost
+// (the quickstart example).
+//
+// Single-threaded like everything else in the system: one EventLoop per
+// "process", driven by its own thread.
+
+#ifndef SRC_NET_EVENT_LOOP_H_
+#define SRC_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "src/common/executor.h"
+
+namespace itv::net {
+
+class EventLoop : public Executor {
+ public:
+  EventLoop();
+  ~EventLoop() override;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Executor:
+  Time Now() const override;
+  TimerId ScheduleAt(Time when, std::function<void()> fn) override;
+  bool Cancel(TimerId id) override;
+
+  // Fd readiness. `cb(readable, writable)` runs on the loop when the fd is
+  // ready for the watched directions. Re-watching an fd replaces the watch.
+  void WatchFd(int fd, bool want_read, bool want_write,
+               std::function<void(bool readable, bool writable)> cb);
+  void UnwatchFd(int fd);
+
+  // Runs until Stop() (or forever). RunFor processes events for a bounded
+  // wall-clock duration — handy for tests and examples.
+  void Run();
+  void RunFor(Duration d);
+  void Stop() { stop_.store(true); }
+
+ private:
+  struct TimerEntry {
+    Time when;
+    uint64_t seq;
+    TimerId id;
+    bool operator>(const TimerEntry& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  struct FdWatch {
+    bool want_read = false;
+    bool want_write = false;
+    std::function<void(bool, bool)> cb;
+  };
+
+  // Runs one poll iteration with at most `max_wait`; returns false if the
+  // loop should stop.
+  bool Turn(Duration max_wait);
+  void RunDueTimers();
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> stop_{false};
+  uint64_t next_timer_id_ = 1;
+  uint64_t next_seq_ = 1;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<TimerEntry>>
+      timer_queue_;
+  std::map<TimerId, std::function<void()>> timer_handlers_;
+  std::map<int, FdWatch> fds_;
+};
+
+}  // namespace itv::net
+
+#endif  // SRC_NET_EVENT_LOOP_H_

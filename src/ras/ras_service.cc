@@ -1,0 +1,234 @@
+#include "src/ras/ras_service.h"
+
+#include <utility>
+
+#include "src/common/address.h"
+#include "src/common/logging.h"
+#include "src/svc/settop_manager.h"
+#include "src/svc/ssc.h"
+
+namespace itv::ras {
+
+// checkStatus servant.
+class RasService::RasSkeleton : public rpc::Skeleton {
+ public:
+  explicit RasSkeleton(RasService& service) : service_(service) {}
+  std::string_view interface_name() const override { return kRasInterface; }
+
+  void Dispatch(uint32_t method_id, const wire::Bytes& args,
+                const rpc::CallContext& ctx, rpc::ReplyFn reply) override {
+    switch (method_id) {
+      case kRasMethodCheckStatus: {
+        std::vector<EntityId> entities;
+        if (!rpc::DecodeArgs(args, &entities)) {
+          return rpc::ReplyBadArgs(reply);
+        }
+        return rpc::ReplyWith(reply, service_.CheckStatus(entities));
+      }
+      default:
+        return rpc::ReplyBadMethod(reply, method_id);
+    }
+  }
+
+ private:
+  RasService& service_;
+};
+
+// Receives object liveness from the local SSC.
+class RasService::CallbackSkeleton : public rpc::Skeleton {
+ public:
+  explicit CallbackSkeleton(RasService& service) : service_(service) {}
+  std::string_view interface_name() const override {
+    return kObjectStatusCallbackInterface;
+  }
+
+  void Dispatch(uint32_t method_id, const wire::Bytes& args,
+                const rpc::CallContext& ctx, rpc::ReplyFn reply) override {
+    std::vector<wire::ObjectRef> objects;
+    if (!rpc::DecodeArgs(args, &objects)) {
+      return rpc::ReplyBadArgs(reply);
+    }
+    switch (method_id) {
+      case kOscMethodObjectsReady:
+        service_.OnObjectsReady(objects);
+        return rpc::ReplyOk(reply);
+      case kOscMethodObjectsDead:
+        service_.OnObjectsDead(objects);
+        return rpc::ReplyOk(reply);
+      default:
+        return rpc::ReplyBadMethod(reply, method_id);
+    }
+  }
+
+ private:
+  RasService& service_;
+};
+
+RasService::RasService(rpc::ObjectRuntime& runtime, Executor& executor,
+                       naming::NameClient name_client, Options options,
+                       Metrics* metrics)
+    : runtime_(runtime),
+      executor_(executor),
+      name_client_(std::move(name_client)),
+      options_(options),
+      metrics_(metrics),
+      settopmgr_(executor, name_client_.ResolveFnFor(
+                               std::string(svc::kSettopManagerName))) {}
+
+RasService::~RasService() = default;
+
+void RasService::Start() {
+  skeleton_ = std::make_unique<RasSkeleton>(*this);
+  ref_ = runtime_.ExportAt(skeleton_.get(), 1);
+  callback_skeleton_ = std::make_unique<CallbackSkeleton>(*this);
+  callback_ref_ = runtime_.Export(callback_skeleton_.get());
+
+  RegisterWithSsc();
+  peer_poll_timer_.Start(executor_, options_.peer_poll_interval,
+                         [this] { PollPeers(); });
+  settop_poll_timer_.Start(executor_, options_.settop_poll_interval,
+                           [this] { PollSettops(); });
+}
+
+void RasService::RegisterWithSsc() {
+  svc::SscProxy ssc(runtime_, svc::SscRefAt(runtime_.local_endpoint().host));
+  ssc.RegisterCallback(callback_ref_).OnReady([this](const Result<void>& r) {
+    if (!r.ok()) {
+      // No SSC yet (e.g. unit tests running a bare RAS): retry later; until
+      // the sync arrives, local objects are answered kUnknown, never kDead.
+      executor_.ScheduleAfter(Duration::Seconds(5), [this] { RegisterWithSsc(); });
+    }
+  });
+}
+
+void RasService::OnObjectsReady(const std::vector<wire::ObjectRef>& objects) {
+  ssc_synced_ = true;
+  for (const wire::ObjectRef& ref : objects) {
+    local_live_.insert(ref);
+  }
+}
+
+void RasService::OnObjectsDead(const std::vector<wire::ObjectRef>& objects) {
+  ssc_synced_ = true;
+  Count("ras.local_objects_dead");
+  for (const wire::ObjectRef& ref : objects) {
+    local_live_.erase(ref);
+  }
+}
+
+EntityStatus RasService::StatusOf(const EntityId& entity) {
+  if (entity.kind == EntityKind::kServiceObject) {
+    if (entity.ref.endpoint.host == runtime_.local_endpoint().host) {
+      if (local_live_.count(entity.ref) > 0) {
+        return EntityStatus::kAlive;
+      }
+      return ssc_synced_ ? EntityStatus::kDead : EntityStatus::kUnknown;
+    }
+  }
+  // Remote object or settop: consult (and enroll in) the tracking table.
+  auto [it, inserted] = tracked_.try_emplace(entity.key(), Tracked{entity});
+  if (inserted) {
+    Count("ras.entity_enrolled");
+  }
+  return it->second.status;
+}
+
+std::vector<uint8_t> RasService::CheckStatus(
+    const std::vector<EntityId>& entities) {
+  Count("ras.check_status");
+  std::vector<uint8_t> out;
+  out.reserve(entities.size());
+  for (const EntityId& entity : entities) {
+    out.push_back(static_cast<uint8_t>(StatusOf(entity)));
+  }
+  return out;
+}
+
+void RasService::PollPeers() {
+  // Group tracked remote objects by host and query that host's RAS.
+  std::map<uint32_t, std::vector<EntityId>> by_host;
+  for (auto& [key, tracked] : tracked_) {
+    if (tracked.entity.kind == EntityKind::kServiceObject &&
+        tracked.status != EntityStatus::kDead) {
+      by_host[tracked.entity.ref.endpoint.host].push_back(tracked.entity);
+    }
+  }
+  for (auto& [host, entities] : by_host) {
+    Count("ras.peer_poll");
+    RasProxy peer(runtime_, RasRefAt(host));
+    rpc::CallOptions opts;
+    opts.timeout = options_.rpc_timeout;
+    auto query = peer.CheckStatus(entities);
+    query.OnReady([this, host, entities](const Result<std::vector<uint8_t>>& r) {
+      if (!r.ok()) {
+        int failures = ++peer_failures_[host];
+        if (failures >= options_.peer_failures_to_dead) {
+          // The server (or at least its RAS) is gone; its objects are dead
+          // for fail-over purposes.
+          Count("ras.peer_declared_dead");
+          for (const EntityId& entity : entities) {
+            auto it = tracked_.find(entity.key());
+            if (it != tracked_.end()) {
+              it->second.status = EntityStatus::kDead;
+            }
+          }
+        }
+        return;
+      }
+      peer_failures_[host] = 0;
+      if (r->size() != entities.size()) {
+        return;
+      }
+      for (size_t i = 0; i < entities.size(); ++i) {
+        EntityStatus status = static_cast<EntityStatus>((*r)[i]);
+        if (status == EntityStatus::kUnknown) {
+          continue;  // Peer has no evidence yet; keep ours.
+        }
+        auto it = tracked_.find(entities[i].key());
+        if (it != tracked_.end()) {
+          it->second.status = status;
+        }
+      }
+    });
+  }
+}
+
+void RasService::PollSettops() {
+  std::vector<uint32_t> hosts;
+  for (auto& [key, tracked] : tracked_) {
+    if (tracked.entity.kind == EntityKind::kSettop) {
+      hosts.push_back(tracked.entity.settop_host);
+    }
+  }
+  if (hosts.empty()) {
+    return;
+  }
+  Count("ras.settop_poll");
+  settopmgr_.Call<std::vector<uint8_t>>(
+      [this, hosts](const wire::ObjectRef& mgr) {
+        return svc::SettopManagerProxy(runtime_, mgr).GetStatus(hosts);
+      },
+      [this, hosts](Result<std::vector<uint8_t>> r) {
+        if (!r.ok() || r->size() != hosts.size()) {
+          return;  // Settop manager briefly unavailable; keep stale state.
+        }
+        for (size_t i = 0; i < hosts.size(); ++i) {
+          EntityStatus status = static_cast<EntityStatus>((*r)[i]);
+          if (status == EntityStatus::kUnknown) {
+            continue;
+          }
+          auto it = tracked_.find(EntityId::Settop(hosts[i]).key());
+          if (it != tracked_.end()) {
+            it->second.status = status;
+          }
+        }
+      });
+}
+
+void RasService::Count(std::string_view name) {
+  if (metrics_ != nullptr) {
+    metrics_->Add(name);
+  }
+}
+
+}  // namespace itv::ras

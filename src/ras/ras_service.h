@@ -1,0 +1,108 @@
+// The Resource Audit Service instance that runs on every server
+// (paper Section 7.2). It monitors entity liveness three ways:
+//
+//   1. Settops: periodically polls the Settop Manager.
+//   2. Service objects on this server: a callback registered with the local
+//      SSC reports objects as services register them and as processes die.
+//   3. Service objects on other servers: periodically polls the RAS instance
+//      on that server (every 5 s by default, Section 7.2.1). A peer RAS that
+//      stops answering for `peer_failures_to_dead` consecutive polls is
+//      treated as a crashed server: its objects are reported dead.
+//
+// checkStatus never blocks: unknown entities are answered kUnknown and
+// enrolled for monitoring, which is also how the RAS rebuilds its state
+// after its own restart ("the RAS does not have to remember any state across
+// failures").
+
+#ifndef SRC_RAS_RAS_SERVICE_H_
+#define SRC_RAS_RAS_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/common/executor.h"
+#include "src/common/metrics.h"
+#include "src/naming/name_client.h"
+#include "src/ras/types.h"
+#include "src/rpc/rebinder.h"
+#include "src/rpc/runtime.h"
+
+namespace itv::ras {
+
+class RasService {
+ public:
+  struct Options {
+    // "Currently, each RAS instance polls the others every five seconds."
+    Duration peer_poll_interval = Duration::Seconds(5);
+    Duration settop_poll_interval = Duration::Seconds(5);
+    int peer_failures_to_dead = 2;
+    Duration rpc_timeout = Duration::Seconds(2);
+  };
+
+  RasService(rpc::ObjectRuntime& runtime, Executor& executor,
+             naming::NameClient name_client)
+      : RasService(runtime, executor, std::move(name_client), Options(),
+                   nullptr) {}
+  RasService(rpc::ObjectRuntime& runtime, Executor& executor,
+             naming::NameClient name_client, Options options,
+             Metrics* metrics = nullptr);
+  ~RasService();
+
+  // Exports the RAS object at the well-known id, registers the status
+  // callback with the local SSC, and starts the polling loops.
+  void Start();
+
+  wire::ObjectRef ref() const { return ref_; }
+
+  // Servant logic (exposed for unit tests): one status byte per entity.
+  std::vector<uint8_t> CheckStatus(const std::vector<EntityId>& entities);
+
+  size_t tracked_entities() const { return tracked_.size(); }
+  bool ssc_synced() const { return ssc_synced_; }
+
+ private:
+  class RasSkeleton;
+  class CallbackSkeleton;
+
+  struct Tracked {
+    EntityId entity;
+    EntityStatus status = EntityStatus::kUnknown;
+  };
+
+  EntityStatus StatusOf(const EntityId& entity);
+  void OnObjectsReady(const std::vector<wire::ObjectRef>& objects);
+  void OnObjectsDead(const std::vector<wire::ObjectRef>& objects);
+  void PollPeers();
+  void PollSettops();
+  void RegisterWithSsc();
+  void Count(std::string_view name);
+
+  rpc::ObjectRuntime& runtime_;
+  Executor& executor_;
+  naming::NameClient name_client_;
+  Options options_;
+  Metrics* metrics_;
+
+  std::unique_ptr<RasSkeleton> skeleton_;
+  std::unique_ptr<CallbackSkeleton> callback_skeleton_;
+  wire::ObjectRef ref_;
+  wire::ObjectRef callback_ref_;
+
+  // Local knowledge from the SSC.
+  std::set<wire::ObjectRef> local_live_;
+  bool ssc_synced_ = false;
+
+  // Remote objects and settops being monitored.
+  std::map<EntityId::Key, Tracked> tracked_;
+  std::map<uint32_t, int> peer_failures_;
+
+  rpc::Rebinder settopmgr_;
+  PeriodicTimer peer_poll_timer_;
+  PeriodicTimer settop_poll_timer_;
+};
+
+}  // namespace itv::ras
+
+#endif  // SRC_RAS_RAS_SERVICE_H_

@@ -1,0 +1,137 @@
+// Resource Audit Service types (paper Section 7).
+//
+// The RAS "cooperatively tracks the state of clients": settops (identified by
+// IP) and service objects (identified by object reference). checkStatus is
+// non-blocking — unknown entities are registered for monitoring and answered
+// kUnknown until evidence arrives; this is what lets the RAS "recover state
+// automatically as clients ask it questions" after a crash (Section 7.2).
+//
+// Also defines the ObjectStatusCallback interface the RAS registers with the
+// Server Service Controller (Section 6.1).
+
+#ifndef SRC_RAS_TYPES_H_
+#define SRC_RAS_TYPES_H_
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/common/future.h"
+#include "src/rpc/runtime.h"
+#include "src/rpc/stub_helpers.h"
+#include "src/wire/object_ref.h"
+
+namespace itv::ras {
+
+inline constexpr std::string_view kRasInterface = "itv.ResourceAudit";
+inline constexpr std::string_view kObjectStatusCallbackInterface =
+    "itv.ObjectStatusCallback";
+inline constexpr uint16_t kRasPort = 520;
+
+enum class EntityKind : uint8_t {
+  kSettop = 1,
+  kServiceObject = 2,
+};
+
+enum class EntityStatus : uint8_t {
+  kUnknown = 0,
+  kAlive = 1,
+  kDead = 2,
+};
+
+struct EntityId {
+  EntityKind kind = EntityKind::kServiceObject;
+  uint32_t settop_host = 0;  // kSettop only.
+  wire::ObjectRef ref;       // kServiceObject only.
+
+  static EntityId Settop(uint32_t host) {
+    EntityId id;
+    id.kind = EntityKind::kSettop;
+    id.settop_host = host;
+    return id;
+  }
+  static EntityId Object(const wire::ObjectRef& ref) {
+    EntityId id;
+    id.kind = EntityKind::kServiceObject;
+    id.ref = ref;
+    return id;
+  }
+
+  // Strict-weak-order key for container use.
+  using Key = std::tuple<uint8_t, uint64_t, uint64_t, uint64_t, uint64_t>;
+  Key key() const {
+    if (kind == EntityKind::kSettop) {
+      return {1, settop_host, 0, 0, 0};
+    }
+    return {2,
+            (static_cast<uint64_t>(ref.endpoint.host) << 16) | ref.endpoint.port,
+            ref.incarnation, ref.type_id, ref.object_id};
+  }
+
+  friend bool operator==(const EntityId&, const EntityId&) = default;
+};
+
+inline void WireWrite(wire::Writer& w, const EntityId& e) {
+  w.WriteU8(static_cast<uint8_t>(e.kind));
+  w.WriteU32(e.settop_host);
+  WireWrite(w, e.ref);
+}
+inline void WireRead(wire::Reader& r, EntityId* e) {
+  e->kind = static_cast<EntityKind>(r.ReadU8());
+  e->settop_host = r.ReadU32();
+  WireRead(r, &e->ref);
+}
+
+enum RasMethod : uint32_t {
+  kRasMethodCheckStatus = 1,
+};
+
+class RasProxy : public rpc::Proxy {
+ public:
+  using Proxy::Proxy;
+  // Returns one EntityStatus (as uint8) per entity, immediately — the RAS
+  // never blocks a checkStatus on contacting other services (Section 7.2).
+  Future<std::vector<uint8_t>> CheckStatus(
+      const std::vector<EntityId>& entities) const {
+    return rpc::DecodeReply<std::vector<uint8_t>>(
+        Call(kRasMethodCheckStatus, rpc::EncodeArgs(entities)));
+  }
+};
+
+// Bootstrap reference to the RAS instance on `host` (every server runs one at
+// the well-known port; "services contact the RAS on their local machine").
+inline wire::ObjectRef RasRefAt(uint32_t host) {
+  wire::ObjectRef ref;
+  ref.endpoint = {host, kRasPort};
+  ref.incarnation = 0;  // The RAS is stateless across restarts by design.
+  ref.type_id = wire::TypeIdFromName(kRasInterface);
+  ref.object_id = 1;
+  return ref;
+}
+
+// --- ObjectStatusCallback -------------------------------------------------------
+// Exported by the RAS, invoked by the SSC (paper Section 6.1): once with all
+// live objects at registration time, then incrementally as services register
+// objects or processes die.
+
+enum ObjectStatusCallbackMethod : uint32_t {
+  kOscMethodObjectsReady = 1,
+  kOscMethodObjectsDead = 2,
+};
+
+class ObjectStatusCallbackProxy : public rpc::Proxy {
+ public:
+  using Proxy::Proxy;
+  Future<void> ObjectsReady(const std::vector<wire::ObjectRef>& objects) const {
+    return rpc::DecodeEmptyReply(
+        Call(kOscMethodObjectsReady, rpc::EncodeArgs(objects)));
+  }
+  Future<void> ObjectsDead(const std::vector<wire::ObjectRef>& objects) const {
+    return rpc::DecodeEmptyReply(
+        Call(kOscMethodObjectsDead, rpc::EncodeArgs(objects)));
+  }
+};
+
+}  // namespace itv::ras
+
+#endif  // SRC_RAS_TYPES_H_

@@ -1,0 +1,140 @@
+// Rebinder: the client-library half of the paper's availability story
+// (Section 8.2, "(Re)binding to services"):
+//
+//   "When the client attempts to invoke an object from a failed service, the
+//    object communication system raises an exception. At this point, library
+//    code in the client automatically returns to the name service to obtain
+//    another object reference for the service."
+//
+// A Rebinder caches an object reference obtained from a resolve function
+// (normally a name-service lookup). Call() runs an attempt against the
+// cached reference; if the attempt fails with a *rebindable* error
+// (UNAVAILABLE — dead implementor; DEADLINE_EXCEEDED — crashed server), it
+// invalidates the cache, re-resolves, and retries with configurable backoff.
+// The backoff option implements the paper's recovery-storm mitigation
+// ("we can modify the library routine to back off when repeating requests").
+
+#ifndef SRC_RPC_REBINDER_H_
+#define SRC_RPC_REBINDER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "src/common/executor.h"
+#include "src/common/future.h"
+#include "src/wire/object_ref.h"
+
+namespace itv::rpc {
+
+inline bool IsRebindable(const Status& s) {
+  return IsUnavailable(s) || IsDeadlineExceeded(s);
+}
+
+class Rebinder {
+ public:
+  struct Options {
+    // Total attempts, including the first. With primary/backup fail-over
+    // taking up to 25 s under the paper's default intervals, callers that
+    // must survive fail-over configure attempts * backoff to cover that.
+    int max_attempts = 3;
+    Duration initial_backoff = Duration::Millis(100);
+    double backoff_multiplier = 2.0;
+    Duration max_backoff = Duration::Seconds(10);
+  };
+
+  // The resolve function completes with a fresh object reference; usually
+  // bound to NamingContextProxy::Resolve("svc/...").
+  using ResolveFn =
+      std::function<void(std::function<void(Result<wire::ObjectRef>)>)>;
+
+  Rebinder(Executor& executor, ResolveFn resolve)
+      : Rebinder(executor, std::move(resolve), Options()) {}
+  Rebinder(Executor& executor, ResolveFn resolve, Options options)
+      : executor_(executor), resolve_(std::move(resolve)), options_(options) {}
+
+  const std::optional<wire::ObjectRef>& cached_ref() const { return ref_; }
+  void Invalidate() { ref_.reset(); }
+  void Prime(wire::ObjectRef ref) { ref_ = ref; }
+
+  // Number of re-resolutions performed over this Rebinder's lifetime
+  // (observability for the recovery-storm benchmark).
+  uint64_t rebind_count() const { return rebind_count_; }
+
+  // Runs `call` against a valid reference, retrying through re-resolution on
+  // rebindable failures. `done` receives the final outcome. The Rebinder must
+  // outlive the operation.
+  template <typename T>
+  void Call(std::function<Future<T>(const wire::ObjectRef&)> call,
+            std::function<void(Result<T>)> done) {
+    Attempt<T>(1, options_.initial_backoff, std::move(call), std::move(done));
+  }
+
+ private:
+  template <typename T>
+  void Attempt(int attempt, Duration backoff,
+               std::function<Future<T>(const wire::ObjectRef&)> call,
+               std::function<void(Result<T>)> done) {
+    WithRef([this, attempt, backoff, call, done](Result<wire::ObjectRef> ref) mutable {
+      if (!ref.ok()) {
+        // Resolve failure: the binding may be missing mid-fail-over; retry.
+        Retry<T>(attempt, backoff, ref.status(), std::move(call), std::move(done));
+        return;
+      }
+      call(*ref).OnReady([this, attempt, backoff, call,
+                          done](const Result<T>& result) mutable {
+        if (result.ok() || !IsRebindable(result.status())) {
+          done(result);
+          return;
+        }
+        Invalidate();
+        Retry<T>(attempt, backoff, result.status(), std::move(call),
+                 std::move(done));
+      });
+    });
+  }
+
+  template <typename T>
+  void Retry(int attempt, Duration backoff, const Status& error,
+             std::function<Future<T>(const wire::ObjectRef&)> call,
+             std::function<void(Result<T>)> done) {
+    if (attempt >= options_.max_attempts) {
+      done(error);
+      return;
+    }
+    Duration next_backoff = backoff * options_.backoff_multiplier;
+    if (next_backoff > options_.max_backoff) {
+      next_backoff = options_.max_backoff;
+    }
+    executor_.ScheduleAfter(backoff, [this, attempt, next_backoff,
+                                      call = std::move(call),
+                                      done = std::move(done)]() mutable {
+      Attempt<T>(attempt + 1, next_backoff, std::move(call), std::move(done));
+    });
+  }
+
+  void WithRef(std::function<void(Result<wire::ObjectRef>)> cb) {
+    if (ref_.has_value()) {
+      cb(*ref_);
+      return;
+    }
+    ++rebind_count_;
+    resolve_([this, cb = std::move(cb)](Result<wire::ObjectRef> r) {
+      if (r.ok()) {
+        ref_ = *r;
+      }
+      cb(std::move(r));
+    });
+  }
+
+  Executor& executor_;
+  ResolveFn resolve_;
+  Options options_;
+  std::optional<wire::ObjectRef> ref_;
+  uint64_t rebind_count_ = 0;
+};
+
+}  // namespace itv::rpc
+
+#endif  // SRC_RPC_REBINDER_H_

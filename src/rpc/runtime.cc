@@ -1,0 +1,243 @@
+#include "src/rpc/runtime.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace itv::rpc {
+
+ObjectRuntime::ObjectRuntime(Executor& executor, Transport& transport,
+                             uint64_t incarnation, SecurityPolicy* policy,
+                             Metrics* metrics)
+    : executor_(executor),
+      transport_(transport),
+      incarnation_(incarnation),
+      policy_(policy),
+      metrics_(metrics) {
+  transport_.SetReceiver([this](wire::Message msg) { OnMessage(std::move(msg)); });
+}
+
+ObjectRuntime::~ObjectRuntime() {
+  transport_.SetReceiver(nullptr);
+  for (auto& [id, call] : pending_) {
+    if (call.timer != kInvalidTimerId) {
+      executor_.Cancel(call.timer);
+    }
+    // Promises are dropped unset: the whole process is being torn down, so
+    // running continuations of dying code would be worse than silence.
+  }
+}
+
+wire::ObjectRef ObjectRuntime::Export(Skeleton* servant) {
+  return ExportAt(servant, next_object_id_++);
+}
+
+wire::ObjectRef ObjectRuntime::ExportAt(Skeleton* servant, uint64_t object_id) {
+  ITV_CHECK(servants_.find(object_id) == servants_.end())
+      << "object id " << object_id << " already exported";
+  if (object_id >= next_object_id_) {
+    next_object_id_ = object_id + 1;
+  }
+  servants_[object_id] = servant;
+  wire::ObjectRef ref;
+  ref.endpoint = transport_.local_endpoint();
+  ref.incarnation = incarnation_;
+  ref.type_id = wire::TypeIdFromName(servant->interface_name());
+  ref.object_id = object_id;
+  return ref;
+}
+
+void ObjectRuntime::Unexport(const wire::ObjectRef& ref) {
+  servants_.erase(ref.object_id);
+}
+
+Future<wire::Bytes> ObjectRuntime::Invoke(const wire::ObjectRef& ref,
+                                          uint32_t method_id, wire::Bytes args,
+                                          const CallOptions& options) {
+  if (ref.is_null()) {
+    return Future<wire::Bytes>::Ready(
+        InvalidArgumentError("invoke on null object reference"));
+  }
+
+  wire::Message msg;
+  msg.kind = wire::MsgKind::kRequest;
+  msg.call_id = next_call_id_++;
+  msg.object_id = ref.object_id;
+  msg.type_id = ref.type_id;
+  msg.method_id = method_id;
+  msg.target_incarnation = ref.incarnation;
+  msg.payload = std::move(args);
+
+  if (policy_ != nullptr) {
+    Status s = policy_->ProtectRequest(ref.endpoint, &msg);
+    if (!s.ok()) {
+      return Future<wire::Bytes>::Ready(std::move(s));
+    }
+  }
+
+  PendingCall call;
+  Future<wire::Bytes> future = call.promise.future();
+  call.ticket_id = msg.auth.ticket_id;
+  uint64_t call_id = msg.call_id;
+  if (!options.timeout.is_infinite()) {
+    call.timer = executor_.ScheduleAfter(options.timeout, [this, call_id, ref] {
+      CountMetric("rpc.timeout");
+      FailCall(call_id,
+               DeadlineExceededError("rpc timeout to " + ref.endpoint.ToString()));
+    });
+  }
+  pending_.emplace(call_id, std::move(call));
+
+  CountMetric("rpc.request.sent");
+  transport_.Send(ref.endpoint, std::move(msg));
+  return future;
+}
+
+void ObjectRuntime::OnMessage(wire::Message msg) {
+  switch (msg.kind) {
+    case wire::MsgKind::kRequest:
+      HandleRequest(std::move(msg));
+      break;
+    case wire::MsgKind::kReply:
+      HandleReply(std::move(msg));
+      break;
+    case wire::MsgKind::kNack:
+      HandleNack(msg);
+      break;
+  }
+}
+
+void ObjectRuntime::HandleRequest(wire::Message msg) {
+  CountMetric("rpc.request.recv");
+
+  // Stale reference: the implementing process has died and this incarnation
+  // took its place (paper Section 3.2.1: the timestamp "prevents use of this
+  // reference after the implementing process dies"). Incarnation 0 marks a
+  // *bootstrap* reference constructed from a well-known address (paper: "with
+  // a few exceptions, notably the name service, object references are only
+  // good as long as the implementor is alive" — name service references are
+  // the exception and survive restarts).
+  if (msg.target_incarnation != 0 && msg.target_incarnation != incarnation_) {
+    SendNack(msg);
+    return;
+  }
+  auto it = servants_.find(msg.object_id);
+  if (it == servants_.end()) {
+    SendNack(msg);
+    return;
+  }
+  Skeleton* servant = it->second;
+  if (msg.type_id != wire::TypeIdFromName(servant->interface_name())) {
+    wire::Message reply;
+    reply.kind = wire::MsgKind::kReply;
+    reply.call_id = msg.call_id;
+    reply.status = StatusCode::kInvalidArgument;
+    reply.status_message = "interface type mismatch";
+    CountMetric("rpc.reply.sent");
+    transport_.Send(msg.source, std::move(reply));
+    return;
+  }
+
+  CallContext ctx;
+  ctx.caller_endpoint = msg.source;
+  if (policy_ != nullptr) {
+    Result<CallerInfo> admitted = policy_->AdmitRequest(&msg);
+    if (!admitted.ok()) {
+      wire::Message reply;
+      reply.kind = wire::MsgKind::kReply;
+      reply.call_id = msg.call_id;
+      reply.status = StatusCode::kPermissionDenied;
+      reply.status_message = admitted.status().message();
+      CountMetric("rpc.reply.sent");
+      transport_.Send(msg.source, std::move(reply));
+      return;
+    }
+    ctx.caller = *admitted;
+  }
+
+  // Capture what the reply needs; the servant may complete asynchronously.
+  wire::Endpoint reply_to = msg.source;
+  uint64_t call_id = msg.call_id;
+  uint64_t ticket_id = msg.auth.ticket_id;
+  ReplyFn reply_fn = [this, reply_to, call_id, ticket_id](Status status,
+                                                          wire::Bytes payload) {
+    wire::Message reply;
+    reply.kind = wire::MsgKind::kReply;
+    reply.call_id = call_id;
+    reply.status = status.code();
+    reply.status_message = status.message();
+    reply.payload = std::move(payload);
+    if (policy_ != nullptr) {
+      Status s = policy_->ProtectReply(ticket_id, &reply);
+      if (!s.ok()) {
+        reply.status = StatusCode::kInternal;
+        reply.status_message = "reply protection failed: " + s.message();
+        reply.payload.clear();
+      }
+    }
+    CountMetric("rpc.reply.sent");
+    transport_.Send(reply_to, std::move(reply));
+  };
+
+  servant->Dispatch(msg.method_id, msg.payload, ctx, std::move(reply_fn));
+}
+
+void ObjectRuntime::HandleReply(wire::Message msg) {
+  CountMetric("rpc.reply.recv");
+  auto it = pending_.find(msg.call_id);
+  if (it == pending_.end()) {
+    return;  // Late reply after timeout; drop.
+  }
+  PendingCall call = std::move(it->second);
+  pending_.erase(it);
+  if (call.timer != kInvalidTimerId) {
+    executor_.Cancel(call.timer);
+  }
+  if (policy_ != nullptr) {
+    Status s = policy_->CheckReply(call.ticket_id, &msg);
+    if (!s.ok()) {
+      call.promise.Set(InternalError("reply verification failed: " + s.message()));
+      return;
+    }
+  }
+  if (msg.status != StatusCode::kOk) {
+    call.promise.Set(Status(msg.status, msg.status_message));
+    return;
+  }
+  call.promise.Set(std::move(msg.payload));
+}
+
+void ObjectRuntime::HandleNack(const wire::Message& msg) {
+  CountMetric("rpc.nack.recv");
+  FailCall(msg.call_id, UnavailableError("object implementor is gone (" +
+                                         msg.source.ToString() + ")"));
+}
+
+void ObjectRuntime::SendNack(const wire::Message& request) {
+  wire::Message nack;
+  nack.kind = wire::MsgKind::kNack;
+  nack.call_id = request.call_id;
+  CountMetric("rpc.nack.sent");
+  transport_.Send(request.source, std::move(nack));
+}
+
+void ObjectRuntime::FailCall(uint64_t call_id, Status status) {
+  auto it = pending_.find(call_id);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingCall call = std::move(it->second);
+  pending_.erase(it);
+  if (call.timer != kInvalidTimerId) {
+    executor_.Cancel(call.timer);
+  }
+  call.promise.Set(std::move(status));
+}
+
+void ObjectRuntime::CountMetric(std::string_view name) {
+  if (metrics_ != nullptr) {
+    metrics_->Add(name);
+  }
+}
+
+}  // namespace itv::rpc

@@ -1,0 +1,77 @@
+// Security hooks the ORB calls on every request/reply.
+//
+// The paper (Section 3.3): "when an object method is invoked, the object can
+// securely determine the identity of the caller... Calls and returns can
+// optionally be signed and/or encrypted. By default, calls are signed but not
+// encrypted."
+//
+// auth::KerberosPolicy (src/auth/policy.h) implements these hooks with real
+// HMAC-SHA256 signatures keyed by tickets from the authentication service.
+// InsecurePolicy is for unit tests and for components bootstrapping before
+// the auth service is up.
+
+#ifndef SRC_RPC_SECURITY_H_
+#define SRC_RPC_SECURITY_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/wire/message.h"
+
+namespace itv::rpc {
+
+struct CallerInfo {
+  std::string principal;      // Who is calling (empty if anonymous).
+  bool authenticated = false; // True only if a valid signature was checked.
+};
+
+class SecurityPolicy {
+ public:
+  virtual ~SecurityPolicy() = default;
+
+  // Client side: stamp an outgoing request (principal, signature, optional
+  // payload encryption). `dst` identifies the target so the policy can pick
+  // the matching ticket.
+  virtual Status ProtectRequest(const wire::Endpoint& dst, wire::Message* m) = 0;
+
+  // Server side: verify an incoming request and decrypt its payload in place.
+  // Returns the (possibly unauthenticated) caller identity, or an error to
+  // reject the call with PERMISSION_DENIED.
+  virtual Result<CallerInfo> AdmitRequest(wire::Message* m) = 0;
+
+  // Server side: stamp the outgoing reply so the caller can check it came
+  // from the intended recipient. `ticket_id` is the ticket from the request.
+  virtual Status ProtectReply(uint64_t ticket_id, wire::Message* reply) = 0;
+
+  // Client side: verify an incoming reply to a request we signed with
+  // `ticket_id`, decrypting the payload in place.
+  virtual Status CheckReply(uint64_t ticket_id, wire::Message* reply) = 0;
+};
+
+// Pass-through policy: stamps a fixed principal, never signs, admits
+// everything as unauthenticated.
+class InsecurePolicy : public SecurityPolicy {
+ public:
+  explicit InsecurePolicy(std::string principal) : principal_(std::move(principal)) {}
+
+  Status ProtectRequest(const wire::Endpoint&, wire::Message* m) override {
+    m->auth.principal = principal_;
+    return OkStatus();
+  }
+
+  Result<CallerInfo> AdmitRequest(wire::Message* m) override {
+    return CallerInfo{m->auth.principal, /*authenticated=*/false};
+  }
+
+  Status ProtectReply(uint64_t, wire::Message*) override { return OkStatus(); }
+  Status CheckReply(uint64_t, wire::Message*) override { return OkStatus(); }
+
+  const std::string& principal() const { return principal_; }
+
+ private:
+  std::string principal_;
+};
+
+}  // namespace itv::rpc
+
+#endif  // SRC_RPC_SECURITY_H_

@@ -1,0 +1,36 @@
+// Transport: message-oriented send/receive between endpoints.
+//
+// Implementations:
+//   - sim::SimTransport (src/sim/cluster.h): in-simulator delivery with
+//     modelled latency; NACKs when the destination process is gone.
+//   - net::TcpTransport (src/net/tcp_transport.h): real sockets.
+//
+// Reliability contract: a message is either delivered, NACKed (destination
+// port has no live listener / stale incarnation), or silently lost (node
+// crash, partition). The RPC layer turns NACKs into UNAVAILABLE immediately
+// and losses into DEADLINE_EXCEEDED via per-call timers.
+
+#ifndef SRC_RPC_TRANSPORT_H_
+#define SRC_RPC_TRANSPORT_H_
+
+#include <functional>
+
+#include "src/wire/message.h"
+
+namespace itv::rpc {
+
+class Transport {
+ public:
+  // Receives messages with msg.source filled in by the transport.
+  using Receiver = std::function<void(wire::Message)>;
+
+  virtual ~Transport() = default;
+
+  virtual void Send(const wire::Endpoint& dst, wire::Message msg) = 0;
+  virtual void SetReceiver(Receiver receiver) = 0;
+  virtual wire::Endpoint local_endpoint() const = 0;
+};
+
+}  // namespace itv::rpc
+
+#endif  // SRC_RPC_TRANSPORT_H_

@@ -1,0 +1,77 @@
+#include "src/settop/navigator.h"
+
+#include <utility>
+
+namespace itv::settop {
+
+wire::Bytes EncodeLineup(const std::vector<ChannelEntry>& entries) {
+  return wire::EncodeValue(entries);
+}
+
+void Navigator::Start(std::function<void(Status)> done) {
+  am_.Download(options_.lineup_item, [this, done = std::move(done)](
+                                         Status s, wire::Bytes content) {
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    std::vector<ChannelEntry> entries;
+    if (!wire::DecodeValue(content, &entries)) {
+      done(DataLossError("channel lineup is corrupt"));
+      return;
+    }
+    channels_.clear();
+    for (ChannelEntry& entry : entries) {
+      channels_[entry.channel] = std::move(entry);
+    }
+    ready_ = true;
+    done(OkStatus());
+  });
+}
+
+Result<ChannelEntry> Navigator::Lookup(uint32_t channel) const {
+  if (!ready_) {
+    return FailedPreconditionError("navigator not started");
+  }
+  auto it = channels_.find(channel);
+  if (it == channels_.end()) {
+    return NotFoundError("no interactive service on channel " +
+                         std::to_string(channel));
+  }
+  return it->second;
+}
+
+void Navigator::Tune(uint32_t channel, std::function<void(Status)> done) {
+  Result<ChannelEntry> entry = Lookup(channel);
+  if (!entry.ok()) {
+    done(entry.status());
+    return;
+  }
+  if (entry->kind != ChannelKind::kApplication) {
+    done(FailedPreconditionError("channel " + std::to_string(channel) +
+                                 " is a venue; pick an app"));
+    return;
+  }
+  am_.StartApp(entry->app_item, std::move(done));
+}
+
+void Navigator::TuneVenueApp(uint32_t channel, size_t index,
+                             std::function<void(Status)> done) {
+  Result<ChannelEntry> entry = Lookup(channel);
+  if (!entry.ok()) {
+    done(entry.status());
+    return;
+  }
+  if (entry->kind != ChannelKind::kVenue) {
+    done(FailedPreconditionError("channel " + std::to_string(channel) +
+                                 " is not a venue"));
+    return;
+  }
+  if (index >= entry->venue_apps.size()) {
+    done(OutOfRangeError("venue has no app #" + std::to_string(index)));
+    return;
+  }
+  am_.StartApp(entry->venue_apps[index], std::move(done));
+}
+
+}  // namespace itv::settop

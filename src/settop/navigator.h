@@ -1,0 +1,93 @@
+// The navigator (paper Sections 3.4.2-3.4.3): "The first application that
+// the AM loads after booting is called the navigator. This application
+// provides a convenient way for settop users to find applications of
+// interest... the user can select an application with the remote control.
+// The navigator can be used to find the desired application, or the user can
+// enter the appropriate channel number directly. Some channels correspond to
+// single applications, others to venues through which a user can find a set
+// of applications, e.g. games."
+//
+// The channel lineup is a data item ("channel-lineup" by default) downloaded
+// through the RDS, wire-encoded as a vector of ChannelEntry.
+
+#ifndef SRC_SETTOP_NAVIGATOR_H_
+#define SRC_SETTOP_NAVIGATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/settop/app_manager.h"
+
+namespace itv::settop {
+
+enum class ChannelKind : uint8_t {
+  kApplication = 1,  // Tuning launches one application.
+  kVenue = 2,        // A menu of applications (e.g. "games").
+};
+
+struct ChannelEntry {
+  uint32_t channel = 0;
+  ChannelKind kind = ChannelKind::kApplication;
+  std::string app_item;                 // kApplication: the RDS binary name.
+  std::vector<std::string> venue_apps;  // kVenue: selectable applications.
+
+  friend bool operator==(const ChannelEntry&, const ChannelEntry&) = default;
+};
+
+inline void WireWrite(wire::Writer& w, const ChannelEntry& e) {
+  w.WriteU32(e.channel);
+  w.WriteU8(static_cast<uint8_t>(e.kind));
+  w.WriteString(e.app_item);
+  WireWrite(w, e.venue_apps);
+}
+inline void WireRead(wire::Reader& r, ChannelEntry* e) {
+  e->channel = r.ReadU32();
+  e->kind = static_cast<ChannelKind>(r.ReadU8());
+  e->app_item = r.ReadString();
+  WireRead(r, &e->venue_apps);
+}
+
+// Encodes a lineup into an RDS DataItem's content.
+wire::Bytes EncodeLineup(const std::vector<ChannelEntry>& entries);
+
+class Navigator {
+ public:
+  struct Options {
+    std::string lineup_item = "channel-lineup";
+  };
+
+  // `am` must be booted and outlive the navigator.
+  Navigator(AppManager& am) : Navigator(am, Options()) {}
+  Navigator(AppManager& am, Options options)
+      : am_(am), options_(std::move(options)) {}
+
+  // Downloads and parses the channel lineup.
+  void Start(std::function<void(Status)> done);
+
+  bool ready() const { return ready_; }
+  size_t channel_count() const { return channels_.size(); }
+
+  // Channel directly entered on the remote (paper: "the user can enter the
+  // appropriate channel number directly").
+  Result<ChannelEntry> Lookup(uint32_t channel) const;
+
+  // Tunes to a channel: an application channel downloads and starts its app;
+  // a venue channel fails with FAILED_PRECONDITION (pick via TuneVenueApp).
+  void Tune(uint32_t channel, std::function<void(Status)> done);
+
+  // Selects the `index`-th application of a venue channel.
+  void TuneVenueApp(uint32_t channel, size_t index,
+                    std::function<void(Status)> done);
+
+ private:
+  AppManager& am_;
+  Options options_;
+  bool ready_ = false;
+  std::map<uint32_t, ChannelEntry> channels_;
+};
+
+}  // namespace itv::settop
+
+#endif  // SRC_SETTOP_NAVIGATOR_H_

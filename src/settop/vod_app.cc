@@ -1,0 +1,216 @@
+#include "src/settop/vod_app.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace itv::settop {
+
+class VodApp::MediaSinkSkeleton : public rpc::Skeleton {
+ public:
+  explicit MediaSinkSkeleton(VodApp& app) : app_(app) {}
+  std::string_view interface_name() const override {
+    return media::kMediaSinkInterface;
+  }
+  void Dispatch(uint32_t method_id, const wire::Bytes& args,
+                const rpc::CallContext& ctx, rpc::ReplyFn reply) override {
+    switch (method_id) {
+      case media::kSinkMethodOnData: {
+        uint64_t stream_id = 0;
+        int64_t position = 0;
+        uint32_t chunk = 0;
+        if (!rpc::DecodeArgs(args, &stream_id, &position, &chunk)) {
+          return rpc::ReplyBadArgs(reply);
+        }
+        app_.OnData(stream_id, position, chunk);
+        return rpc::ReplyOk(reply);
+      }
+      case media::kSinkMethodOnEndOfStream: {
+        uint64_t stream_id = 0;
+        if (!rpc::DecodeArgs(args, &stream_id)) {
+          return rpc::ReplyBadArgs(reply);
+        }
+        app_.OnEndOfStream(stream_id);
+        return rpc::ReplyOk(reply);
+      }
+      default:
+        return rpc::ReplyBadMethod(reply, method_id);
+    }
+  }
+
+ private:
+  VodApp& app_;
+};
+
+VodApp::VodApp(rpc::ObjectRuntime& runtime, Executor& executor,
+               naming::NameClient name_client, Options options,
+               Metrics* metrics)
+    : runtime_(runtime),
+      executor_(executor),
+      name_client_(std::move(name_client)),
+      options_(options),
+      metrics_(metrics),
+      mms_(executor, name_client_.ResolveFnFor(std::string(media::kMmsName)),
+           options.mms_rebind) {
+  sink_ = std::make_unique<MediaSinkSkeleton>(*this);
+  sink_ref_ = runtime_.Export(sink_.get());
+}
+
+VodApp::~VodApp() {
+  if (gap_timer_ != kInvalidTimerId) {
+    executor_.Cancel(gap_timer_);
+  }
+}
+
+void VodApp::PlayMovie(const std::string& title,
+                       std::function<void(Status)> done) {
+  ITV_CHECK(!playing_) << "already playing";
+  title_ = title;
+  done_ = std::move(done);
+  playing_ = true;
+  position_bytes_ = 0;
+  reopen_count_ = 0;
+  OpenAndPlay(0);
+}
+
+void VodApp::OpenAndPlay(int64_t from_position) {
+  uint32_t my_host = runtime_.local_endpoint().host;
+  mms_.Call<media::MmsTicket>(
+      [this, my_host](const wire::ObjectRef& mms_ref) {
+        return media::MmsProxy(runtime_, mms_ref)
+            .Open(title_, my_host, sink_ref_);
+      },
+      [this, from_position](Result<media::MmsTicket> ticket) {
+        if (!playing_) {
+          // Stopped while opening: release what we just got.
+          if (ticket.ok()) {
+            wire::ObjectRef movie = ticket->movie;
+            mms_.Call<void>(
+                [this, movie](const wire::ObjectRef& mms_ref) {
+                  return media::MmsProxy(runtime_, mms_ref).Close(movie);
+                },
+                [](Result<void>) {});
+          }
+          return;
+        }
+        if (!ticket.ok()) {
+          Finish(ticket.status());
+          return;
+        }
+        session_id_ = ticket->session_id;
+        stream_id_ = ticket->stream_id;
+        movie_ = ticket->movie;
+        mds_host_ = ticket->mds_host;
+        media::MovieProxy movie(runtime_, movie_);
+        movie.Play(from_position).OnReady([this](const Result<void>& r) {
+          if (!playing_) {
+            return;
+          }
+          if (!r.ok()) {
+            OnDataGap();  // Treat a failed play like a dead stream.
+            return;
+          }
+          if (metrics_ != nullptr) {
+            metrics_->Add("vod.playing");
+          }
+          // Arm the failure detector.
+          if (gap_timer_ != kInvalidTimerId) {
+            executor_.Cancel(gap_timer_);
+          }
+          gap_timer_ = executor_.ScheduleAfter(options_.data_gap_timeout,
+                                               [this] { OnDataGap(); });
+        });
+      });
+}
+
+void VodApp::OnData(uint64_t stream_id, int64_t position, uint32_t chunk) {
+  if (!playing_ || stream_id != stream_id_) {
+    return;
+  }
+  position_bytes_ = position;
+  ++chunks_received_;
+  if (gap_timer_ != kInvalidTimerId) {
+    executor_.Cancel(gap_timer_);
+  }
+  gap_timer_ =
+      executor_.ScheduleAfter(options_.data_gap_timeout, [this] { OnDataGap(); });
+}
+
+void VodApp::OnEndOfStream(uint64_t stream_id) {
+  if (!playing_ || stream_id != stream_id_) {
+    return;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Add("vod.completed");
+  }
+  CloseSession();
+  Finish(OkStatus());
+}
+
+void VodApp::OnDataGap() {
+  gap_timer_ = kInvalidTimerId;
+  if (!playing_) {
+    return;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Add("vod.stream_failure");
+  }
+  ITV_LOG(Info) << "vod: stream went quiet at " << position_bytes_
+                << " bytes; reopening";
+  // Section 3.5.2: close the original movie, ask the MMS to open it again.
+  CloseSession();
+  if (!options_.auto_resume) {
+    Finish(UnavailableError("media stream failed"));
+    return;
+  }
+  ++reopen_count_;
+  if (metrics_ != nullptr) {
+    metrics_->Add("vod.reopen");
+  }
+  OpenAndPlay(position_bytes_);
+}
+
+void VodApp::CloseSession() {
+  if (session_id_ == 0) {
+    return;
+  }
+  wire::ObjectRef movie = movie_;
+  session_id_ = 0;
+  stream_id_ = 0;
+  movie_ = wire::ObjectRef{};
+  mms_.Call<void>(
+      [this, movie](const wire::ObjectRef& mms_ref) {
+        return media::MmsProxy(runtime_, mms_ref).Close(movie);
+      },
+      [](Result<void>) {});
+}
+
+void VodApp::Stop() {
+  if (!playing_) {
+    return;
+  }
+  playing_ = false;
+  if (gap_timer_ != kInvalidTimerId) {
+    executor_.Cancel(gap_timer_);
+    gap_timer_ = kInvalidTimerId;
+  }
+  CloseSession();
+  if (metrics_ != nullptr) {
+    metrics_->Add("vod.stopped");
+  }
+}
+
+void VodApp::Finish(Status status) {
+  playing_ = false;
+  if (gap_timer_ != kInvalidTimerId) {
+    executor_.Cancel(gap_timer_);
+    gap_timer_ = kInvalidTimerId;
+  }
+  if (done_) {
+    auto done = std::move(done_);
+    done_ = nullptr;
+    done(std::move(status));
+  }
+}
+
+}  // namespace itv::settop

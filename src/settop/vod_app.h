@@ -1,0 +1,93 @@
+// Video-on-demand application (paper Sections 3.4.4-3.5.2): the settop half
+// of playing a movie.
+//
+//   - Resolves the MMS once and opens the movie; invokes play on the movie
+//     object the MMS returns.
+//   - Tracks the play position locally ("the Video on Demand service...
+//     maintains information about the current point in movie play both in
+//     the settop and in its own service", Section 10.1.1) — here the settop
+//     side, used to resume after failures.
+//   - Detects MDS/server crashes by the data stream going quiet
+//     (Section 3.5.2) and "recovers by closing the original movie and then
+//     asking MMS to open the movie again", resuming at the saved position.
+
+#ifndef SRC_SETTOP_VOD_APP_H_
+#define SRC_SETTOP_VOD_APP_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/executor.h"
+#include "src/common/metrics.h"
+#include "src/media/mms.h"
+#include "src/naming/name_client.h"
+#include "src/rpc/rebinder.h"
+
+namespace itv::settop {
+
+class VodApp {
+ public:
+  struct Options {
+    // How long without OnData before the app declares the stream dead. The
+    // MDS sends every 500 ms by default, so 2 s = four missed chunks.
+    Duration data_gap_timeout = Duration::Seconds(2);
+    bool auto_resume = true;
+    rpc::Rebinder::Options mms_rebind;
+  };
+
+  VodApp(rpc::ObjectRuntime& runtime, Executor& executor,
+         naming::NameClient name_client, Options options,
+         Metrics* metrics = nullptr);
+  ~VodApp();
+
+  // Opens and plays `title` until the end of stream (or Stop). `done` fires
+  // with OK at end-of-stream, or the final error if recovery fails.
+  void PlayMovie(const std::string& title, std::function<void(Status)> done);
+
+  // Viewer stops: closes the movie through the MMS (paper Section 3.4.5).
+  void Stop();
+
+  bool playing() const { return playing_; }
+  int64_t position_bytes() const { return position_bytes_; }
+  uint32_t reopen_count() const { return reopen_count_; }
+  uint64_t chunks_received() const { return chunks_received_; }
+  uint64_t session_id() const { return session_id_; }
+  // Which server is currently streaming (0 = none).
+  uint32_t mds_host() const { return mds_host_; }
+
+ private:
+  class MediaSinkSkeleton;
+
+  void OpenAndPlay(int64_t from_position);
+  void OnData(uint64_t stream_id, int64_t position, uint32_t chunk);
+  void OnEndOfStream(uint64_t stream_id);
+  void OnDataGap();
+  void CloseSession();
+  void Finish(Status status);
+
+  rpc::ObjectRuntime& runtime_;
+  Executor& executor_;
+  naming::NameClient name_client_;
+  Options options_;
+  Metrics* metrics_;
+
+  rpc::Rebinder mms_;
+  std::unique_ptr<MediaSinkSkeleton> sink_;
+  wire::ObjectRef sink_ref_;
+
+  std::string title_;
+  std::function<void(Status)> done_;
+  bool playing_ = false;
+  uint64_t session_id_ = 0;
+  uint64_t stream_id_ = 0;
+  wire::ObjectRef movie_;
+  int64_t position_bytes_ = 0;
+  uint32_t reopen_count_ = 0;
+  uint64_t chunks_received_ = 0;
+  uint32_t mds_host_ = 0;
+  TimerId gap_timer_ = kInvalidTimerId;
+};
+
+}  // namespace itv::settop
+
+#endif  // SRC_SETTOP_VOD_APP_H_

@@ -1,0 +1,65 @@
+#include "src/sim/scheduler.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace itv::sim {
+
+TimerId Scheduler::ScheduleAt(Time when, std::function<void()> fn) {
+  ITV_CHECK(fn != nullptr);
+  if (when < now_) {
+    when = now_;  // The past is the present for late schedulers.
+  }
+  TimerId id = next_id_++;
+  handlers_.emplace(id, std::move(fn));
+  queue_.push(Entry{when, next_seq_++, id});
+  return id;
+}
+
+bool Scheduler::Cancel(TimerId id) { return handlers_.erase(id) > 0; }
+
+void Scheduler::RunOne() {
+  Entry e = queue_.top();
+  queue_.pop();
+  auto it = handlers_.find(e.id);
+  if (it == handlers_.end()) {
+    return;  // Cancelled.
+  }
+  std::function<void()> fn = std::move(it->second);
+  handlers_.erase(it);
+  now_ = e.when;
+  ++executed_;
+  fn();
+}
+
+void Scheduler::RunUntil(Time deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    RunOne();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void Scheduler::RunUntilIdle(uint64_t max_events) {
+  uint64_t steps = 0;
+  while (!queue_.empty()) {
+    ITV_CHECK(steps++ < max_events) << "RunUntilIdle exhausted its event budget";
+    RunOne();
+  }
+}
+
+bool Scheduler::Step() {
+  while (!queue_.empty()) {
+    if (handlers_.find(queue_.top().id) == handlers_.end()) {
+      queue_.pop();  // Skip cancelled without counting as a step.
+      continue;
+    }
+    RunOne();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace itv::sim

@@ -1,0 +1,70 @@
+// Deterministic discrete-event scheduler: the simulated cluster's Executor.
+//
+// Events at equal virtual times run in scheduling order (FIFO), so runs are
+// fully reproducible. Tests and benches drive it with RunFor/RunUntil/
+// RunUntilIdle.
+
+#ifndef SRC_SIM_SCHEDULER_H_
+#define SRC_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/executor.h"
+
+namespace itv::sim {
+
+class Scheduler : public Executor {
+ public:
+  Scheduler() = default;
+
+  Time Now() const override { return now_; }
+
+  TimerId ScheduleAt(Time when, std::function<void()> fn) override;
+  bool Cancel(TimerId id) override;
+
+  // Runs events until (and including) virtual time `deadline`.
+  void RunUntil(Time deadline);
+  void RunFor(Duration d) { RunUntil(now_ + d); }
+
+  // Runs until no events remain. `max_events` guards against ping-pong loops
+  // (periodic timers make true idleness rare; prefer RunFor).
+  void RunUntilIdle(uint64_t max_events = 10000000);
+
+  // Runs exactly one event if any is pending; returns false when empty.
+  bool Step();
+
+  size_t pending_events() const { return handlers_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time when;
+    uint64_t seq;  // FIFO tie-break.
+    TimerId id;
+    bool operator>(const Entry& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  // Pops and runs the earliest pending event; requires one exists at <= limit.
+  void RunOne();
+
+  Time now_;
+  uint64_t next_id_ = 1;
+  uint64_t next_seq_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  // Cancellation: ids absent from this map are skipped when popped.
+  std::unordered_map<TimerId, std::function<void()>> handlers_;
+};
+
+}  // namespace itv::sim
+
+#endif  // SRC_SIM_SCHEDULER_H_

@@ -1,0 +1,300 @@
+#include "src/svc/csc.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace itv::svc {
+
+std::string EncodeHostList(const std::vector<uint32_t>& hosts) {
+  std::string out;
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += std::to_string(hosts[i]);
+  }
+  return out;
+}
+
+std::vector<uint32_t> DecodeHostList(const std::string& value) {
+  std::vector<uint32_t> hosts;
+  for (const std::string& part : SplitPath(value, ',')) {
+    hosts.push_back(static_cast<uint32_t>(std::strtoul(part.c_str(), nullptr, 10)));
+  }
+  return hosts;
+}
+
+CscService::CscService(rpc::ObjectRuntime& runtime, Executor& executor,
+                       naming::NameClient name_client, Options options,
+                       Metrics* metrics)
+    : runtime_(runtime),
+      executor_(executor),
+      name_client_(std::move(name_client)),
+      options_(options),
+      metrics_(metrics),
+      db_(executor, name_client_.ResolveFnFor("svc/db")) {}
+
+void CscService::Start() {
+  ref_ = runtime_.Export(this);
+  binder_ = std::make_unique<naming::PrimaryBinder>(
+      executor_, name_client_, std::string(kCscName), ref_, options_.binder);
+  binder_->Start([this] {
+    ITV_LOG(Info) << "csc@" << runtime_.local_endpoint().ToString()
+                  << ": became primary";
+    Count("csc.became_primary");
+    // "This backup discovers the cluster state by querying each SSC" — the
+    // reconcile loop does exactly that on every tick.
+    Reconcile();
+    reconcile_timer_.Start(executor_, options_.ping_interval,
+                           [this] { Reconcile(); });
+  });
+}
+
+void CscService::LoadConfig(
+    std::function<void(Result<std::map<std::string, std::set<uint32_t>>>,
+                       std::vector<uint32_t>)>
+        cb) {
+  db_.Call<std::vector<db::Row>>(
+      [this](const wire::ObjectRef& db_ref) {
+        return db::DatabaseProxy(runtime_, db_ref)
+            .Scan(std::string(kServiceConfigTable));
+      },
+      [this, cb](Result<std::vector<db::Row>> rows) {
+        if (!rows.ok()) {
+          cb(rows.status(), {});
+          return;
+        }
+        std::map<std::string, std::set<uint32_t>> desired;
+        for (const db::Row& row : *rows) {
+          for (uint32_t host : DecodeHostList(row.value)) {
+            desired[row.key].insert(host);
+          }
+        }
+        // The server roster lives in the cluster table.
+        db_.Call<std::string>(
+            [this](const wire::ObjectRef& db_ref) {
+              return db::DatabaseProxy(runtime_, db_ref)
+                  .Get(std::string(kClusterTable), std::string(kClusterServersKey));
+            },
+            [desired, cb](Result<std::string> servers) {
+              std::vector<uint32_t> roster;
+              if (servers.ok()) {
+                roster = DecodeHostList(*servers);
+              }
+              cb(desired, roster);
+            });
+      });
+}
+
+void CscService::Reconcile() {
+  if (!is_primary() || reconcile_in_flight_) {
+    return;
+  }
+  reconcile_in_flight_ = true;
+  Count("csc.reconcile");
+  LoadConfig([this](Result<std::map<std::string, std::set<uint32_t>>> desired,
+                    std::vector<uint32_t> roster) {
+    reconcile_in_flight_ = false;
+    if (!desired.ok()) {
+      return;  // Database briefly unavailable; next tick retries.
+    }
+    // Ping every rostered server's SSC; reconcile the ones that answer.
+    std::set<uint32_t> hosts(roster.begin(), roster.end());
+    for (const auto& [service, assigned_hosts] : *desired) {
+      hosts.insert(assigned_hosts.begin(), assigned_hosts.end());
+    }
+    for (uint32_t host : hosts) {
+      ReconcileHost(host, *desired);
+    }
+    if (options_.auto_migrate) {
+      for (uint32_t host : hosts) {
+        if (migrated_hosts_.count(host) == 0 &&
+            ping_failures_[host] >= options_.migrate_after_failures) {
+          MigrateAwayFrom(host, *desired, roster);
+        }
+      }
+    }
+  });
+}
+
+void CscService::MigrateAwayFrom(
+    uint32_t dead_host, const std::map<std::string, std::set<uint32_t>>& desired,
+    const std::vector<uint32_t>& roster) {
+  // Re-home onto reachable servers, spreading by current assignment count.
+  std::map<uint32_t, size_t> load;
+  for (uint32_t host : roster) {
+    if (host != dead_host && ping_failures_[host] == 0) {
+      load[host] = 0;
+    }
+  }
+  for (const auto& [service, hosts] : desired) {
+    for (uint32_t host : hosts) {
+      auto it = load.find(host);
+      if (it != load.end()) {
+        ++it->second;
+      }
+    }
+  }
+  if (load.empty()) {
+    return;  // Nowhere to go.
+  }
+  migrated_hosts_.insert(dead_host);
+  for (const auto& [service, hosts] : desired) {
+    if (hosts.count(dead_host) == 0) {
+      continue;
+    }
+    // Pick the least-loaded live host not already running this service.
+    uint32_t best = 0;
+    size_t best_load = SIZE_MAX;
+    for (auto& [host, host_load] : load) {
+      if (hosts.count(host) > 0) {
+        continue;  // Already a replica there.
+      }
+      if (host_load < best_load) {
+        best = host;
+        best_load = host_load;
+      }
+    }
+    if (best == 0) {
+      continue;  // Every live server already runs it.
+    }
+    ++load[best];
+    ++migrations_performed_;
+    Count("csc.migration");
+    ITV_LOG(Warn) << "csc: server " << dead_host << " is down; migrating "
+                  << service << " to " << best;
+    std::string service_name = service;
+    uint32_t to = best;
+    MutateAssignment(service_name, dead_host, /*add=*/false, [this, service_name,
+                                                              to](Status s) {
+      if (!s.ok()) {
+        return;
+      }
+      MutateAssignment(service_name, to, /*add=*/true, [](Status) {});
+    });
+  }
+}
+
+void CscService::ReconcileHost(
+    uint32_t host, const std::map<std::string, std::set<uint32_t>>& desired) {
+  SscProxy ssc(runtime_, SscRefAt(host));
+  rpc::CallOptions opts;
+  opts.timeout = options_.rpc_timeout;
+  Count("csc.ssc_ping");
+  ssc.ListServices().OnReady([this, host, desired](
+                                 const Result<std::vector<ServiceRecord>>& r) {
+    if (!r.ok()) {
+      Count("csc.ssc_unreachable");
+      ++ping_failures_[host];
+      return;  // Server down; services with replicas elsewhere cover for it.
+    }
+    ping_failures_[host] = 0;
+    migrated_hosts_.erase(host);  // Recovered: eligible for placement again.
+    std::map<std::string, bool> running;
+    for (const ServiceRecord& record : *r) {
+      running[record.name] = record.running;
+    }
+    SscProxy ssc(runtime_, SscRefAt(host));
+    for (const auto& [service, hosts] : desired) {
+      bool should_run = hosts.count(host) > 0;
+      auto it = running.find(service);
+      bool is_running = it != running.end() && it->second;
+      if (should_run && !is_running) {
+        Count("csc.start_issued");
+        ITV_LOG(Info) << "csc: starting " << service << " on host " << host;
+        ssc.StartService(service).OnReady([](const Result<void>&) {});
+      } else if (!should_run && is_running) {
+        // Only stop services the CSC manages (present in the config).
+        Count("csc.stop_issued");
+        ITV_LOG(Info) << "csc: stopping " << service << " on host " << host;
+        ssc.StopService(service).OnReady([](const Result<void>&) {});
+      }
+    }
+  });
+}
+
+void CscService::MutateAssignment(const std::string& service, uint32_t host,
+                                  bool add, std::function<void(Status)> cb) {
+  LoadConfig([this, service, host, add, cb](
+                 Result<std::map<std::string, std::set<uint32_t>>> desired,
+                 std::vector<uint32_t>) {
+    if (!desired.ok()) {
+      cb(desired.status());
+      return;
+    }
+    std::set<uint32_t> hosts = (*desired)[service];
+    if (add) {
+      hosts.insert(host);
+    } else {
+      hosts.erase(host);
+    }
+    std::string value =
+        EncodeHostList(std::vector<uint32_t>(hosts.begin(), hosts.end()));
+    db_.Call<void>(
+        [this, service, value](const wire::ObjectRef& db_ref) {
+          // An empty host list still keeps the row so reconcile stops strays.
+          return db::DatabaseProxy(runtime_, db_ref)
+              .Put(std::string(kServiceConfigTable), service, value);
+        },
+        [this, cb](Result<void> r) {
+          if (r.ok()) {
+            Reconcile();
+          }
+          cb(r.status());
+        });
+  });
+}
+
+void CscService::Dispatch(uint32_t method_id, const wire::Bytes& args,
+                          const rpc::CallContext& ctx, rpc::ReplyFn reply) {
+  switch (method_id) {
+    case kCscMethodAssign:
+    case kCscMethodUnassign: {
+      std::string service;
+      uint32_t host = 0;
+      if (!rpc::DecodeArgs(args, &service, &host)) {
+        return rpc::ReplyBadArgs(reply);
+      }
+      if (!is_primary()) {
+        return rpc::ReplyError(reply, UnavailableError("not the primary CSC"));
+      }
+      MutateAssignment(service, host, method_id == kCscMethodAssign,
+                       [reply](Status s) {
+                         s.ok() ? rpc::ReplyOk(reply)
+                                : rpc::ReplyError(reply, s);
+                       });
+      return;
+    }
+    case kCscMethodGetAssignments: {
+      LoadConfig([reply](Result<std::map<std::string, std::set<uint32_t>>> desired,
+                         std::vector<uint32_t>) {
+        if (!desired.ok()) {
+          return rpc::ReplyError(reply, desired.status());
+        }
+        std::vector<ServiceAssignment> out;
+        for (const auto& [service, hosts] : *desired) {
+          out.push_back(ServiceAssignment{
+              service, std::vector<uint32_t>(hosts.begin(), hosts.end())});
+        }
+        rpc::ReplyWith(reply, out);
+      });
+      return;
+    }
+    case kCscMethodIsPrimary:
+      return rpc::ReplyWith(reply, is_primary());
+    default:
+      return rpc::ReplyBadMethod(reply, method_id);
+  }
+}
+
+void CscService::Count(std::string_view name) {
+  if (metrics_ != nullptr) {
+    metrics_->Add(name);
+  }
+}
+
+}  // namespace itv::svc

@@ -1,0 +1,161 @@
+// Cluster Service Controller (paper Section 6.2): primary/backup service that
+// decides where services run and directs the per-server SSCs.
+//
+// "The current implementation of the CSC is relatively primitive. It reads a
+//  static configuration from the database to determine which services to run
+//  on each node. There are simple tools that allow an operator to cause a
+//  service or group of services to be stopped, started, or moved between
+//  nodes." — faithfully reproduced: desired placement lives in the database
+// (table "svc_config": service -> comma-separated host list); the primary
+// reconciles by pinging every SSC (Section 6.3) and issuing start/stop; the
+// operator interface mutates the database and lets reconciliation act.
+//
+// Fail-over: replicas race to bind kCscName through a PrimaryBinder; the
+// backup that wins "discovers the cluster state by querying each SSC".
+
+#ifndef SRC_SVC_CSC_H_
+#define SRC_SVC_CSC_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/executor.h"
+#include "src/common/metrics.h"
+#include "src/db/database_service.h"
+#include "src/naming/name_client.h"
+#include "src/rpc/rebinder.h"
+#include "src/svc/ssc.h"
+
+namespace itv::svc {
+
+inline constexpr std::string_view kCscInterface = "itv.ClusterServiceController";
+inline constexpr std::string_view kCscName = "svc/csc";
+inline constexpr std::string_view kServiceConfigTable = "svc_config";
+inline constexpr std::string_view kClusterTable = "cluster";
+inline constexpr std::string_view kClusterServersKey = "servers";
+
+enum CscMethod : uint32_t {
+  kCscMethodAssign = 1,
+  kCscMethodUnassign = 2,
+  kCscMethodGetAssignments = 3,
+  kCscMethodIsPrimary = 4,
+};
+
+struct ServiceAssignment {
+  std::string service;
+  std::vector<uint32_t> hosts;
+
+  friend bool operator==(const ServiceAssignment&,
+                         const ServiceAssignment&) = default;
+};
+
+inline void WireWrite(wire::Writer& w, const ServiceAssignment& a) {
+  w.WriteString(a.service);
+  WireWrite(w, a.hosts);
+}
+inline void WireRead(wire::Reader& r, ServiceAssignment* a) {
+  a->service = r.ReadString();
+  WireRead(r, &a->hosts);
+}
+
+// Database value encoding for a host list ("167772161,167772417").
+std::string EncodeHostList(const std::vector<uint32_t>& hosts);
+std::vector<uint32_t> DecodeHostList(const std::string& value);
+
+class CscProxy : public rpc::Proxy {
+ public:
+  using Proxy::Proxy;
+  Future<void> Assign(const std::string& service, uint32_t host) const {
+    return rpc::DecodeEmptyReply(Call(kCscMethodAssign, rpc::EncodeArgs(service, host)));
+  }
+  Future<void> Unassign(const std::string& service, uint32_t host) const {
+    return rpc::DecodeEmptyReply(
+        Call(kCscMethodUnassign, rpc::EncodeArgs(service, host)));
+  }
+  Future<std::vector<ServiceAssignment>> GetAssignments() const {
+    return rpc::DecodeReply<std::vector<ServiceAssignment>>(
+        Call(kCscMethodGetAssignments, {}));
+  }
+  Future<bool> IsPrimary() const {
+    return rpc::DecodeReply<bool>(Call(kCscMethodIsPrimary, {}));
+  }
+};
+
+class CscService : public rpc::Skeleton {
+ public:
+  struct Options {
+    // "The CSC periodically pings the SSC on each server to detect failures
+    // or recoveries."
+    Duration ping_interval = Duration::Seconds(2);
+    Duration rpc_timeout = Duration::Seconds(2);
+    naming::PrimaryBinder::Options binder;
+
+    // The paper's future work (Sections 6.3, 8.1): "In the future, we intend
+    // to handle server failure by having the CSC distribute services among
+    // the remaining servers." When enabled, a server whose SSC misses
+    // `migrate_after_failures` consecutive pings has its assigned services
+    // re-homed onto reachable servers (least-loaded first). The database
+    // assignment is updated, so the move survives CSC fail-over; when the
+    // dead server returns it simply no longer runs those services (the
+    // operator — or a test — may move them back).
+    bool auto_migrate = false;
+    int migrate_after_failures = 5;
+  };
+
+  CscService(rpc::ObjectRuntime& runtime, Executor& executor,
+             naming::NameClient name_client)
+      : CscService(runtime, executor, std::move(name_client), Options(),
+                   nullptr) {}
+  CscService(rpc::ObjectRuntime& runtime, Executor& executor,
+             naming::NameClient name_client, Options options,
+             Metrics* metrics = nullptr);
+
+  // Exports the CSC object and starts competing for the primary binding.
+  void Start();
+
+  bool is_primary() const { return binder_ && binder_->is_primary(); }
+  wire::ObjectRef ref() const { return ref_; }
+
+  std::string_view interface_name() const override { return kCscInterface; }
+  void Dispatch(uint32_t method_id, const wire::Bytes& args,
+                const rpc::CallContext& ctx, rpc::ReplyFn reply) override;
+
+  uint64_t migrations_performed() const { return migrations_performed_; }
+
+ private:
+  void Reconcile();
+  void ReconcileHost(uint32_t host,
+                     const std::map<std::string, std::set<uint32_t>>& desired);
+  // Re-homes every service assigned to `dead_host` onto reachable servers.
+  void MigrateAwayFrom(uint32_t dead_host,
+                       const std::map<std::string, std::set<uint32_t>>& desired,
+                       const std::vector<uint32_t>& roster);
+  void LoadConfig(std::function<void(Result<std::map<std::string, std::set<uint32_t>>>,
+                                     std::vector<uint32_t>)> cb);
+  void MutateAssignment(const std::string& service, uint32_t host, bool add,
+                        std::function<void(Status)> cb);
+  void Count(std::string_view name);
+
+  rpc::ObjectRuntime& runtime_;
+  Executor& executor_;
+  naming::NameClient name_client_;
+  Options options_;
+  Metrics* metrics_;
+
+  wire::ObjectRef ref_;
+  std::unique_ptr<naming::PrimaryBinder> binder_;
+  rpc::Rebinder db_;
+  PeriodicTimer reconcile_timer_;
+  bool reconcile_in_flight_ = false;
+  // Auto-migration bookkeeping: consecutive failed pings per host, and hosts
+  // already migrated away from (until they answer a ping again).
+  std::map<uint32_t, int> ping_failures_;
+  std::set<uint32_t> migrated_hosts_;
+  uint64_t migrations_performed_ = 0;
+};
+
+}  // namespace itv::svc
+
+#endif  // SRC_SVC_CSC_H_

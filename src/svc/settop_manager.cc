@@ -1,0 +1,52 @@
+#include "src/svc/settop_manager.h"
+
+namespace itv::svc {
+
+ras::EntityStatus SettopManagerService::StatusOf(uint32_t host) const {
+  auto it = last_heard_.find(host);
+  if (it == last_heard_.end()) {
+    return ras::EntityStatus::kUnknown;
+  }
+  if (executor_.Now() - it->second > options_.heartbeat_timeout) {
+    return ras::EntityStatus::kDead;
+  }
+  return ras::EntityStatus::kAlive;
+}
+
+void SettopManagerService::Dispatch(uint32_t method_id, const wire::Bytes& args,
+                                    const rpc::CallContext& ctx,
+                                    rpc::ReplyFn reply) {
+  switch (method_id) {
+    case kStmMethodHeartbeat: {
+      uint32_t host = 0;
+      if (!rpc::DecodeArgs(args, &host)) {
+        return rpc::ReplyBadArgs(reply);
+      }
+      // Trust the transport-reported source over the claimed host when they
+      // disagree (a buggy settop cannot keep another settop "alive").
+      if (ctx.caller_endpoint.host != 0 && ctx.caller_endpoint.host != host) {
+        host = ctx.caller_endpoint.host;
+      }
+      RecordHeartbeat(host);
+      return rpc::ReplyOk(reply);
+    }
+    case kStmMethodGetStatus: {
+      std::vector<uint32_t> hosts;
+      if (!rpc::DecodeArgs(args, &hosts)) {
+        return rpc::ReplyBadArgs(reply);
+      }
+      std::vector<uint8_t> statuses;
+      statuses.reserve(hosts.size());
+      for (uint32_t host : hosts) {
+        statuses.push_back(static_cast<uint8_t>(StatusOf(host)));
+      }
+      return rpc::ReplyWith(reply, statuses);
+    }
+    case kStmMethodCount:
+      return rpc::ReplyWith(reply, static_cast<uint32_t>(last_heard_.size()));
+    default:
+      return rpc::ReplyBadMethod(reply, method_id);
+  }
+}
+
+}  // namespace itv::svc

@@ -1,0 +1,80 @@
+// Settop Manager (paper Section 3.3): "maintains information on settop
+// status (up or down)". Settop Application Managers send periodic heartbeats;
+// a settop that misses heartbeats for `heartbeat_timeout` is reported down.
+// The Resource Audit Service polls this service to answer settop liveness
+// queries (Section 7.2, monitoring rule 1).
+//
+// The manager is deliberately stateless across restarts: state rebuilds from
+// the heartbeat stream, matching the RAS recovery philosophy.
+
+#ifndef SRC_SVC_SETTOP_MANAGER_H_
+#define SRC_SVC_SETTOP_MANAGER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/executor.h"
+#include "src/ras/types.h"
+#include "src/rpc/runtime.h"
+#include "src/rpc/stub_helpers.h"
+
+namespace itv::svc {
+
+inline constexpr std::string_view kSettopManagerInterface = "itv.SettopManager";
+inline constexpr std::string_view kSettopManagerName = "svc/settopmgr";
+
+enum SettopManagerMethod : uint32_t {
+  kStmMethodHeartbeat = 1,
+  kStmMethodGetStatus = 2,
+  kStmMethodCount = 3,
+};
+
+class SettopManagerProxy : public rpc::Proxy {
+ public:
+  using Proxy::Proxy;
+  Future<void> Heartbeat(uint32_t settop_host) const {
+    return rpc::DecodeEmptyReply(
+        Call(kStmMethodHeartbeat, rpc::EncodeArgs(settop_host)));
+  }
+  Future<std::vector<uint8_t>> GetStatus(
+      const std::vector<uint32_t>& hosts) const {
+    return rpc::DecodeReply<std::vector<uint8_t>>(
+        Call(kStmMethodGetStatus, rpc::EncodeArgs(hosts)));
+  }
+  Future<uint32_t> Count() const {
+    return rpc::DecodeReply<uint32_t>(Call(kStmMethodCount, {}));
+  }
+};
+
+class SettopManagerService : public rpc::Skeleton {
+ public:
+  struct Options {
+    // Settops heartbeat every ~5 s; three misses mean down.
+    Duration heartbeat_timeout = Duration::Seconds(15);
+  };
+
+  explicit SettopManagerService(Executor& executor)
+      : SettopManagerService(executor, Options()) {}
+  SettopManagerService(Executor& executor, Options options)
+      : executor_(executor), options_(options) {}
+
+  std::string_view interface_name() const override {
+    return kSettopManagerInterface;
+  }
+  void Dispatch(uint32_t method_id, const wire::Bytes& args,
+                const rpc::CallContext& ctx, rpc::ReplyFn reply) override;
+
+  ras::EntityStatus StatusOf(uint32_t host) const;
+  void RecordHeartbeat(uint32_t host) { last_heard_[host] = executor_.Now(); }
+  size_t tracked_count() const { return last_heard_.size(); }
+
+ private:
+  Executor& executor_;
+  Options options_;
+  std::map<uint32_t, Time> last_heard_;
+};
+
+}  // namespace itv::svc
+
+#endif  // SRC_SVC_SETTOP_MANAGER_H_

@@ -1,0 +1,163 @@
+// Server Service Controller (paper Section 6.1): one per server.
+//
+// "It starts and stops services, monitors running services, and restarts
+//  them in the case of failure... The notifyReady operation accepts a
+//  process id plus a list of objects and records an association between the
+//  listed objects and the process id... The registerCallback operation
+//  allows the caller to register a callback object to be invoked whenever
+//  the set of live objects changes."
+//
+// Launching a "binary" in the simulator means spawning a sim::Process and
+// constructing the service objects inside it; the ServiceLauncher interface
+// is the exec(2) analog, implemented by the cluster harness's service-type
+// registry.
+
+#ifndef SRC_SVC_SSC_H_
+#define SRC_SVC_SSC_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/executor.h"
+#include "src/common/metrics.h"
+#include "src/ras/types.h"
+#include "src/rpc/runtime.h"
+#include "src/rpc/stub_helpers.h"
+#include "src/sim/cluster.h"
+
+namespace itv::svc {
+
+inline constexpr std::string_view kSscInterface = "itv.ServerServiceController";
+inline constexpr uint16_t kSscPort = 510;
+
+enum SscMethod : uint32_t {
+  kSscMethodStartService = 1,
+  kSscMethodStopService = 2,
+  kSscMethodListServices = 3,
+  kSscMethodNotifyReady = 4,
+  kSscMethodRegisterCallback = 5,
+  kSscMethodPing = 6,
+};
+
+struct ServiceRecord {
+  std::string name;
+  bool running = false;
+  uint64_t pid = 0;
+  uint32_t restarts = 0;
+
+  friend bool operator==(const ServiceRecord&, const ServiceRecord&) = default;
+};
+
+inline void WireWrite(wire::Writer& w, const ServiceRecord& s) {
+  w.WriteString(s.name);
+  w.WriteBool(s.running);
+  w.WriteU64(s.pid);
+  w.WriteU32(s.restarts);
+}
+inline void WireRead(wire::Reader& r, ServiceRecord* s) {
+  s->name = r.ReadString();
+  s->running = r.ReadBool();
+  s->pid = r.ReadU64();
+  s->restarts = r.ReadU32();
+}
+
+class SscProxy : public rpc::Proxy {
+ public:
+  using Proxy::Proxy;
+  Future<void> StartService(const std::string& name) const {
+    return rpc::DecodeEmptyReply(Call(kSscMethodStartService, rpc::EncodeArgs(name)));
+  }
+  Future<void> StopService(const std::string& name) const {
+    return rpc::DecodeEmptyReply(Call(kSscMethodStopService, rpc::EncodeArgs(name)));
+  }
+  Future<std::vector<ServiceRecord>> ListServices() const {
+    return rpc::DecodeReply<std::vector<ServiceRecord>>(
+        Call(kSscMethodListServices, {}));
+  }
+  Future<void> NotifyReady(uint64_t pid,
+                           const std::vector<wire::ObjectRef>& objects) const {
+    return rpc::DecodeEmptyReply(
+        Call(kSscMethodNotifyReady, rpc::EncodeArgs(pid, objects)));
+  }
+  Future<void> RegisterCallback(const wire::ObjectRef& callback) const {
+    return rpc::DecodeEmptyReply(
+        Call(kSscMethodRegisterCallback, rpc::EncodeArgs(callback)));
+  }
+  Future<void> Ping() const {
+    return rpc::DecodeEmptyReply(Call(kSscMethodPing, {}));
+  }
+};
+
+// Bootstrap reference to the SSC on `host` (started by init; well-known port;
+// init restarts it on crash, so the reference is address-stable).
+inline wire::ObjectRef SscRefAt(uint32_t host) {
+  wire::ObjectRef ref;
+  ref.endpoint = {host, kSscPort};
+  ref.incarnation = 0;
+  ref.type_id = wire::TypeIdFromName(kSscInterface);
+  ref.object_id = 1;
+  return ref;
+}
+
+// exec(2) analog for the simulator.
+class ServiceLauncher {
+ public:
+  virtual ~ServiceLauncher() = default;
+  // Spawns service `name` as a fresh process on this SSC's node and returns
+  // its pid. Fails with NOT_FOUND for unknown service types.
+  virtual Result<uint64_t> Launch(const std::string& name) = 0;
+};
+
+class SscService : public rpc::Skeleton {
+ public:
+  struct Options {
+    Duration restart_delay = Duration::Millis(500);
+  };
+
+  // `self` is the SSC's own process (used for wait()-style exit watching).
+  SscService(sim::Process& self, ServiceLauncher& launcher)
+      : SscService(self, launcher, Options()) {}
+  SscService(sim::Process& self, ServiceLauncher& launcher, Options options);
+
+  std::string_view interface_name() const override { return kSscInterface; }
+  void Dispatch(uint32_t method_id, const wire::Bytes& args,
+                const rpc::CallContext& ctx, rpc::ReplyFn reply) override;
+
+  // Direct (non-RPC) start used at boot, before the ORB has peers to talk to
+  // (paper Section 6.3 step 2: "the SSC starts the basic services").
+  Status Start(const std::string& name);
+  Status Stop(const std::string& name);
+
+  std::vector<ServiceRecord> List() const;
+  uint32_t restarts_of(const std::string& name) const;
+
+ private:
+  struct Managed {
+    std::string name;
+    bool want_running = false;
+    bool running = false;
+    uint64_t pid = 0;
+    uint32_t restarts = 0;
+  };
+
+  Status DoLaunch(Managed& service);
+  void OnServiceExit(const std::string& name, uint64_t pid);
+  void HandleNotifyReady(uint64_t pid, std::vector<wire::ObjectRef> objects);
+  void FireReady(const std::vector<wire::ObjectRef>& objects);
+  void FireDead(const std::vector<wire::ObjectRef>& objects);
+  std::vector<wire::ObjectRef> AllLiveObjects() const;
+
+  sim::Process& self_;
+  ServiceLauncher& launcher_;
+  Options options_;
+  std::map<std::string, Managed> services_;
+  // pid -> objects that process registered via notifyReady.
+  std::map<uint64_t, std::vector<wire::ObjectRef>> objects_by_pid_;
+  std::vector<wire::ObjectRef> callbacks_;
+};
+
+}  // namespace itv::svc
+
+#endif  // SRC_SVC_SSC_H_

@@ -1,0 +1,80 @@
+#include "src/wire/message.h"
+
+#include "src/common/strings.h"
+
+namespace itv::wire {
+
+namespace {
+constexpr uint32_t kMagic = 0x4f435331;  // "OCS1"
+}  // namespace
+
+Bytes Message::SignedPortion() const {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(kind));
+  w.WriteU64(call_id);
+  w.WriteU64(object_id);
+  w.WriteU64(type_id);
+  w.WriteU32(method_id);
+  w.WriteU64(target_incarnation);
+  w.WriteU8(static_cast<uint8_t>(status));
+  w.WriteString(status_message);
+  w.WriteString(auth.principal);
+  w.WriteU64(auth.ticket_id);
+  w.WriteBytes(payload);
+  return w.TakeBytes();
+}
+
+std::string Message::ToString() const {
+  const char* kind_name = kind == MsgKind::kRequest  ? "REQ"
+                          : kind == MsgKind::kReply ? "REP"
+                                                    : "NACK";
+  return StrFormat("%s call=%llu obj=%llu method=%u from=%s status=%s", kind_name,
+                   static_cast<unsigned long long>(call_id),
+                   static_cast<unsigned long long>(object_id), method_id,
+                   source.ToString().c_str(),
+                   std::string(StatusCodeName(status)).c_str());
+}
+
+Bytes EncodeMessage(const Message& m) {
+  Writer w;
+  w.WriteU32(kMagic);
+  w.WriteU8(static_cast<uint8_t>(m.kind));
+  w.WriteU64(m.call_id);
+  w.WriteU64(m.object_id);
+  w.WriteU64(m.type_id);
+  w.WriteU32(m.method_id);
+  w.WriteU64(m.target_incarnation);
+  w.WriteU8(static_cast<uint8_t>(m.status));
+  w.WriteString(m.status_message);
+  w.WriteString(m.auth.principal);
+  w.WriteU64(m.auth.ticket_id);
+  w.WriteBytes(m.auth.ticket_blob);
+  w.WriteBytes(m.auth.signature);
+  w.WriteBool(m.auth.encrypted);
+  w.WriteBytes(m.payload);
+  return w.TakeBytes();
+}
+
+bool DecodeMessage(const Bytes& b, Message* out) {
+  Reader r(b);
+  if (r.ReadU32() != kMagic) {
+    return false;
+  }
+  out->kind = static_cast<MsgKind>(r.ReadU8());
+  out->call_id = r.ReadU64();
+  out->object_id = r.ReadU64();
+  out->type_id = r.ReadU64();
+  out->method_id = r.ReadU32();
+  out->target_incarnation = r.ReadU64();
+  out->status = static_cast<StatusCode>(r.ReadU8());
+  out->status_message = r.ReadString();
+  out->auth.principal = r.ReadString();
+  out->auth.ticket_id = r.ReadU64();
+  out->auth.ticket_blob = r.ReadBytes();
+  out->auth.signature = r.ReadBytes();
+  out->auth.encrypted = r.ReadBool();
+  out->payload = r.ReadBytes();
+  return r.ok() && r.remaining() == 0;
+}
+
+}  // namespace itv::wire

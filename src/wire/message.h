@@ -1,0 +1,72 @@
+// RPC message format shared by the simulated and TCP transports.
+//
+// Calls are signed by default and optionally encrypted (paper Section 3.3:
+// "By default, calls are signed but not encrypted"). The auth block carries
+// the caller principal, the ticket that keys the HMAC, and the signature;
+// computing/verifying signatures is the auth module's job — wire only
+// defines the bytes that are covered (see SignedPortion()).
+
+#ifndef SRC_WIRE_MESSAGE_H_
+#define SRC_WIRE_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/wire/object_ref.h"
+#include "src/wire/serialize.h"
+
+namespace itv::wire {
+
+enum class MsgKind : uint8_t {
+  kRequest = 1,
+  kReply = 2,
+  // Sent by a node when a message addresses a port nobody listens on or a
+  // stale incarnation — models the TCP RST a caller of a dead process sees,
+  // so "the client will detect this on the next attempt to use the object
+  // reference" (paper Section 3.2.1).
+  kNack = 3,
+};
+
+struct AuthBlock {
+  std::string principal;   // Caller identity ("settop/11.1.0.1", "svc/mms").
+  uint64_t ticket_id = 0;  // Session ticket keying the signature (0 = none).
+  Bytes ticket_blob;       // Kerberos-style: session key sealed for the server.
+  Bytes signature;         // HMAC-SHA256 over SignedPortion(); empty = unsigned.
+  bool encrypted = false;  // Payload encrypted under the session key.
+};
+
+struct Message {
+  MsgKind kind = MsgKind::kRequest;
+  uint64_t call_id = 0;
+  // Request routing: which object/incarnation/method at the destination.
+  uint64_t object_id = 0;
+  uint64_t type_id = 0;
+  uint32_t method_id = 0;
+  uint64_t target_incarnation = 0;
+  // Reply outcome.
+  StatusCode status = StatusCode::kOk;
+  std::string status_message;
+
+  AuthBlock auth;
+  Bytes payload;
+
+  // Filled in by the receiving transport, never serialized.
+  Endpoint source;
+
+  // The bytes covered by the call signature: everything that determines what
+  // the callee will do, so a tampered or replayed-onto-another-object message
+  // fails verification.
+  Bytes SignedPortion() const;
+
+  std::string ToString() const;
+};
+
+// Full framing used by the TCP transport: 4-byte length prefix handled by the
+// stream layer; these functions encode/decode the body.
+Bytes EncodeMessage(const Message& m);
+bool DecodeMessage(const Bytes& b, Message* out);
+
+}  // namespace itv::wire
+
+#endif  // SRC_WIRE_MESSAGE_H_

@@ -1,0 +1,23 @@
+#include "src/wire/object_ref.h"
+
+#include "src/common/strings.h"
+
+namespace itv::wire {
+
+std::string Endpoint::ToString() const {
+  return StrFormat("%u.%u.%u.%u:%u", (host >> 24) & 0xff, (host >> 16) & 0xff,
+                   (host >> 8) & 0xff, host & 0xff, port);
+}
+
+std::string ObjectRef::ToString() const {
+  if (is_null()) {
+    return "<null-ref>";
+  }
+  return StrFormat("ref(%s inc=%llu type=%016llx obj=%llu)",
+                   endpoint.ToString().c_str(),
+                   static_cast<unsigned long long>(incarnation),
+                   static_cast<unsigned long long>(type_id),
+                   static_cast<unsigned long long>(object_id));
+}
+
+}  // namespace itv::wire

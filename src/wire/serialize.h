@@ -1,0 +1,254 @@
+// Wire serialization: the byte format produced by the (hand-written) IDL
+// stubs. Little-endian fixed-width primitives, u32-length-prefixed strings
+// and sequences — the format an IDL compiler in the paper's system would
+// have emitted (paper Section 3.2).
+//
+// Writer appends; Reader consumes with bounds checking and a sticky error
+// flag (check ok() after the last read, as generated stubs do).
+
+#ifndef SRC_WIRE_SERIALIZE_H_
+#define SRC_WIRE_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace itv::wire {
+
+using Bytes = std::vector<uint8_t>;
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void WriteU8(uint8_t v) { buf_.push_back(v); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+  void WriteU16(uint16_t v) { AppendLe(&v, sizeof(v)); }
+  void WriteU32(uint32_t v) { AppendLe(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { AppendLe(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { AppendLe(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { AppendLe(&v, sizeof(v)); }
+  void WriteDouble(double v) { AppendLe(&v, sizeof(v)); }
+
+  void WriteString(std::string_view s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void WriteBytes(const Bytes& b) {
+    WriteU32(static_cast<uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  // Raw append without a length prefix (used by the framing layer).
+  void WriteRaw(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes TakeBytes() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void AppendLe(const void* p, size_t n) {
+    // Host is little-endian on all supported platforms; memcpy keeps this
+    // well-defined for doubles.
+    const auto* src = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), src, src + n);
+  }
+
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t ReadU8() {
+    uint8_t v = 0;
+    Consume(&v, sizeof(v));
+    return v;
+  }
+  bool ReadBool() { return ReadU8() != 0; }
+  uint16_t ReadU16() {
+    uint16_t v = 0;
+    Consume(&v, sizeof(v));
+    return v;
+  }
+  uint32_t ReadU32() {
+    uint32_t v = 0;
+    Consume(&v, sizeof(v));
+    return v;
+  }
+  uint64_t ReadU64() {
+    uint64_t v = 0;
+    Consume(&v, sizeof(v));
+    return v;
+  }
+  int32_t ReadI32() {
+    int32_t v = 0;
+    Consume(&v, sizeof(v));
+    return v;
+  }
+  int64_t ReadI64() {
+    int64_t v = 0;
+    Consume(&v, sizeof(v));
+    return v;
+  }
+  double ReadDouble() {
+    double v = 0;
+    Consume(&v, sizeof(v));
+    return v;
+  }
+
+  std::string ReadString() {
+    uint32_t n = ReadU32();
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  Bytes ReadBytes() {
+    uint32_t n = ReadU32();
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    Bytes b(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return b;
+  }
+
+ private:
+  void Consume(void* out, size_t n) {
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      std::memset(out, 0, n);
+      return;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- Marshal trait -----------------------------------------------------------
+// Overload WireWrite/WireRead for each IDL struct; the templated sequence and
+// map helpers below then compose. This is the contract the hand-written stubs
+// follow (see idl/README.md for the mapping rules).
+
+inline void WireWrite(Writer& w, bool v) { w.WriteBool(v); }
+inline void WireWrite(Writer& w, uint8_t v) { w.WriteU8(v); }
+inline void WireWrite(Writer& w, uint16_t v) { w.WriteU16(v); }
+inline void WireWrite(Writer& w, uint32_t v) { w.WriteU32(v); }
+inline void WireWrite(Writer& w, uint64_t v) { w.WriteU64(v); }
+inline void WireWrite(Writer& w, int32_t v) { w.WriteI32(v); }
+inline void WireWrite(Writer& w, int64_t v) { w.WriteI64(v); }
+inline void WireWrite(Writer& w, double v) { w.WriteDouble(v); }
+inline void WireWrite(Writer& w, const std::string& v) { w.WriteString(v); }
+
+inline void WireRead(Reader& r, bool* v) { *v = r.ReadBool(); }
+inline void WireRead(Reader& r, uint8_t* v) { *v = r.ReadU8(); }
+inline void WireRead(Reader& r, uint16_t* v) { *v = r.ReadU16(); }
+inline void WireRead(Reader& r, uint32_t* v) { *v = r.ReadU32(); }
+inline void WireRead(Reader& r, uint64_t* v) { *v = r.ReadU64(); }
+inline void WireRead(Reader& r, int32_t* v) { *v = r.ReadI32(); }
+inline void WireRead(Reader& r, int64_t* v) { *v = r.ReadI64(); }
+inline void WireRead(Reader& r, double* v) { *v = r.ReadDouble(); }
+inline void WireRead(Reader& r, std::string* v) { *v = r.ReadString(); }
+
+template <typename T>
+void WireWrite(Writer& w, const std::vector<T>& v) {
+  w.WriteU32(static_cast<uint32_t>(v.size()));
+  for (const T& e : v) {
+    WireWrite(w, e);
+  }
+}
+
+template <typename T>
+void WireRead(Reader& r, std::vector<T>* v) {
+  uint32_t n = r.ReadU32();
+  v->clear();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    T e{};
+    WireRead(r, &e);
+    v->push_back(std::move(e));
+  }
+}
+
+template <typename T>
+void WireWrite(Writer& w, const std::optional<T>& v) {
+  w.WriteBool(v.has_value());
+  if (v.has_value()) {
+    WireWrite(w, *v);
+  }
+}
+
+template <typename T>
+void WireRead(Reader& r, std::optional<T>* v) {
+  if (r.ReadBool()) {
+    T e{};
+    WireRead(r, &e);
+    *v = std::move(e);
+  } else {
+    v->reset();
+  }
+}
+
+template <typename K, typename V>
+void WireWrite(Writer& w, const std::map<K, V>& m) {
+  w.WriteU32(static_cast<uint32_t>(m.size()));
+  for (const auto& [k, v] : m) {
+    WireWrite(w, k);
+    WireWrite(w, v);
+  }
+}
+
+template <typename K, typename V>
+void WireRead(Reader& r, std::map<K, V>* m) {
+  uint32_t n = r.ReadU32();
+  m->clear();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    K k{};
+    V v{};
+    WireRead(r, &k);
+    WireRead(r, &v);
+    m->emplace(std::move(k), std::move(v));
+  }
+}
+
+// Convenience: encode a single value to bytes / decode from bytes.
+template <typename T>
+Bytes EncodeValue(const T& v) {
+  Writer w;
+  WireWrite(w, v);
+  return w.TakeBytes();
+}
+
+template <typename T>
+bool DecodeValue(const Bytes& b, T* out) {
+  Reader r(b);
+  WireRead(r, out);
+  return r.ok() && r.remaining() == 0;
+}
+
+}  // namespace itv::wire
+
+#endif  // SRC_WIRE_SERIALIZE_H_

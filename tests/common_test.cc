@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "src/common/executor.h"
+#include "src/common/future.h"
+#include "src/common/histogram.h"
+#include "src/common/rand.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/common/strings.h"
+#include "src/common/time.h"
+#include "src/sim/scheduler.h"
+
+namespace itv {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("no binding for svc/mms");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no binding for svc/mms");
+  EXPECT_TRUE(IsNotFound(s));
+  EXPECT_FALSE(IsUnavailable(s));
+}
+
+TEST(StatusTest, PredicatesMatchOnlyTheirCode) {
+  EXPECT_TRUE(IsUnavailable(UnavailableError("x")));
+  EXPECT_TRUE(IsDeadlineExceeded(DeadlineExceededError("x")));
+  EXPECT_TRUE(IsAlreadyExists(AlreadyExistsError("x")));
+  EXPECT_TRUE(IsResourceExhausted(ResourceExhaustedError("x")));
+  EXPECT_TRUE(IsPermissionDenied(PermissionDeniedError("x")));
+  EXPECT_FALSE(IsUnavailable(InternalError("x")));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 14; ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "INVALID_CODE");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = InternalError("boom");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, VoidSpecialization) {
+  Result<void> ok;
+  EXPECT_TRUE(ok.ok());
+  Result<void> err = AbortedError("a");
+  EXPECT_FALSE(err.ok());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) {
+    return InvalidArgumentError("not positive");
+  }
+  return x;
+}
+
+Result<int> DoubledPositive(int x) {
+  ITV_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*DoubledPositive(21), 42);
+  EXPECT_FALSE(DoubledPositive(-1).ok());
+}
+
+TEST(TimeTest, DurationArithmeticAndConversions) {
+  Duration d = Duration::Seconds(1.5);
+  EXPECT_EQ(d.millis(), 1500);
+  EXPECT_EQ((d + Duration::Millis(500)).seconds(), 2.0);
+  EXPECT_EQ((d * 2).seconds(), 3.0);
+  EXPECT_LT(Duration::Millis(1), Duration::Millis(2));
+  EXPECT_TRUE(Duration().is_zero());
+  EXPECT_TRUE(Duration::Infinite().is_infinite());
+}
+
+TEST(TimeTest, TimeOrderingAndDifference) {
+  Time a = Time::FromNanos(1000);
+  Time b = a + Duration::Micros(5);
+  EXPECT_LT(a, b);
+  EXPECT_EQ((b - a).micros(), 5);
+}
+
+TEST(TimeTest, ToStringFormats) {
+  EXPECT_EQ(Duration::Seconds(2.5).ToString(), "2.500s");
+  EXPECT_EQ(Duration::Millis(250).ToString(), "250ms");
+  EXPECT_EQ(Duration::Micros(10).ToString(), "10us");
+}
+
+TEST(StringsTest, SplitPathDropsEmptyComponents) {
+  EXPECT_EQ(SplitPath("svc/mms"), (std::vector<std::string>{"svc", "mms"}));
+  EXPECT_EQ(SplitPath("/svc//mms/"), (std::vector<std::string>{"svc", "mms"}));
+  EXPECT_TRUE(SplitPath("").empty());
+  EXPECT_TRUE(SplitPath("///").empty());
+}
+
+TEST(StringsTest, JoinPathRoundTrips) {
+  EXPECT_EQ(JoinPath({"a", "b", "c"}), "a/b/c");
+  EXPECT_EQ(JoinPath({}), "");
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(FutureTest, CallbackAfterSetRunsImmediately) {
+  Promise<int> p;
+  p.Set(5);
+  int got = 0;
+  p.future().OnReady([&](const Result<int>& r) { got = *r; });
+  EXPECT_EQ(got, 5);
+}
+
+TEST(FutureTest, CallbackBeforeSetRunsOnSet) {
+  Promise<int> p;
+  Future<int> f = p.future();
+  int got = 0;
+  f.OnReady([&](const Result<int>& r) { got = *r; });
+  EXPECT_EQ(got, 0);
+  p.Set(9);
+  EXPECT_EQ(got, 9);
+}
+
+TEST(FutureTest, MultipleCallbacksRunInOrder) {
+  Promise<int> p;
+  Future<int> f = p.future();
+  std::vector<int> order;
+  f.OnReady([&](const Result<int>&) { order.push_back(1); });
+  f.OnReady([&](const Result<int>&) { order.push_back(2); });
+  p.Set(1);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(FutureTest, ErrorPropagates) {
+  Future<int> f = Future<int>::Ready(UnavailableError("dead"));
+  ASSERT_TRUE(f.is_ready());
+  EXPECT_TRUE(IsUnavailable(f.result().status()));
+}
+
+TEST(FutureTest, VoidFuture) {
+  Promise<void> p;
+  bool done = false;
+  p.future().OnReady([&](const Result<void>& r) { done = r.ok(); });
+  p.Set(Result<void>());
+  EXPECT_TRUE(done);
+}
+
+TEST(PeriodicTimerTest, FiresRepeatedlyOnSchedule) {
+  sim::Scheduler scheduler;
+  PeriodicTimer timer;
+  int fires = 0;
+  timer.Start(scheduler, Duration::Seconds(5), [&] { ++fires; });
+  scheduler.RunFor(Duration::Seconds(26));
+  EXPECT_EQ(fires, 5);  // t = 5, 10, 15, 20, 25.
+}
+
+TEST(PeriodicTimerTest, StopPreventsFurtherFires) {
+  sim::Scheduler scheduler;
+  PeriodicTimer timer;
+  int fires = 0;
+  timer.Start(scheduler, Duration::Seconds(1), [&] {
+    if (++fires == 3) {
+      timer.Stop();
+    }
+  });
+  scheduler.RunFor(Duration::Seconds(10));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTimerTest, RestartChangesPeriod) {
+  sim::Scheduler scheduler;
+  PeriodicTimer timer;
+  int fires = 0;
+  timer.Start(scheduler, Duration::Seconds(10), [&] { ++fires; });
+  timer.Start(scheduler, Duration::Seconds(1), [&] { ++fires; });
+  scheduler.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(fires, 5);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(10), 10u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ZipfFavorsLowRanks) {
+  Rng rng(42);
+  int low = 0;
+  constexpr int kSamples = 5000;
+  for (int i = 0; i < kSamples; ++i) {
+    uint64_t r = rng.Zipf(100);
+    EXPECT_LT(r, 100u);
+    if (r < 10) {
+      ++low;
+    }
+  }
+  // Top-10% of ranks should get well over half the mass at s=1.
+  EXPECT_GT(low, kSamples / 2);
+}
+
+TEST(HistogramTest, PercentilesAndMoments) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Record(i);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Min(), 1);
+  EXPECT_DOUBLE_EQ(h.Max(), 100);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_NEAR(h.Percentile(50), 50.5, 0.6);
+  EXPECT_NEAR(h.Percentile(99), 99, 1.1);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_EQ(h.Mean(), 0);
+}
+
+}  // namespace
+}  // namespace itv

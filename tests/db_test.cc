@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/db/database_service.h"
+#include "src/db/disk.h"
+#include "src/db/store.h"
+#include "src/sim/cluster.h"
+
+namespace itv::db {
+namespace {
+
+TEST(StoreTest, PutGetDelete) {
+  MemoryDisk disk;
+  Store store(disk);
+  ASSERT_TRUE(store.Put("cfg", "mms", "primary=forge").ok());
+  auto v = store.Get("cfg", "mms");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "primary=forge");
+  ASSERT_TRUE(store.Delete("cfg", "mms").ok());
+  EXPECT_TRUE(IsNotFound(store.Get("cfg", "mms").status()));
+}
+
+TEST(StoreTest, GetMissingIsNotFound) {
+  MemoryDisk disk;
+  Store store(disk);
+  EXPECT_TRUE(IsNotFound(store.Get("cfg", "x").status()));
+  ASSERT_TRUE(store.Put("cfg", "a", "1").ok());
+  EXPECT_TRUE(IsNotFound(store.Get("cfg", "x").status()));
+  EXPECT_TRUE(IsNotFound(store.Get("other", "a").status()));
+}
+
+TEST(StoreTest, DeleteMissingIsNotFound) {
+  MemoryDisk disk;
+  Store store(disk);
+  EXPECT_TRUE(IsNotFound(store.Delete("cfg", "x")));
+}
+
+TEST(StoreTest, EmptyTableOrKeyRejected) {
+  MemoryDisk disk;
+  Store store(disk);
+  EXPECT_EQ(store.Put("", "k", "v").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Put("t", "", "v").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StoreTest, OverwriteKeepsLatest) {
+  MemoryDisk disk;
+  Store store(disk);
+  ASSERT_TRUE(store.Put("t", "k", "v1").ok());
+  ASSERT_TRUE(store.Put("t", "k", "v2").ok());
+  EXPECT_EQ(*store.Get("t", "k"), "v2");
+  EXPECT_EQ(store.TableSize("t"), 1u);
+}
+
+TEST(StoreTest, ScanIsKeyOrdered) {
+  MemoryDisk disk;
+  Store store(disk);
+  ASSERT_TRUE(store.Put("t", "b", "2").ok());
+  ASSERT_TRUE(store.Put("t", "a", "1").ok());
+  ASSERT_TRUE(store.Put("t", "c", "3").ok());
+  auto rows = store.Scan("t");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].first, "a");
+  EXPECT_EQ(rows[2].first, "c");
+  EXPECT_TRUE(store.Scan("missing").empty());
+}
+
+TEST(StoreTest, ListTables) {
+  MemoryDisk disk;
+  Store store(disk);
+  ASSERT_TRUE(store.Put("b", "k", "v").ok());
+  ASSERT_TRUE(store.Put("a", "k", "v").ok());
+  EXPECT_EQ(store.ListTables(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(StoreTest, RecoversFromLogAfterRestart) {
+  MemoryDisk disk;
+  {
+    Store store(disk);
+    ASSERT_TRUE(store.Put("cfg", "a", "1").ok());
+    ASSERT_TRUE(store.Put("cfg", "b", "2").ok());
+    ASSERT_TRUE(store.Delete("cfg", "a").ok());
+  }
+  Store recovered(disk);
+  EXPECT_TRUE(IsNotFound(recovered.Get("cfg", "a").status()));
+  EXPECT_EQ(*recovered.Get("cfg", "b"), "2");
+  EXPECT_EQ(recovered.log_records(), 3u);
+}
+
+TEST(StoreTest, RecoversThroughSnapshotAndLog) {
+  MemoryDisk disk;
+  {
+    Store store(disk);
+    ASSERT_TRUE(store.Put("t", "pre", "snap").ok());
+    ASSERT_TRUE(store.Compact().ok());
+    ASSERT_TRUE(store.Put("t", "post", "log").ok());
+  }
+  Store recovered(disk);
+  EXPECT_TRUE(recovered.recovered_from_snapshot());
+  EXPECT_EQ(*recovered.Get("t", "pre"), "snap");
+  EXPECT_EQ(*recovered.Get("t", "post"), "log");
+}
+
+TEST(StoreTest, TornLogTailIsDropped) {
+  MemoryDisk disk;
+  {
+    Store store(disk);
+    ASSERT_TRUE(store.Put("t", "good", "1").ok());
+    ASSERT_TRUE(store.Put("t", "torn", "2").ok());
+  }
+  // Chop the last byte off the log, simulating a crash mid-append.
+  auto log = disk.Read("store.log");
+  ASSERT_TRUE(log.has_value());
+  log->pop_back();
+  ASSERT_TRUE(disk.Write("store.log", *log).ok());
+
+  Store recovered(disk);
+  EXPECT_EQ(*recovered.Get("t", "good"), "1");
+  EXPECT_TRUE(IsNotFound(recovered.Get("t", "torn").status()));
+}
+
+TEST(StoreTest, CorruptSnapshotFallsBackToLog) {
+  MemoryDisk disk;
+  {
+    Store store(disk);
+    ASSERT_TRUE(store.Put("t", "k", "v").ok());
+    ASSERT_TRUE(store.Compact().ok());
+    ASSERT_TRUE(store.Put("t", "k2", "v2").ok());
+  }
+  auto snap = disk.Read("store.snapshot");
+  ASSERT_TRUE(snap.has_value());
+  (*snap)[snap->size() / 2] ^= 0xff;
+  ASSERT_TRUE(disk.Write("store.snapshot", *snap).ok());
+
+  Store recovered(disk);
+  EXPECT_FALSE(recovered.recovered_from_snapshot());
+  // Snapshot content is lost, but log content survives.
+  EXPECT_EQ(*recovered.Get("t", "k2"), "v2");
+}
+
+TEST(StoreTest, AutomaticCompactionTriggersAndPreservesData) {
+  MemoryDisk disk;
+  Store::Options opts;
+  opts.compaction_min_log_bytes = 1024;
+  opts.log_to_snapshot_ratio = 1.0;
+  Store store(disk, opts);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store.Put("t", "key" + std::to_string(i % 10),
+                          std::string(32, 'x'))
+                    .ok());
+  }
+  EXPECT_GT(store.compactions(), 0u);
+  Store recovered(disk);
+  EXPECT_EQ(recovered.TableSize("t"), 10u);
+}
+
+TEST(StoreTest, WipedDiskStartsEmpty) {
+  MemoryDisk disk;
+  {
+    Store store(disk);
+    ASSERT_TRUE(store.Put("t", "k", "v").ok());
+  }
+  disk.Wipe();
+  Store recovered(disk);
+  EXPECT_TRUE(IsNotFound(recovered.Get("t", "k").status()));
+}
+
+TEST(HostDiskTest, WriteReadAppendRemove) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "itv_db_test").string();
+  std::filesystem::remove_all(dir);
+  HostDisk disk(dir);
+  ASSERT_TRUE(disk.Write("f", {1, 2}).ok());
+  ASSERT_TRUE(disk.Append("f", {3}).ok());
+  auto data = disk.Read("f");
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(*data, (wire::Bytes{1, 2, 3}));
+  EXPECT_EQ(disk.List().size(), 1u);
+  ASSERT_TRUE(disk.Remove("f").ok());
+  EXPECT_FALSE(disk.Read("f").has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HostDiskTest, StorePersistsAcrossInstances) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "itv_db_test2").string();
+  std::filesystem::remove_all(dir);
+  {
+    HostDisk disk(dir);
+    Store store(disk);
+    ASSERT_TRUE(store.Put("t", "k", "v").ok());
+  }
+  {
+    HostDisk disk(dir);
+    Store store(disk);
+    EXPECT_EQ(*store.Get("t", "k"), "v");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// --- RPC service --------------------------------------------------------------
+
+class DatabaseServiceTest : public ::testing::Test {
+ protected:
+  DatabaseServiceTest() {
+    server_ = &cluster_.AddServer("forge");
+    sim::Process& dp = server_->Spawn("dbd", kDatabasePort);
+    store_ = dp.Emplace<Store>(disk_);
+    auto* skel = dp.Emplace<DatabaseSkeleton>(*store_);
+    db_ref_ = dp.runtime().Export(skel);
+    client_ = &cluster_.AddServer("kiln").Spawn("client");
+  }
+
+  template <typename T>
+  Result<T> Wait(Future<T> f) {
+    cluster_.RunFor(Duration::Seconds(5));
+    if (!f.is_ready()) {
+      return DeadlineExceededError("no completion");
+    }
+    return f.result();
+  }
+
+  MemoryDisk disk_;
+  sim::Cluster cluster_;
+  sim::Node* server_ = nullptr;
+  sim::Process* client_ = nullptr;
+  Store* store_ = nullptr;
+  wire::ObjectRef db_ref_;
+};
+
+TEST_F(DatabaseServiceTest, PutGetScanOverRpc) {
+  DatabaseProxy proxy(client_->runtime(), db_ref_);
+  ASSERT_TRUE(Wait(proxy.Put("cfg", "mms", "2-replicas")).ok());
+  ASSERT_TRUE(Wait(proxy.Put("cfg", "cmgr", "per-neighborhood")).ok());
+
+  auto v = Wait(proxy.Get("cfg", "mms"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "2-replicas");
+
+  auto rows = Wait(proxy.Scan("cfg"));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].key, "cmgr");
+
+  auto tables = Wait(proxy.ListTables());
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ(*tables, (std::vector<std::string>{"cfg"}));
+}
+
+TEST_F(DatabaseServiceTest, ErrorsPropagateOverRpc) {
+  DatabaseProxy proxy(client_->runtime(), db_ref_);
+  EXPECT_TRUE(IsNotFound(Wait(proxy.Get("cfg", "nope")).status()));
+  EXPECT_TRUE(IsNotFound(Wait(proxy.Delete("cfg", "nope")).status()));
+}
+
+TEST_F(DatabaseServiceTest, DataSurvivesDatabaseProcessRestart) {
+  DatabaseProxy proxy(client_->runtime(), db_ref_);
+  ASSERT_TRUE(Wait(proxy.Put("cfg", "k", "v")).ok());
+
+  // Kill the db process; the MemoryDisk (the node's disk) survives.
+  server_->Kill(server_->FindProcessByName("dbd")->pid());
+  cluster_.RunUntilIdle();
+  sim::Process& dp2 = server_->Spawn("dbd", kDatabasePort);
+  auto* store2 = dp2.Emplace<Store>(disk_);
+  auto* skel2 = dp2.Emplace<DatabaseSkeleton>(*store2);
+  wire::ObjectRef ref2 = dp2.runtime().Export(skel2);
+
+  // Old reference is dead (stale incarnation)...
+  EXPECT_TRUE(IsUnavailable(Wait(proxy.Get("cfg", "k")).status()));
+  // ...but the data is durable.
+  DatabaseProxy proxy2(client_->runtime(), ref2);
+  auto v = Wait(proxy2.Get("cfg", "k"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v");
+}
+
+}  // namespace
+}  // namespace itv::db

@@ -1,0 +1,504 @@
+// End-to-end media stack tests: the paper's "playing a movie" walkthrough
+// (Section 3.4) and all three failure scenarios (Section 3.5).
+
+#include <gtest/gtest.h>
+
+#include "src/media/factories.h"
+#include "src/settop/app_manager.h"
+#include "src/settop/vod_app.h"
+#include "src/svc/harness.h"
+#include "src/svc/settop_manager.h"
+#include "src/svc/csc.h"
+#include "src/svc/ssc.h"
+
+namespace itv::media {
+namespace {
+
+class MediaTest : public ::testing::Test {
+ protected:
+  MediaTest() : harness_(MakeHarnessOptions()) {
+    MediaDeployment deploy;
+    // "T2" on both servers; "solo" only on server 2; "short" (15 s) on both.
+    deploy.movies = {
+        {MovieInfo{"T2", 3'000'000, MovieBytes(3'000'000, 3600)}, {0, 1}},
+        {MovieInfo{"solo", 3'000'000, MovieBytes(3'000'000, 3600)}, {1}},
+        {MovieInfo{"short", 3'000'000, MovieBytes(3'000'000, 15)}, {0, 1}},
+    };
+    deploy.rds_items = {
+        {"navigator", 1'000'000},
+        {"vod", 2'000'000},
+        {"vod.cover", 50'000},
+    };
+    deploy.kernel_size_bytes = 2'000'000;
+    deploy.boot_channel_bps = 8'000'000;
+    RegisterMediaServices(harness_, deploy);
+    harness_.Boot();
+    // Let the CSC place and start the media services.
+    cluster().RunFor(Duration::Seconds(10));
+  }
+
+  static int64_t MovieBytes(int64_t bitrate_bps, int64_t seconds) {
+    return bitrate_bps / 8 * seconds;
+  }
+
+  static svc::HarnessOptions MakeHarnessOptions() {
+    svc::HarnessOptions opts;
+    opts.server_count = 2;
+    opts.neighborhood_count = 2;
+    return opts;
+  }
+
+  sim::Cluster& cluster() { return harness_.cluster(); }
+  Metrics& metrics() { return harness_.metrics(); }
+
+  struct TestSettop {
+    sim::Node* node = nullptr;
+    sim::Process* process = nullptr;
+    settop::AppManager* am = nullptr;
+    settop::VodApp* vod = nullptr;
+  };
+
+  TestSettop MakeSettop(uint8_t neighborhood, bool with_cover = false) {
+    TestSettop s;
+    s.node = &harness_.AddSettop(neighborhood);
+    s.process = &s.node->Spawn("am");
+    settop::AppManager::Options opts;
+    opts.boot_server_host = harness_.ServerHostForNeighborhood(neighborhood);
+    if (with_cover) {
+      opts.cover_item = "vod.cover";
+    }
+    s.am = s.process->Emplace<settop::AppManager>(
+        s.process->runtime(), s.process->executor(), opts, &metrics());
+    bool booted = false;
+    s.am->Boot([&](Status st) { booted = st.ok(); });
+    cluster().RunFor(Duration::Seconds(8));
+    EXPECT_TRUE(booted);
+
+    settop::VodApp::Options vod_opts;
+    s.vod = s.process->Emplace<settop::VodApp>(
+        s.process->runtime(), s.process->executor(), s.am->name_client(),
+        vod_opts, &metrics());
+    return s;
+  }
+
+  Result<MdsLoad> LoadOfMds(size_t server_index) {
+    sim::Process& client = harness_.SpawnProcessOn(0, "loadprobe");
+    auto ref =
+        harness_.ClientFor(client).Resolve("svc/mds/" +
+                                           std::to_string(server_index + 1));
+    cluster().RunFor(Duration::Seconds(2));
+    if (!ref.is_ready() || !ref.result().ok()) {
+      return NotFoundError("mds not resolvable");
+    }
+    auto load = MdsProxy(client.runtime(), ref.result().value()).GetLoad();
+    cluster().RunFor(Duration::Seconds(1));
+    if (!load.is_ready()) {
+      return DeadlineExceededError("no load reply");
+    }
+    return load.result();
+  }
+
+  svc::ClusterHarness harness_;
+};
+
+TEST_F(MediaTest, MediaStackComesUp) {
+  sim::Process& client = harness_.SpawnProcessOn(0, "client");
+  naming::NameClient nc = harness_.ClientFor(client);
+  for (const char* path : {"svc/mms", "svc/mds/1", "svc/mds/2", "svc/rds/1",
+                           "svc/cmgr/1", "svc/cmgr/2"}) {
+    auto f = nc.Resolve(path);
+    cluster().RunFor(Duration::Seconds(2));
+    ASSERT_TRUE(f.is_ready() && f.result().ok())
+        << path << ": " << (f.is_ready() ? f.result().status().ToString() : "pending");
+  }
+}
+
+TEST_F(MediaTest, SettopBootLearnsNameServiceAndHeartbeats) {
+  TestSettop s = MakeSettop(2);
+  EXPECT_TRUE(s.am->running());
+  EXPECT_EQ(s.am->boot_params().ns_host,
+            harness_.ServerHostForNeighborhood(2));
+  // Boot = half carousel (1 s) + kernel transfer (2 s) plus a little RPC.
+  EXPECT_GE(s.am->last_boot_duration(), Duration::Seconds(2.9));
+  EXPECT_LE(s.am->last_boot_duration(), Duration::Seconds(3.5));
+
+  // Heartbeats reach the settop manager.
+  cluster().RunFor(Duration::Seconds(12));
+  sim::Process& client = harness_.SpawnProcessOn(0, "probe");
+  auto mgr = harness_.ClientFor(client).Resolve(
+      std::string(svc::kSettopManagerName));
+  cluster().RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(mgr.is_ready() && mgr.result().ok());
+  auto count = svc::SettopManagerProxy(client.runtime(), mgr.result().value()).Count();
+  cluster().RunFor(Duration::Seconds(1));
+  ASSERT_TRUE(count.is_ready() && count.result().ok());
+  EXPECT_GE(*count.result(), 1u);
+}
+
+TEST_F(MediaTest, AppStartupMeetsPaperBudget) {
+  // Paper Section 9.3: cover within 0.5 s; rich app start-up 2-4 s at
+  // ~1 MByte/s download.
+  TestSettop s = MakeSettop(1, /*with_cover=*/true);
+  bool cover_shown = false;
+  Status app_status = InternalError("unset");
+  s.am->StartApp("vod", [&](Status st) { app_status = st; },
+                 [&] { cover_shown = true; });
+  cluster().RunFor(Duration::Seconds(10));
+  ASSERT_TRUE(app_status.ok()) << app_status;
+  EXPECT_TRUE(cover_shown);
+  EXPECT_LT(s.am->last_cover_latency(), Duration::Seconds(0.5));
+  EXPECT_GE(s.am->last_app_start_latency(), Duration::Seconds(2.0));
+  EXPECT_LE(s.am->last_app_start_latency(), Duration::Seconds(4.0));
+}
+
+TEST_F(MediaTest, PlayShortMovieToCompletion) {
+  TestSettop s = MakeSettop(1);
+  Status outcome = InternalError("unset");
+  bool done = false;
+  s.vod->PlayMovie("short", [&](Status st) {
+    outcome = st;
+    done = true;
+  });
+  cluster().RunFor(Duration::Seconds(30));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(outcome.ok()) << outcome;
+  EXPECT_GT(s.vod->chunks_received(), 10u);
+  EXPECT_EQ(s.vod->reopen_count(), 0u);
+
+  // Resources reclaimed: no active MDS streams, no cmgr connections.
+  cluster().RunFor(Duration::Seconds(2));
+  auto load1 = LoadOfMds(0);
+  auto load2 = LoadOfMds(1);
+  ASSERT_TRUE(load1.ok() && load2.ok());
+  EXPECT_EQ(load1->active_streams + load2->active_streams, 0u);
+  EXPECT_GE(metrics().Get("cmgr.released"), 1u);
+}
+
+TEST_F(MediaTest, ViewerStopReleasesResources) {
+  TestSettop s = MakeSettop(1);
+  s.vod->PlayMovie("T2", [](Status) {});
+  cluster().RunFor(Duration::Seconds(10));
+  ASSERT_TRUE(s.vod->playing());
+  uint64_t opened = metrics().Get("mds.open");
+  ASSERT_GE(opened, 1u);
+
+  s.vod->Stop();
+  cluster().RunFor(Duration::Seconds(5));
+  EXPECT_EQ(metrics().Get("mds.close"), opened);
+  auto load1 = LoadOfMds(0);
+  auto load2 = LoadOfMds(1);
+  ASSERT_TRUE(load1.ok() && load2.ok());
+  EXPECT_EQ(load1->active_streams + load2->active_streams, 0u);
+}
+
+TEST_F(MediaTest, LoadSpreadsAcrossMdsReplicas) {
+  std::vector<TestSettop> settops;
+  for (int i = 0; i < 4; ++i) {
+    settops.push_back(MakeSettop(1));
+  }
+  for (auto& s : settops) {
+    s.vod->PlayMovie("T2", [](Status) {});
+    cluster().RunFor(Duration::Seconds(6));  // Let load reports refresh.
+  }
+  cluster().RunFor(Duration::Seconds(5));
+  auto load1 = LoadOfMds(0);
+  auto load2 = LoadOfMds(1);
+  ASSERT_TRUE(load1.ok() && load2.ok());
+  EXPECT_GE(load1->active_streams, 1u);
+  EXPECT_GE(load2->active_streams, 1u);
+  EXPECT_EQ(load1->active_streams + load2->active_streams, 4u);
+}
+
+TEST_F(MediaTest, MoviePlacementRespected) {
+  // "solo" lives only on server 2: every open must land there.
+  TestSettop s = MakeSettop(1);
+  s.vod->PlayMovie("solo", [](Status) {});
+  cluster().RunFor(Duration::Seconds(10));
+  ASSERT_TRUE(s.vod->playing());
+  EXPECT_EQ(s.vod->mds_host(), harness_.HostOf(1));
+}
+
+TEST_F(MediaTest, SettopBandwidthCapRejectsThirdStream) {
+  // 2 x 3 Mb/s fills the settop's 6 Mb/s downstream; the third open fails
+  // with RESOURCE_EXHAUSTED from the Connection Manager.
+  TestSettop s = MakeSettop(1);
+  sim::Process& p = *s.process;
+  auto mms_ref = s.am->name_client().Resolve(std::string(kMmsName));
+  cluster().RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(mms_ref.is_ready() && mms_ref.result().ok());
+  MmsProxy mms(p.runtime(), mms_ref.result().value());
+
+  std::vector<Future<MmsTicket>> opens;
+  for (int i = 0; i < 3; ++i) {
+    opens.push_back(mms.Open("T2", s.node->host(), wire::ObjectRef{}));
+    cluster().RunFor(Duration::Seconds(2));
+  }
+  ASSERT_TRUE(opens[0].is_ready() && opens[0].result().ok())
+      << opens[0].result().status();
+  ASSERT_TRUE(opens[1].is_ready() && opens[1].result().ok())
+      << opens[1].result().status();
+  ASSERT_TRUE(opens[2].is_ready());
+  EXPECT_TRUE(IsResourceExhausted(opens[2].result().status()))
+      << opens[2].result().status();
+}
+
+TEST_F(MediaTest, ConnectionCountLimitContainsBuggyClient) {
+  // Paper Section 7.3: "a settop client is only allowed to open a certain
+  // number of network connections". A buggy client that allocates without
+  // releasing hits the cap.
+  TestSettop s = MakeSettop(1);
+  sim::Process& probe = *s.process;
+  auto cmgr_ref = s.am->name_client().Resolve("svc/cmgr/1");
+  cluster().RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(cmgr_ref.is_ready() && cmgr_ref.result().ok());
+  CmgrProxy cmgr(probe.runtime(), cmgr_ref.result().value());
+
+  int granted = 0;
+  Status last = OkStatus();
+  for (int i = 0; i < 6; ++i) {
+    // Tiny allocations so the bandwidth cap never triggers first.
+    auto f = cmgr.Allocate(s.node->host(), harness_.HostOf(0), 1000,
+                           /*allow_partial=*/false);
+    cluster().RunFor(Duration::Seconds(1));
+    ASSERT_TRUE(f.is_ready());
+    if (f.result().ok()) {
+      ++granted;
+    } else {
+      last = f.result().status();
+    }
+  }
+  EXPECT_EQ(granted, 4);  // Default max_connections_per_settop.
+  EXPECT_TRUE(IsResourceExhausted(last));
+  EXPECT_GE(metrics().Get("cmgr.limit_denied"), 2u);
+}
+
+TEST_F(MediaTest, AccountingTracksUsageAndDenials) {
+  TestSettop s = MakeSettop(1);
+  s.vod->PlayMovie("T2", [](Status) {});
+  cluster().RunFor(Duration::Seconds(20));
+  ASSERT_TRUE(s.vod->playing());
+  s.vod->Stop();
+  cluster().RunFor(Duration::Seconds(5));
+
+  sim::Process& probe = harness_.SpawnProcessOn(0, "auditor");
+  auto cmgr_ref = harness_.ClientFor(probe).Resolve("svc/cmgr/1");
+  cluster().RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(cmgr_ref.is_ready() && cmgr_ref.result().ok());
+  auto acct = CmgrProxy(probe.runtime(), cmgr_ref.result().value())
+                  .Accounting(s.node->host());
+  cluster().RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(acct.is_ready() && acct.result().ok());
+  const AccountingRecord& record = acct.result().value();
+  EXPECT_GE(record.allocations, 1u);        // The movie stream at least.
+  EXPECT_EQ(record.allocations, record.releases);
+  EXPECT_EQ(record.current_connections, 0u);
+  // ~20 s at 3 Mb/s plus app downloads: at least 50 megabit-seconds charged.
+  EXPECT_GT(record.megabit_seconds, 50.0);
+}
+
+TEST_F(MediaTest, MoviePauseStopsDeliveryAndPositionResumes) {
+  // Drive the movie object directly (paper Section 3.4.4 step 8) with a raw
+  // MMS open — a VodApp would rightly treat the paused (silent) stream as a
+  // failure and reopen it (Section 3.5.2), which is tested elsewhere.
+  TestSettop s = MakeSettop(1);
+  sim::Process& probe = *s.process;
+  auto mms_ref = s.am->name_client().Resolve(std::string(kMmsName));
+  cluster().RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(mms_ref.is_ready() && mms_ref.result().ok());
+  auto open = MmsProxy(probe.runtime(), mms_ref.result().value())
+                  .Open("T2", s.node->host(), wire::ObjectRef{});
+  cluster().RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(open.is_ready() && open.result().ok()) << open.result().status();
+  MovieProxy movie(probe.runtime(), open.result()->movie);
+
+  auto play0 = movie.Play(0);
+  cluster().RunFor(Duration::Seconds(5));
+  ASSERT_TRUE(play0.is_ready() && play0.result().ok());
+
+  auto pause = movie.Pause();
+  cluster().RunFor(Duration::Seconds(1));
+  ASSERT_TRUE(pause.is_ready() && pause.result().ok());
+  auto position = movie.Position();
+  cluster().RunFor(Duration::Seconds(1));
+  ASSERT_TRUE(position.is_ready() && position.result().ok());
+  int64_t paused_at = position.result().value();
+  EXPECT_GT(paused_at, 0);
+
+  uint64_t chunks_at_pause = metrics().Get("mds.chunk_sent");
+  cluster().RunFor(Duration::Seconds(5));
+  EXPECT_EQ(metrics().Get("mds.chunk_sent"), chunks_at_pause);  // Silence.
+
+  // Resume at the same position.
+  auto play = movie.Play(paused_at);
+  cluster().RunFor(Duration::Seconds(3));
+  ASSERT_TRUE(play.is_ready() && play.result().ok());
+  EXPECT_GT(metrics().Get("mds.chunk_sent"), chunks_at_pause);
+  auto resumed = movie.Position();
+  cluster().RunFor(Duration::Seconds(1));
+  ASSERT_TRUE(resumed.is_ready() && resumed.result().ok());
+  EXPECT_GT(resumed.result().value(), paused_at);
+}
+
+TEST_F(MediaTest, RdsGrantsPartialBandwidthWhileMoviePlays) {
+  // A 3 Mb/s movie occupies half the settop's 6 Mb/s downstream; a download
+  // asking for 8 Mb/s gets the remaining ~3 Mb/s (allow_partial VBR).
+  TestSettop s = MakeSettop(1);
+  s.vod->PlayMovie("T2", [](Status) {});
+  cluster().RunFor(Duration::Seconds(10));
+  ASSERT_TRUE(s.vod->playing());
+
+  Status done = InternalError("pending");
+  s.am->StartApp("vod", [&](Status st) { done = st; });
+  cluster().RunFor(Duration::Seconds(10));
+  ASSERT_TRUE(done.ok()) << done;
+  // 2 MB at ~3 Mb/s residual = ~5.3 s (vs 2.75 s on an idle settop).
+  EXPECT_GE(s.am->last_app_start_latency(), Duration::Seconds(4.5));
+  EXPECT_LE(s.am->last_app_start_latency(), Duration::Seconds(6.5));
+}
+
+TEST_F(MediaTest, RdsUnknownItemIsNotFound) {
+  TestSettop s = MakeSettop(1);
+  Status done = OkStatus();
+  s.am->StartApp("no-such-binary", [&](Status st) { done = st; });
+  cluster().RunFor(Duration::Seconds(5));
+  EXPECT_TRUE(IsNotFound(done)) << done;
+}
+
+// --- Failure scenarios (paper Section 3.5) ------------------------------------------
+
+TEST_F(MediaTest, MdsCrashResumesOnAnotherReplica) {
+  TestSettop s = MakeSettop(1);
+  s.vod->PlayMovie("T2", [](Status) {});
+  cluster().RunFor(Duration::Seconds(10));
+  ASSERT_TRUE(s.vod->playing());
+  uint32_t serving_host = s.vod->mds_host();
+  ASSERT_NE(serving_host, 0u);
+  int64_t position_before = s.vod->position_bytes();
+  ASSERT_GT(position_before, 0);
+
+  // Kill the serving MDS process (the SSC will restart it, but the settop
+  // recovers faster by reopening via the MMS, paper Section 3.5.2).
+  size_t serving_index = serving_host == harness_.HostOf(0) ? 0 : 1;
+  sim::Process* mdsd = harness_.server(serving_index).FindProcessByName("mdsd");
+  ASSERT_NE(mdsd, nullptr);
+  harness_.server(serving_index).Kill(mdsd->pid());
+
+  cluster().RunFor(Duration::Seconds(20));
+  EXPECT_TRUE(s.vod->playing());
+  EXPECT_GE(s.vod->reopen_count(), 1u);
+  // Resumed at (or after) the pre-crash position, not from the start.
+  EXPECT_GE(s.vod->position_bytes(), position_before);
+  EXPECT_GE(metrics().Get("vod.stream_failure"), 1u);
+}
+
+TEST_F(MediaTest, SettopCrashReclaimsMovieAndBandwidth) {
+  TestSettop s = MakeSettop(1);
+  s.vod->PlayMovie("T2", [](Status) {});
+  cluster().RunFor(Duration::Seconds(10));
+  ASSERT_TRUE(s.vod->playing());
+
+  s.node->Crash();
+  // Chain: heartbeats stop -> settop manager timeout (15 s) -> RAS settop
+  // poll (5 s) -> MMS audit poll (10 s) -> close + release.
+  cluster().RunFor(Duration::Seconds(45));
+
+  auto load1 = LoadOfMds(0);
+  auto load2 = LoadOfMds(1);
+  ASSERT_TRUE(load1.ok() && load2.ok());
+  EXPECT_EQ(load1->active_streams + load2->active_streams, 0u);
+  EXPECT_GE(metrics().Get("mms.settop_reclaim"), 1u);
+}
+
+TEST_F(MediaTest, MmsFailoverAdoptsRunningSessions) {
+  TestSettop s = MakeSettop(1);
+  s.vod->PlayMovie("T2", [](Status) {});
+  cluster().RunFor(Duration::Seconds(10));
+  ASSERT_TRUE(s.vod->playing());
+
+  // Operator action: unassign the primary's host through the CSC (paper
+  // Section 6.2's "simple tools"); the CSC stops it there and the backup
+  // takes over. A bare SSC stop would be reverted by CSC reconciliation.
+  sim::Process& probe = harness_.SpawnProcessOn(0, "probe");
+  auto mms_ref = harness_.ClientFor(probe).Resolve(std::string(kMmsName));
+  cluster().RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(mms_ref.is_ready() && mms_ref.result().ok());
+  uint32_t primary_host = mms_ref.result().value().endpoint.host;
+  auto csc_ref = harness_.ClientFor(probe).Resolve(std::string(svc::kCscName));
+  cluster().RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(csc_ref.is_ready() && csc_ref.result().ok());
+  auto unassign = svc::CscProxy(probe.runtime(), csc_ref.result().value())
+                      .Unassign("mmsd", primary_host);
+  cluster().RunFor(Duration::Seconds(5));
+  ASSERT_TRUE(unassign.is_ready() && unassign.result().ok())
+      << unassign.result().status();
+
+  // Movie keeps playing while the MMS is down (the stream is MDS->settop).
+  uint64_t chunks_at_stop = s.vod->chunks_received();
+  cluster().RunFor(Duration::Seconds(30));
+  EXPECT_GT(s.vod->chunks_received(), chunks_at_stop);
+
+  // The backup is primary now and adopted the session.
+  auto new_ref = harness_.ClientFor(probe).Resolve(std::string(kMmsName));
+  cluster().RunFor(Duration::Seconds(5));
+  ASSERT_TRUE(new_ref.is_ready() && new_ref.result().ok())
+      << new_ref.result().status();
+  EXPECT_NE(new_ref.result().value().endpoint.host, primary_host);
+  EXPECT_GE(metrics().Get("mms.session_adopted"), 1u);
+
+  // Closing through the new primary reclaims resources.
+  s.vod->Stop();
+  cluster().RunFor(Duration::Seconds(5));
+  auto load1 = LoadOfMds(0);
+  auto load2 = LoadOfMds(1);
+  ASSERT_TRUE(load1.ok() && load2.ok());
+  EXPECT_EQ(load1->active_streams + load2->active_streams, 0u);
+}
+
+TEST_F(MediaTest, CmgrFailoverKeepsAllocationTable) {
+  // Open a movie to create connection state, then fail the primary cmgr for
+  // neighborhood 1; the promoted standby must still know the allocation so a
+  // release through it works (replicated state, Section 10.1.1).
+  TestSettop s = MakeSettop(1);
+  s.vod->PlayMovie("T2", [](Status) {});
+  cluster().RunFor(Duration::Seconds(10));
+  ASSERT_TRUE(s.vod->playing());
+
+  sim::Process& probe = harness_.SpawnProcessOn(0, "probe");
+  auto cmgr_ref = harness_.ClientFor(probe).Resolve("svc/cmgr/1");
+  cluster().RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(cmgr_ref.is_ready() && cmgr_ref.result().ok());
+  uint32_t primary_host = cmgr_ref.result().value().endpoint.host;
+  auto csc_ref = harness_.ClientFor(probe).Resolve(std::string(svc::kCscName));
+  cluster().RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(csc_ref.is_ready() && csc_ref.result().ok());
+  auto unassign = svc::CscProxy(probe.runtime(), csc_ref.result().value())
+                      .Unassign("cmgrd-1", primary_host);
+  cluster().RunFor(Duration::Seconds(30));  // CSC stop + audit + backup bind.
+  ASSERT_TRUE(unassign.is_ready() && unassign.result().ok())
+      << unassign.result().status();
+
+  auto new_ref = harness_.ClientFor(probe).Resolve("svc/cmgr/1");
+  cluster().RunFor(Duration::Seconds(5));
+  ASSERT_TRUE(new_ref.is_ready() && new_ref.result().ok())
+      << new_ref.result().status();
+  EXPECT_NE(new_ref.result().value().endpoint.host, primary_host);
+
+  // The standby carried the connection table forward.
+  auto connections =
+      CmgrProxy(probe.runtime(), new_ref.result().value()).ListConnections();
+  cluster().RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(connections.is_ready() && connections.result().ok());
+  EXPECT_GE(connections.result().value().size(), 1u);
+
+  // And the settop can release through the new primary.
+  s.vod->Stop();
+  cluster().RunFor(Duration::Seconds(5));
+  auto after =
+      CmgrProxy(probe.runtime(), new_ref.result().value()).ListConnections();
+  cluster().RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(after.is_ready() && after.result().ok());
+  EXPECT_TRUE(after.result().value().empty());
+}
+
+}  // namespace
+}  // namespace itv::media

@@ -1,0 +1,262 @@
+// Resource Audit Service tests (paper Section 7): state recovery by query,
+// the three monitoring paths (SSC callback, peer polling, settop manager),
+// and the client-side audit library.
+
+#include <gtest/gtest.h>
+
+#include "src/ras/audit_client.h"
+#include "src/ras/ras_service.h"
+#include "src/ras/types.h"
+#include "src/svc/harness.h"
+#include "src/svc/settop_manager.h"
+
+namespace itv::ras {
+namespace {
+
+class RasTest : public ::testing::Test {
+ protected:
+  RasTest() : harness_(MakeOptions()) { harness_.Boot(); }
+
+  static svc::HarnessOptions MakeOptions() {
+    svc::HarnessOptions opts;
+    opts.server_count = 2;
+    return opts;
+  }
+
+  sim::Cluster& cluster() { return harness_.cluster(); }
+
+  Result<std::vector<uint8_t>> Check(sim::Process& from, uint32_t ras_host,
+                                     const std::vector<EntityId>& entities,
+                                     Duration wait = Duration::Seconds(2)) {
+    RasProxy proxy(from.runtime(), RasRefAt(ras_host));
+    auto f = proxy.CheckStatus(entities);
+    cluster().RunFor(wait);
+    if (!f.is_ready()) {
+      return DeadlineExceededError("no completion");
+    }
+    return f.result();
+  }
+
+  // Spawns a dummy service process registering one object with the SSC.
+  struct DummyService {
+    sim::Process* process;
+    wire::ObjectRef ref;
+  };
+
+  class DummySkeleton : public rpc::Skeleton {
+   public:
+    std::string_view interface_name() const override { return "itv.test.Dummy"; }
+    void Dispatch(uint32_t, const wire::Bytes&, const rpc::CallContext&,
+                  rpc::ReplyFn reply) override {
+      rpc::ReplyOk(reply);
+    }
+  };
+
+  DummyService SpawnDummy(size_t server_index, const std::string& name) {
+    sim::Process& p = harness_.SpawnProcessOn(server_index, name);
+    auto* skel = p.Emplace<DummySkeleton>();
+    wire::ObjectRef ref = p.runtime().Export(skel);
+    svc::SscProxy ssc(p.runtime(), svc::SscRefAt(p.host()));
+    ssc.NotifyReady(p.pid(), {ref}).OnReady([](const Result<void>&) {});
+    cluster().RunFor(Duration::Millis(100));
+    return {&p, ref};
+  }
+
+  svc::ClusterHarness harness_;
+};
+
+TEST_F(RasTest, UnknownEntityAnsweredUnknownAndEnrolled) {
+  sim::Process& client = harness_.SpawnProcessOn(0, "client");
+  wire::ObjectRef ghost;
+  ghost.endpoint = {harness_.HostOf(1), 999};
+  ghost.incarnation = 123;
+  ghost.type_id = 1;
+  ghost.object_id = 5;
+
+  auto r = Check(client, harness_.HostOf(0), {EntityId::Object(ghost)});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(static_cast<EntityStatus>((*r)[0]), EntityStatus::kUnknown);
+  EXPECT_GE(cluster().metrics().Get("ras.entity_enrolled"), 1u);
+}
+
+TEST_F(RasTest, LocalObjectAliveViaSscRegistration) {
+  DummyService dummy = SpawnDummy(0, "dummy");
+  sim::Process& client = harness_.SpawnProcessOn(0, "client");
+  auto r = Check(client, harness_.HostOf(0), {EntityId::Object(dummy.ref)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(static_cast<EntityStatus>((*r)[0]), EntityStatus::kAlive);
+}
+
+TEST_F(RasTest, LocalObjectDeadAfterProcessExit) {
+  DummyService dummy = SpawnDummy(0, "dummy");
+  harness_.server(0).Kill(dummy.process->pid());
+  cluster().RunFor(Duration::Millis(200));
+
+  sim::Process& client = harness_.SpawnProcessOn(0, "client");
+  auto r = Check(client, harness_.HostOf(0), {EntityId::Object(dummy.ref)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(static_cast<EntityStatus>((*r)[0]), EntityStatus::kDead);
+}
+
+TEST_F(RasTest, UnregisteredLocalObjectIsDeadOnceSscSynced) {
+  // An object that never called notifyReady is indistinguishable from a dead
+  // one — the registration contract (idl/README.md).
+  sim::Process& p = harness_.SpawnProcessOn(0, "sneaky");
+  auto* skel = p.Emplace<DummySkeleton>();
+  wire::ObjectRef ref = p.runtime().Export(skel);
+
+  sim::Process& client = harness_.SpawnProcessOn(0, "client");
+  auto r = Check(client, harness_.HostOf(0), {EntityId::Object(ref)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(static_cast<EntityStatus>((*r)[0]), EntityStatus::kDead);
+}
+
+TEST_F(RasTest, RemoteObjectStatusViaPeerPolling) {
+  DummyService dummy = SpawnDummy(1, "remote-dummy");
+  sim::Process& client = harness_.SpawnProcessOn(0, "client");
+
+  // First ask: unknown (enrolls). After a peer-poll round (5 s): alive.
+  auto first = Check(client, harness_.HostOf(0), {EntityId::Object(dummy.ref)});
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(static_cast<EntityStatus>((*first)[0]), EntityStatus::kUnknown);
+
+  cluster().RunFor(Duration::Seconds(6));
+  auto second = Check(client, harness_.HostOf(0), {EntityId::Object(dummy.ref)});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(static_cast<EntityStatus>((*second)[0]), EntityStatus::kAlive);
+
+  // Kill it; within ~2 poll rounds the RAS on server 0 reports dead.
+  harness_.server(1).Kill(dummy.process->pid());
+  cluster().RunFor(Duration::Seconds(11));
+  auto third = Check(client, harness_.HostOf(0), {EntityId::Object(dummy.ref)});
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(static_cast<EntityStatus>((*third)[0]), EntityStatus::kDead);
+}
+
+TEST_F(RasTest, CrashedServerObjectsDeclaredDeadAfterConsecutivePollFailures) {
+  DummyService dummy = SpawnDummy(1, "remote-dummy");
+  sim::Process& client = harness_.SpawnProcessOn(0, "client");
+  (void)Check(client, harness_.HostOf(0), {EntityId::Object(dummy.ref)});
+  cluster().RunFor(Duration::Seconds(6));  // Now tracked alive.
+
+  harness_.server(1).Crash();
+  // Two failed polls at 5 s plus RPC timeouts: ~12-15 s to declared-dead.
+  cluster().RunFor(Duration::Seconds(20));
+  auto r = Check(client, harness_.HostOf(0), {EntityId::Object(dummy.ref)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(static_cast<EntityStatus>((*r)[0]), EntityStatus::kDead);
+  EXPECT_GE(cluster().metrics().Get("ras.peer_declared_dead"), 1u);
+}
+
+TEST_F(RasTest, SettopStatusThroughSettopManager) {
+  sim::Node& settop = harness_.AddSettop(1);
+  sim::Process& app = settop.Spawn("app");
+
+  // The settop heartbeats the settop manager.
+  naming::NameClient nc = harness_.ClientFor(app);
+  auto mgr_ref = nc.Resolve(std::string(svc::kSettopManagerName));
+  cluster().RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(mgr_ref.is_ready());
+  ASSERT_TRUE(mgr_ref.result().ok()) << mgr_ref.result().status();
+  svc::SettopManagerProxy mgr(app.runtime(), mgr_ref.result().value());
+  mgr.Heartbeat(settop.host()).OnReady([](const Result<void>&) {});
+  cluster().RunFor(Duration::Millis(100));
+
+  // RAS learns about the settop after a settop poll round.
+  sim::Process& client = harness_.SpawnProcessOn(0, "client");
+  (void)Check(client, harness_.HostOf(0), {EntityId::Settop(settop.host())});
+  cluster().RunFor(Duration::Seconds(6));
+  auto alive = Check(client, harness_.HostOf(0), {EntityId::Settop(settop.host())});
+  ASSERT_TRUE(alive.ok());
+  EXPECT_EQ(static_cast<EntityStatus>((*alive)[0]), EntityStatus::kAlive);
+
+  // Settop crashes -> heartbeats stop -> manager times out (15 s) -> RAS
+  // reports dead on its next poll.
+  settop.Crash();
+  cluster().RunFor(Duration::Seconds(25));
+  auto dead = Check(client, harness_.HostOf(0), {EntityId::Settop(settop.host())});
+  ASSERT_TRUE(dead.ok());
+  EXPECT_EQ(static_cast<EntityStatus>((*dead)[0]), EntityStatus::kDead);
+}
+
+TEST_F(RasTest, RasRestartRebuildsStateFromQueries) {
+  DummyService dummy = SpawnDummy(0, "dummy");
+  sim::Process& client = harness_.SpawnProcessOn(0, "client");
+  auto before = Check(client, harness_.HostOf(0), {EntityId::Object(dummy.ref)});
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(static_cast<EntityStatus>((*before)[0]), EntityStatus::kAlive);
+
+  // Kill the RAS; the SSC restarts it automatically. Thanks to bootstrap
+  // references (incarnation 0), the same RasRefAt keeps working.
+  sim::Process* rasd = harness_.server(0).FindProcessByName("rasd");
+  ASSERT_NE(rasd, nullptr);
+  harness_.server(0).Kill(rasd->pid());
+  cluster().RunFor(Duration::Seconds(2));
+  ASSERT_NE(harness_.server(0).FindProcessByName("rasd"), nullptr);
+
+  // Fresh instance: re-registers with the SSC and answers from its sync.
+  auto after = Check(client, harness_.HostOf(0), {EntityId::Object(dummy.ref)});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(static_cast<EntityStatus>((*after)[0]), EntityStatus::kAlive);
+}
+
+// --- AuditClient ---------------------------------------------------------------
+
+TEST_F(RasTest, AuditClientFiresDeathCallbackOnce) {
+  DummyService dummy = SpawnDummy(0, "dummy");
+  sim::Process& watcher = harness_.SpawnProcessOn(0, "watcher");
+  AuditClient::Options opts;
+  opts.poll_interval = Duration::Seconds(5);
+  auto* audit = watcher.Emplace<AuditClient>(
+      watcher.runtime(), watcher.executor(), RasRefAt(watcher.host()), opts);
+
+  int deaths = 0;
+  audit->Watch(EntityId::Object(dummy.ref), [&](const EntityId&) { ++deaths; });
+  cluster().RunFor(Duration::Seconds(12));
+  EXPECT_EQ(deaths, 0);
+
+  harness_.server(0).Kill(dummy.process->pid());
+  cluster().RunFor(Duration::Seconds(12));
+  EXPECT_EQ(deaths, 1);
+  EXPECT_EQ(audit->watch_count(), 0u);  // Auto-unwatched after firing.
+}
+
+TEST_F(RasTest, AuditClientUnwatchSuppressesCallback) {
+  DummyService dummy = SpawnDummy(0, "dummy");
+  sim::Process& watcher = harness_.SpawnProcessOn(0, "watcher");
+  AuditClient::Options opts;
+  opts.poll_interval = Duration::Seconds(5);
+  auto* audit = watcher.Emplace<AuditClient>(
+      watcher.runtime(), watcher.executor(), RasRefAt(watcher.host()), opts);
+
+  int deaths = 0;
+  AuditClient::WatchId id =
+      audit->Watch(EntityId::Object(dummy.ref), [&](const EntityId&) { ++deaths; });
+  audit->Unwatch(id);
+  harness_.server(0).Kill(dummy.process->pid());
+  cluster().RunFor(Duration::Seconds(12));
+  EXPECT_EQ(deaths, 0);
+}
+
+TEST_F(RasTest, AuditClientBatchesWatchesIntoOnePoll) {
+  std::vector<DummyService> dummies;
+  for (int i = 0; i < 5; ++i) {
+    dummies.push_back(SpawnDummy(0, "dummy" + std::to_string(i)));
+  }
+  sim::Process& watcher = harness_.SpawnProcessOn(0, "watcher");
+  AuditClient::Options opts;
+  opts.poll_interval = Duration::Seconds(5);
+  auto* audit = watcher.Emplace<AuditClient>(
+      watcher.runtime(), watcher.executor(), RasRefAt(watcher.host()), opts);
+  for (const DummyService& d : dummies) {
+    audit->Watch(EntityId::Object(d.ref), [](const EntityId&) {});
+  }
+  uint64_t checks_before = cluster().metrics().Get("ras.check_status");
+  cluster().RunFor(Duration::Seconds(5));
+  // One checkStatus call for all five watches per poll round.
+  EXPECT_EQ(audit->polls_sent(), 1u);
+  EXPECT_EQ(cluster().metrics().Get("ras.check_status"), checks_before + 1);
+}
+
+}  // namespace
+}  // namespace itv::ras

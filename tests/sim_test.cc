@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/cluster.h"
+#include "src/sim/scheduler.h"
+
+namespace itv::sim {
+namespace {
+
+TEST(SchedulerTest, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.ScheduleAt(Time::FromNanos(300), [&] { order.push_back(3); });
+  s.ScheduleAt(Time::FromNanos(100), [&] { order.push_back(1); });
+  s.ScheduleAt(Time::FromNanos(200), [&] { order.push_back(2); });
+  s.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), Time::FromNanos(300));
+}
+
+TEST(SchedulerTest, EqualTimesRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.ScheduleAt(Time::FromNanos(100), [&, i] { order.push_back(i); });
+  }
+  s.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  TimerId id = s.ScheduleAt(Time::FromNanos(100), [&] { ran = true; });
+  EXPECT_TRUE(s.Cancel(id));
+  EXPECT_FALSE(s.Cancel(id));  // Second cancel is a no-op.
+  s.RunUntilIdle();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockWithoutEvents) {
+  Scheduler s;
+  s.RunUntil(Time::FromNanos(5000));
+  EXPECT_EQ(s.Now(), Time::FromNanos(5000));
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  bool late_ran = false;
+  s.ScheduleAt(Time::FromNanos(100), [] {});
+  s.ScheduleAt(Time::FromNanos(10000), [&] { late_ran = true; });
+  s.RunUntil(Time::FromNanos(500));
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(s.Now(), Time::FromNanos(500));
+  s.RunUntil(Time::FromNanos(10000));
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(SchedulerTest, EventsScheduledInPastRunNow) {
+  Scheduler s;
+  s.RunUntil(Time::FromNanos(1000));
+  bool ran = false;
+  s.ScheduleAt(Time::FromNanos(1), [&] { ran = true; });
+  s.RunUntilIdle();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.Now(), Time::FromNanos(1000));  // Clock never goes backwards.
+}
+
+TEST(SchedulerTest, EventsMayScheduleMoreEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) {
+      s.ScheduleAfter(Duration::Millis(1), chain);
+    }
+  };
+  s.ScheduleAfter(Duration::Millis(1), chain);
+  s.RunUntilIdle();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(s.Now(), Time() + Duration::Millis(10));
+}
+
+TEST(SchedulerTest, StepRunsExactlyOne) {
+  Scheduler s;
+  int count = 0;
+  s.ScheduleAt(Time::FromNanos(1), [&] { ++count; });
+  s.ScheduleAt(Time::FromNanos(2), [&] { ++count; });
+  EXPECT_TRUE(s.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(s.Step());
+}
+
+TEST(AddressingTest, ServerAndSettopHostEncoding) {
+  uint32_t server = MakeServerHost(3);
+  EXPECT_TRUE(IsServerHost(server));
+  EXPECT_FALSE(IsSettopHost(server));
+
+  uint32_t settop = MakeSettopHost(5, 12);
+  EXPECT_TRUE(IsSettopHost(settop));
+  EXPECT_FALSE(IsServerHost(settop));
+  EXPECT_EQ(NeighborhoodOfHost(settop), 5);
+}
+
+TEST(ClusterTest, AddServerAssignsDistinctHosts) {
+  Cluster c;
+  Node& a = c.AddServer("forge");
+  Node& b = c.AddServer("kiln");
+  EXPECT_NE(a.host(), b.host());
+  EXPECT_EQ(c.servers().size(), 2u);
+  EXPECT_EQ(c.FindNode(a.host()), &a);
+}
+
+TEST(ClusterTest, AddSettopEncodesNeighborhood) {
+  Cluster c;
+  Node& s1 = c.AddSettop(1);
+  Node& s2 = c.AddSettop(1);
+  Node& s3 = c.AddSettop(2);
+  EXPECT_EQ(NeighborhoodOfHost(s1.host()), 1);
+  EXPECT_EQ(NeighborhoodOfHost(s3.host()), 2);
+  EXPECT_NE(s1.host(), s2.host());
+}
+
+TEST(ClusterTest, SpawnAssignsPidsAndPorts) {
+  Cluster c;
+  Node& n = c.AddServer("forge");
+  Process& p1 = n.Spawn("ns", 500);
+  Process& p2 = n.Spawn("ras");
+  EXPECT_NE(p1.pid(), p2.pid());
+  EXPECT_EQ(p1.port(), 500);
+  EXPECT_GE(p2.port(), 30000);
+  EXPECT_NE(p1.incarnation(), p2.incarnation());
+  EXPECT_EQ(n.process_count(), 2u);
+  EXPECT_EQ(n.FindProcessByName("ras"), &p2);
+}
+
+TEST(ClusterTest, KillTakesEffectOnNextTurn) {
+  Cluster c;
+  Node& n = c.AddServer("forge");
+  Process& p = n.Spawn("svc");
+  uint64_t pid = p.pid();
+  n.Kill(pid);
+  EXPECT_NE(n.FindProcess(pid), nullptr);  // Deferred.
+  c.RunUntilIdle();
+  EXPECT_EQ(n.FindProcess(pid), nullptr);
+  EXPECT_EQ(c.FindProcessGlobal(pid), nullptr);
+}
+
+TEST(ClusterTest, ExitWatcherFiresWithReason) {
+  Cluster c;
+  Node& n = c.AddServer("forge");
+  Process& watcher = n.Spawn("ssc");
+  Process& target = n.Spawn("svc");
+  uint64_t seen_pid = 0;
+  ExitReason seen_reason = ExitReason::kExited;
+  watcher.WatchExitOf(target, [&](uint64_t pid, ExitReason reason) {
+    seen_pid = pid;
+    seen_reason = reason;
+  });
+  uint64_t target_pid = target.pid();
+  n.Kill(target_pid, ExitReason::kKilled);
+  c.RunUntilIdle();
+  EXPECT_EQ(seen_pid, target_pid);
+  EXPECT_EQ(seen_reason, ExitReason::kKilled);
+}
+
+TEST(ClusterTest, ExitWatcherSkippedIfWatcherDead) {
+  Cluster c;
+  Node& n = c.AddServer("forge");
+  Process& watcher = n.Spawn("ssc");
+  Process& target = n.Spawn("svc");
+  bool fired = false;
+  watcher.WatchExitOf(target, [&](uint64_t, ExitReason) { fired = true; });
+  n.Kill(watcher.pid());
+  n.Kill(target.pid());
+  c.RunUntilIdle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(ClusterTest, NodeCrashKillsAllProcessesWithNodeCrashReason) {
+  Cluster c;
+  Node& n = c.AddServer("forge");
+  Node& other = c.AddServer("kiln");
+  Process& watcher = other.Spawn("csc");
+  Process& a = n.Spawn("a");
+  n.Spawn("b");
+  ExitReason reason = ExitReason::kExited;
+  watcher.WatchExitOf(a, [&](uint64_t, ExitReason r) { reason = r; });
+  n.Crash();
+  EXPECT_FALSE(n.alive());
+  c.RunUntilIdle();
+  EXPECT_EQ(n.process_count(), 0u);
+  EXPECT_EQ(reason, ExitReason::kNodeCrash);
+}
+
+TEST(ClusterTest, RestartBringsNodeBackEmpty)
+{
+  Cluster c;
+  Node& n = c.AddServer("forge");
+  n.Spawn("a", 500);
+  n.Crash();
+  c.RunUntilIdle();
+  n.Restart();
+  EXPECT_TRUE(n.alive());
+  EXPECT_EQ(n.process_count(), 0u);
+  // The well-known port is free again after restart.
+  Process& again = n.Spawn("a", 500);
+  EXPECT_EQ(again.port(), 500);
+}
+
+TEST(ClusterTest, ProcessEmplaceOwnsObjects) {
+  struct Tracked {
+    explicit Tracked(bool* flag) : flag(flag) {}
+    ~Tracked() { *flag = true; }
+    bool* flag;
+  };
+  Cluster c;
+  Node& n = c.AddServer("forge");
+  Process& p = n.Spawn("svc");
+  bool destroyed = false;
+  p.Emplace<Tracked>(&destroyed);
+  n.Kill(p.pid());
+  c.RunUntilIdle();
+  EXPECT_TRUE(destroyed);
+}
+
+TEST(ClusterTest, ProcessTimersCancelledOnKill) {
+  Cluster c;
+  Node& n = c.AddServer("forge");
+  Process& p = n.Spawn("svc");
+  bool fired = false;
+  p.executor().ScheduleAfter(Duration::Seconds(1), [&] { fired = true; });
+  n.Kill(p.pid());
+  c.RunFor(Duration::Seconds(5));
+  EXPECT_FALSE(fired);
+}
+
+TEST(NetworkTest, PartitionBookkeeping) {
+  Cluster c;
+  Network& net = c.network();
+  net.Partition(1, 2, true);
+  EXPECT_TRUE(net.IsBlocked(1, 2));
+  EXPECT_TRUE(net.IsBlocked(2, 1));
+  EXPECT_FALSE(net.IsBlocked(1, 3));
+  net.Partition(1, 2, false);
+  EXPECT_FALSE(net.IsBlocked(1, 2));
+  net.Isolate(7, true);
+  EXPECT_TRUE(net.IsBlocked(7, 9));
+  EXPECT_TRUE(net.IsBlocked(9, 7));
+  net.Isolate(7, false);
+  EXPECT_FALSE(net.IsBlocked(7, 9));
+}
+
+}  // namespace
+}  // namespace itv::sim

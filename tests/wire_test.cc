@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/wire/message.h"
+#include "src/wire/object_ref.h"
+#include "src/wire/serialize.h"
+
+namespace itv::wire {
+namespace {
+
+TEST(SerializeTest, PrimitiveRoundTrip) {
+  Writer w;
+  w.WriteU8(0xab);
+  w.WriteBool(true);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0123456789abcdefull);
+  w.WriteI32(-42);
+  w.WriteI64(-1234567890123ll);
+  w.WriteDouble(3.5);
+  w.WriteString("hello");
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.ReadU8(), 0xab);
+  EXPECT_TRUE(r.ReadBool());
+  EXPECT_EQ(r.ReadU16(), 0x1234);
+  EXPECT_EQ(r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.ReadI32(), -42);
+  EXPECT_EQ(r.ReadI64(), -1234567890123ll);
+  EXPECT_EQ(r.ReadDouble(), 3.5);
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SerializeTest, TruncatedReadSetsStickyError) {
+  Writer w;
+  w.WriteU32(7);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.ReadU64(), 0u);  // Not enough bytes.
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.ReadU32(), 0u);  // Error is sticky.
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializeTest, OversizedStringLengthFailsCleanly) {
+  Writer w;
+  w.WriteU32(1000000);  // Claims a megabyte that is not there.
+  Reader r(w.bytes());
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializeTest, EmptyStringAndBytes) {
+  Writer w;
+  w.WriteString("");
+  w.WriteBytes({});
+  Reader r(w.bytes());
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_TRUE(r.ReadBytes().empty());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(SerializeTest, VectorRoundTrip) {
+  std::vector<std::string> in{"a", "bb", ""};
+  Bytes b = EncodeValue(in);
+  std::vector<std::string> out;
+  ASSERT_TRUE(DecodeValue(b, &out));
+  EXPECT_EQ(out, in);
+}
+
+TEST(SerializeTest, NestedVectorRoundTrip) {
+  std::vector<std::vector<uint32_t>> in{{1, 2}, {}, {3}};
+  Bytes b = EncodeValue(in);
+  std::vector<std::vector<uint32_t>> out;
+  ASSERT_TRUE(DecodeValue(b, &out));
+  EXPECT_EQ(out, in);
+}
+
+TEST(SerializeTest, OptionalRoundTrip) {
+  std::optional<std::string> some = "x";
+  std::optional<std::string> none;
+  Bytes b1 = EncodeValue(some);
+  Bytes b2 = EncodeValue(none);
+  std::optional<std::string> o1, o2 = "junk";
+  ASSERT_TRUE(DecodeValue(b1, &o1));
+  ASSERT_TRUE(DecodeValue(b2, &o2));
+  EXPECT_EQ(o1, some);
+  EXPECT_EQ(o2, std::nullopt);
+}
+
+TEST(SerializeTest, MapRoundTrip) {
+  std::map<std::string, uint64_t> in{{"a", 1}, {"b", 2}};
+  Bytes b = EncodeValue(in);
+  std::map<std::string, uint64_t> out;
+  ASSERT_TRUE(DecodeValue(b, &out));
+  EXPECT_EQ(out, in);
+}
+
+TEST(SerializeTest, DecodeValueRejectsTrailingBytes) {
+  Writer w;
+  w.WriteU32(1);
+  w.WriteU8(0xff);
+  uint32_t v = 0;
+  EXPECT_FALSE(DecodeValue(w.bytes(), &v));
+}
+
+TEST(EndpointTest, ToStringDottedQuad) {
+  Endpoint e{(10u << 24) | (0u << 16) | (3u << 8) | 1u, 7001};
+  EXPECT_EQ(e.ToString(), "10.0.3.1:7001");
+}
+
+TEST(EndpointTest, NullAndComparison) {
+  Endpoint null_ep;
+  EXPECT_TRUE(null_ep.is_null());
+  Endpoint e{1, 2};
+  EXPECT_FALSE(e.is_null());
+  EXPECT_NE(e, null_ep);
+}
+
+TEST(ObjectRefTest, RoundTrip) {
+  ObjectRef ref;
+  ref.endpoint = {0x0a000101, 500};
+  ref.incarnation = 77;
+  ref.type_id = TypeIdFromName("itv.NamingContext");
+  ref.object_id = 3;
+  Bytes b = EncodeValue(ref);
+  ObjectRef out;
+  ASSERT_TRUE(DecodeValue(b, &out));
+  EXPECT_EQ(out, ref);
+}
+
+TEST(ObjectRefTest, NullDetection) {
+  ObjectRef ref;
+  EXPECT_TRUE(ref.is_null());
+  ref.incarnation = 1;
+  EXPECT_FALSE(ref.is_null());
+}
+
+TEST(TypeIdTest, DistinctForSystemInterfaces) {
+  const char* names[] = {
+      "itv.NamingContext", "itv.ReplicatedContext", "itv.Selector",
+      "itv.ResourceAudit", "itv.ServerServiceController",
+      "itv.ClusterServiceController", "itv.ConnectionManager",
+      "itv.MediaDelivery", "itv.Movie", "itv.MediaManagement",
+      "itv.ReliableDelivery", "itv.SettopManager", "itv.Database",
+      "itv.Auth", "itv.FileSystemContext",
+  };
+  std::set<uint64_t> ids;
+  for (const char* n : names) {
+    ids.insert(TypeIdFromName(n));
+  }
+  EXPECT_EQ(ids.size(), std::size(names));
+}
+
+TEST(TypeIdTest, IsConstexprAndStable) {
+  static_assert(TypeIdFromName("itv.Echo") != 0);
+  EXPECT_EQ(TypeIdFromName("itv.Echo"), TypeIdFromName("itv.Echo"));
+}
+
+Message MakeSampleMessage() {
+  Message m;
+  m.kind = MsgKind::kRequest;
+  m.call_id = 42;
+  m.object_id = 3;
+  m.type_id = TypeIdFromName("itv.Echo");
+  m.method_id = 2;
+  m.target_incarnation = 99;
+  m.auth.principal = "settop/11.1.0.1";
+  m.auth.ticket_id = 1234;
+  m.auth.signature = {1, 2, 3};
+  m.auth.encrypted = false;
+  m.payload = {9, 8, 7};
+  return m;
+}
+
+TEST(MessageTest, EncodeDecodeRoundTrip) {
+  Message m = MakeSampleMessage();
+  Bytes b = EncodeMessage(m);
+  Message out;
+  ASSERT_TRUE(DecodeMessage(b, &out));
+  EXPECT_EQ(out.kind, m.kind);
+  EXPECT_EQ(out.call_id, m.call_id);
+  EXPECT_EQ(out.object_id, m.object_id);
+  EXPECT_EQ(out.type_id, m.type_id);
+  EXPECT_EQ(out.method_id, m.method_id);
+  EXPECT_EQ(out.target_incarnation, m.target_incarnation);
+  EXPECT_EQ(out.status, m.status);
+  EXPECT_EQ(out.auth.principal, m.auth.principal);
+  EXPECT_EQ(out.auth.ticket_id, m.auth.ticket_id);
+  EXPECT_EQ(out.auth.signature, m.auth.signature);
+  EXPECT_EQ(out.payload, m.payload);
+}
+
+TEST(MessageTest, ReplyStatusRoundTrip) {
+  Message m;
+  m.kind = MsgKind::kReply;
+  m.call_id = 1;
+  m.status = itv::StatusCode::kNotFound;
+  m.status_message = "no such movie";
+  Bytes b = EncodeMessage(m);
+  Message out;
+  ASSERT_TRUE(DecodeMessage(b, &out));
+  EXPECT_EQ(out.status, itv::StatusCode::kNotFound);
+  EXPECT_EQ(out.status_message, "no such movie");
+}
+
+TEST(MessageTest, BadMagicRejected) {
+  Bytes b = EncodeMessage(MakeSampleMessage());
+  b[0] ^= 0xff;
+  Message out;
+  EXPECT_FALSE(DecodeMessage(b, &out));
+}
+
+TEST(MessageTest, TruncationRejected) {
+  Bytes b = EncodeMessage(MakeSampleMessage());
+  for (size_t cut : {b.size() - 1, b.size() / 2, size_t{5}}) {
+    Bytes t(b.begin(), b.begin() + static_cast<long>(cut));
+    Message out;
+    EXPECT_FALSE(DecodeMessage(t, &out)) << "cut=" << cut;
+  }
+}
+
+TEST(MessageTest, SignedPortionCoversRoutingAndPayload) {
+  Message a = MakeSampleMessage();
+  Message b = a;
+  EXPECT_EQ(a.SignedPortion(), b.SignedPortion());
+  b.method_id = 5;
+  EXPECT_NE(a.SignedPortion(), b.SignedPortion());
+  b = a;
+  b.payload = {0};
+  EXPECT_NE(a.SignedPortion(), b.SignedPortion());
+  b = a;
+  b.auth.principal = "attacker";
+  EXPECT_NE(a.SignedPortion(), b.SignedPortion());
+  // The signature itself must NOT be covered (it is computed over this).
+  b = a;
+  b.auth.signature = {9, 9};
+  EXPECT_EQ(a.SignedPortion(), b.SignedPortion());
+}
+
+}  // namespace
+}  // namespace itv::wire

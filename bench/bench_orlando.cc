@@ -16,6 +16,7 @@
 #include "bench/bench_util.h"
 #include "src/common/rand.h"
 #include "src/media/factories.h"
+#include "src/rpc/binding_table.h"
 #include "src/settop/vod_app.h"
 #include "src/svc/harness.h"
 #include "src/svc/settop_manager.h"
@@ -68,19 +69,17 @@ int main() {
     SettopSim s;
     s.node = &harness.AddSettop(static_cast<uint8_t>(1 + (i % kServers)));
     s.process = &s.node->Spawn("settop");
-    auto* rebinder = s.process->Emplace<rpc::Rebinder>(
-        s.process->executor(),
-        harness.ClientFor(*s.process)
-            .ResolveFnFor(std::string(svc::kSettopManagerName)));
+    auto* bindings = s.process->Emplace<rpc::BindingTable>(
+        s.process->runtime(), harness.ClientFor(*s.process).PathResolverFn());
+    auto settopmgr =
+        bindings->Bind<svc::SettopManagerProxy>(svc::kSettopManagerName);
     auto* timer = s.process->Emplace<PeriodicTimer>();
     uint32_t host = s.node->host();
-    rpc::ObjectRuntime* runtime = &s.process->runtime();
     timer->Start(s.process->executor(), Duration::Seconds(5),
-                 [rebinder, runtime, host] {
-                   rebinder->Call<void>(
-                       [runtime, host](const wire::ObjectRef& mgr) {
-                         return svc::SettopManagerProxy(*runtime, mgr)
-                             .Heartbeat(host);
+                 [settopmgr, host] {
+                   settopmgr.Call<void>(
+                       [host](const svc::SettopManagerProxy& mgr) {
+                         return mgr.Heartbeat(host);
                        },
                        [](Result<void>) {});
                  });

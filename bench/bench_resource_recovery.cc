@@ -20,6 +20,7 @@
 
 #include "bench/bench_util.h"
 #include "src/ras/audit_client.h"
+#include "src/rpc/binding_table.h"
 #include "src/svc/harness.h"
 #include "src/svc/settop_manager.h"
 
@@ -48,16 +49,16 @@ double MeasureRasMessagesPerSecond(size_t settops, size_t servers) {
     uint8_t nb = static_cast<uint8_t>(1 + (i % servers));
     sim::Node& settop = harness.AddSettop(nb);
     sim::Process& p = settop.Spawn("hb");
-    auto* rebinder = p.Emplace<rpc::Rebinder>(
-        p.executor(),
-        harness.ClientFor(p).ResolveFnFor(std::string(svc::kSettopManagerName)));
+    auto* bindings = p.Emplace<rpc::BindingTable>(
+        p.runtime(), harness.ClientFor(p).PathResolverFn());
+    auto settopmgr =
+        bindings->Bind<svc::SettopManagerProxy>(svc::kSettopManagerName);
     auto* timer = p.Emplace<PeriodicTimer>();
     uint32_t host = settop.host();
-    rpc::ObjectRuntime* runtime = &p.runtime();
-    timer->Start(p.executor(), Duration::Seconds(5), [rebinder, runtime, host] {
-      rebinder->Call<void>(
-          [runtime, host](const wire::ObjectRef& mgr) {
-            return svc::SettopManagerProxy(*runtime, mgr).Heartbeat(host);
+    timer->Start(p.executor(), Duration::Seconds(5), [settopmgr, host] {
+      settopmgr.Call<void>(
+          [host](const svc::SettopManagerProxy& mgr) {
+            return mgr.Heartbeat(host);
           },
           [](Result<void>) {});
     });

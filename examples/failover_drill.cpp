@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "src/naming/name_client.h"
+#include "src/rpc/binding_table.h"
 #include "src/svc/csc.h"
 #include "src/svc/harness.h"
 #include "src/svc/settop_manager.h"
@@ -57,28 +58,28 @@ int main() {
 
   sim::Process& client = harness.SpawnProcessOn(0, "client");
   naming::NameClient nc = harness.ClientFor(client);
-  rpc::Rebinder::Options rb_opts;
+  rpc::BindingTable bindings(client.runtime(), nc.PathResolverFn());
+  rpc::BindingOptions rb_opts;
   rb_opts.max_attempts = 30;
   rb_opts.initial_backoff = Duration::Seconds(1);
   rb_opts.backoff_multiplier = 1.0;
-  rpc::Rebinder rebinder(client.executor(), nc.ResolveFnFor("svc/drill"), rb_opts);
+  rpc::Binding& drill = bindings.Get("svc/drill", rb_opts);
+  auto drill_client = bindings.Bind<svc::SettopManagerProxy>("svc/drill");
 
   auto call_through = [&](const char* label) {
     bool ok = false;
-    uint32_t host = 0;
-    rebinder.Call<std::vector<uint8_t>>(
-        [&](const wire::ObjectRef& ref) {
-          host = ref.endpoint.host;
-          return svc::SettopManagerProxy(client.runtime(), ref)
-              .GetStatus({client.host()});
+    drill_client.Call<std::vector<uint8_t>>(
+        [&](const svc::SettopManagerProxy& proxy) {
+          return proxy.GetStatus({client.host()});
         },
         [&](Result<std::vector<uint8_t>> r) { ok = r.ok(); });
     cluster.RunFor(Duration::Seconds(40));
+    uint32_t host = drill.cached_ref() ? drill.cached_ref()->endpoint.host : 0;
     std::printf("[t=%8s] %s: call %s (served by server %u.%u.%u.%u, "
                 "rebinds so far: %llu)\n",
                 cluster.Now().ToString().c_str(), label, ok ? "OK" : "FAILED",
                 host >> 24, (host >> 16) & 0xff, (host >> 8) & 0xff, host & 0xff,
-                static_cast<unsigned long long>(rebinder.rebind_count()));
+                static_cast<unsigned long long>(drill.rebind_count()));
   };
 
   call_through("baseline");

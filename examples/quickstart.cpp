@@ -6,7 +6,7 @@
 //      pair (~20 lines), export the object, bind it into the name space.
 //   3. A client resolves "svc/greeter" and invokes it.
 //   4. Restart the service (new incarnation): the client's stale reference
-//      NACKs, and the Rebinder transparently re-resolves — the paper's
+//      NACKs, and the binding layer transparently re-resolves — the paper's
 //      Section 8.2 recovery, live on your machine.
 //
 // Everything shares one event loop here for simplicity; each component has
@@ -19,7 +19,7 @@
 #include "src/naming/name_server.h"
 #include "src/net/event_loop.h"
 #include "src/net/tcp_transport.h"
-#include "src/rpc/rebinder.h"
+#include "src/rpc/binding_table.h"
 #include "src/rpc/runtime.h"
 #include "src/rpc/stub_helpers.h"
 
@@ -132,14 +132,13 @@ int main() {
   rpc::ObjectRuntime client_runtime(loop, client_transport, 200);
   naming::NameClient client_nc(client_runtime, net::kLoopbackHost,
                                ns_transport.local_endpoint().port);
-  rpc::Rebinder rebinder(loop, client_nc.ResolveFnFor("svc/greeter"));
+  rpc::BindingTable bindings(client_runtime, client_nc.PathResolverFn());
+  auto bound_greeter = bindings.Bind<GreeterProxy>("svc/greeter");
 
   auto call = [&](const std::string& who) {
     Promise<std::string> done;
-    rebinder.Call<std::string>(
-        [&](const wire::ObjectRef& ref) {
-          return GreeterProxy(client_runtime, ref).Greet(who);
-        },
+    bound_greeter.Call<std::string>(
+        [who](const GreeterProxy& proxy) { return proxy.Greet(who); },
         [done](Result<std::string> r) mutable { done.Set(std::move(r)); });
     auto result = Await(loop, done.future(), Duration::Seconds(5));
     std::printf("[quickstart] greet(\"%s\") -> %s\n", who.c_str(),
@@ -156,7 +155,7 @@ int main() {
   (void)Await(loop, service2_nc.Unbind("svc/greeter"));
   (void)Await(loop, service2_nc.Bind("svc/greeter", greeter2->ref));
 
-  // The client still holds the old reference; the Rebinder recovers.
+  // The client still holds the old reference; the binding recovers.
   call("world, again");
 
   std::printf("[quickstart] done — same calls, new implementor, no client "

@@ -1,10 +1,14 @@
-// Counters and gauges used by the benchmark harnesses.
+// Counters, gauges and histograms used by the benchmark harnesses.
 //
 // The paper's arguments about scalability are message-count arguments
 // (Sections 7.1, 7.2.1, 9.7): "the RAS needs only a small number of network
 // messages", "updates are serialized through the master but reads are local".
 // Every subsystem increments named counters here so the bench binaries can
 // report exactly those counts.
+//
+// The RPC and network layers bump a counter on every message, so lookups are
+// a hot path: the maps use heterogeneous (string_view) lookup, and hot loops
+// should pre-intern a Counter handle once and bump it directly.
 
 #ifndef SRC_COMMON_METRICS_H_
 #define SRC_COMMON_METRICS_H_
@@ -14,26 +18,64 @@
 #include <string>
 #include <string_view>
 
+#include "src/common/histogram.h"
+
 namespace itv {
 
 class Metrics {
  public:
+  using Counter = uint64_t;
+
+  // Pre-interned counter handle for hot paths: one map lookup at setup, a
+  // plain increment per event afterwards. std::map nodes are reference-stable
+  // and Reset() zeroes values in place, so a handle stays valid for the
+  // lifetime of this Metrics instance.
+  Counter& Intern(std::string_view counter) {
+    auto it = counters_.find(counter);
+    if (it == counters_.end()) {
+      it = counters_.emplace(std::string(counter), 0).first;
+    }
+    return it->second;
+  }
+
   void Add(std::string_view counter, uint64_t delta = 1) {
-    counters_[std::string(counter)] += delta;
+    Intern(counter) += delta;
   }
 
   void SetGauge(std::string_view gauge, int64_t value) {
-    gauges_[std::string(gauge)] = value;
+    auto it = gauges_.find(gauge);
+    if (it == gauges_.end()) {
+      gauges_.emplace(std::string(gauge), value);
+    } else {
+      it->second = value;
+    }
+  }
+
+  // Records a sample into a named histogram (e.g. "rebind.latency", in
+  // seconds). Histograms keep exact samples; they are for benchmarks and
+  // tests, not unbounded production telemetry.
+  void Observe(std::string_view histogram, double value) {
+    auto it = histograms_.find(histogram);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(std::string(histogram), Histogram()).first;
+    }
+    it->second.Record(value);
   }
 
   uint64_t Get(std::string_view counter) const {
-    auto it = counters_.find(std::string(counter));
+    auto it = counters_.find(counter);
     return it == counters_.end() ? 0 : it->second;
   }
 
   int64_t GetGauge(std::string_view gauge) const {
-    auto it = gauges_.find(std::string(gauge));
+    auto it = gauges_.find(gauge);
     return it == gauges_.end() ? 0 : it->second;
+  }
+
+  // Null when no sample has been observed under `histogram`.
+  const Histogram* FindHistogram(std::string_view histogram) const {
+    auto it = histograms_.find(histogram);
+    return it == histograms_.end() ? nullptr : &it->second;
   }
 
   // Sum of all counters whose name starts with `prefix` (e.g. "net.msg.").
@@ -48,16 +90,24 @@ class Metrics {
     return total;
   }
 
-  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
 
+  // Zeroes counters in place (interned handles stay valid) and drops gauges
+  // and histograms.
   void Reset() {
-    counters_.clear();
+    for (auto& [name, value] : counters_) {
+      value = 0;
+    }
     gauges_.clear();
+    histograms_.clear();
   }
 
  private:
-  std::map<std::string, uint64_t> counters_;
-  std::map<std::string, int64_t> gauges_;
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, int64_t, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
 }  // namespace itv

@@ -65,7 +65,8 @@ CmgrService::CmgrService(rpc::ObjectRuntime& runtime, Executor& executor,
       metrics_(metrics),
       // Connection ids must stay unique across fail-over and restart: seed
       // the counter with this process's incarnation.
-      next_connection_id_(runtime.incarnation() << 20) {}
+      next_connection_id_(runtime.incarnation() << 20),
+      bindings_(runtime, name_client_.PathResolverFn()) {}
 
 void CmgrService::Start() {
   ref_ = runtime_.Export(this);
@@ -164,29 +165,20 @@ void CmgrService::HandleAllocate(uint32_t settop_host, uint32_t server_host,
   grant.downstream_bps = granted;
 
   // Reserve on the server trunk, then commit locally and on standbys.
-  auto trunk = trunks_.find(server_host);
-  if (trunk == trunks_.end()) {
-    trunk = trunks_
-                .emplace(server_host,
-                         std::make_unique<rpc::Rebinder>(
-                             executor_,
-                             name_client_.ResolveFnFor(TrunkName(server_host))))
-                .first;
-  }
-  trunk->second->Call<void>(
-      [this, grant](const wire::ObjectRef& trunk_ref) {
-        return TrunkProxy(runtime_, trunk_ref)
-            .Reserve(grant.connection_id, grant.downstream_bps);
-      },
-      [this, grant, reply](Result<void> r) {
-        if (!r.ok()) {
-          return rpc::ReplyError(reply, r.status());
-        }
-        ApplyLocal(1, grant);
-        PushToStandbys(1, grant);
-        Count("cmgr.allocated");
-        rpc::ReplyWith(reply, grant);
-      });
+  bindings_.Bind<TrunkProxy>(TrunkName(server_host))
+      .Call<void>(
+          [grant](const TrunkProxy& trunk) {
+            return trunk.Reserve(grant.connection_id, grant.downstream_bps);
+          },
+          [this, grant, reply](Result<void> r) {
+            if (!r.ok()) {
+              return rpc::ReplyError(reply, r.status());
+            }
+            ApplyLocal(1, grant);
+            PushToStandbys(1, grant);
+            Count("cmgr.allocated");
+            rpc::ReplyWith(reply, grant);
+          });
 }
 
 void CmgrService::HandleRelease(uint64_t connection_id, rpc::ReplyFn reply) {
@@ -199,13 +191,13 @@ void CmgrService::HandleRelease(uint64_t connection_id, rpc::ReplyFn reply) {
   PushToStandbys(2, grant);
   Count("cmgr.released");
 
-  auto trunk = trunks_.find(grant.server_host);
-  if (trunk != trunks_.end()) {
-    trunk->second->Call<void>(
-        [this, connection_id](const wire::ObjectRef& trunk_ref) {
-          return TrunkProxy(runtime_, trunk_ref).Release(connection_id);
-        },
-        [](Result<void>) {});
+  if (rpc::Binding* trunk = bindings_.Find(TrunkName(grant.server_host))) {
+    rpc::BoundClient<TrunkProxy>(runtime_, *trunk)
+        .Call<void>(
+            [connection_id](const TrunkProxy& proxy) {
+              return proxy.Release(connection_id);
+            },
+            [](Result<void>) {});
   }
   rpc::ReplyOk(reply);
 }

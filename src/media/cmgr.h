@@ -24,7 +24,7 @@
 #include "src/common/metrics.h"
 #include "src/media/types.h"
 #include "src/naming/name_client.h"
-#include "src/rpc/rebinder.h"
+#include "src/rpc/binding_table.h"
 
 namespace itv::media {
 
@@ -243,8 +243,8 @@ class CmgrService : public rpc::Skeleton {
   // promoted standby restarts charging from takeover — noted in DESIGN.md).
   std::map<uint64_t, Time> granted_at_;
   std::map<uint32_t, AccountingRecord> accounting_;
-  // Trunk resolution cache per server host.
-  std::map<uint32_t, std::unique_ptr<rpc::Rebinder>> trunks_;
+  // Named bindings (per-server trunk replicas), shared resolve/rebind state.
+  rpc::BindingTable bindings_;
   // Standby replica refs (refreshed periodically).
   std::vector<wire::ObjectRef> standbys_;
   PeriodicTimer standby_refresh_timer_;

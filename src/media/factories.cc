@@ -194,17 +194,15 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
 
     // The boot channel refreshes its advertised kernel from the Kernel
     // Broadcast Service, so operator-published kernels roll out everywhere.
-    auto* kernelcast = ctx.process.Emplace<rpc::Rebinder>(
-        ctx.process.executor(),
-        ctx.MakeNameClient().ResolveFnFor(std::string(kKernelCastName)));
+    auto* bindings = ctx.process.Emplace<rpc::BindingTable>(
+        ctx.process.runtime(), ctx.MakeNameClient().PathResolverFn());
+    auto kernelcast = bindings->Bind<KernelBroadcastProxy>(kKernelCastName);
     auto* refresh = ctx.process.Emplace<PeriodicTimer>();
-    rpc::ObjectRuntime* runtime = &ctx.process.runtime();
     refresh->Start(ctx.process.executor(), Duration::Seconds(10),
-                   [kernelcast, runtime, boot] {
-                     kernelcast->Call<KernelInfo>(
-                         [runtime](const wire::ObjectRef& ref) {
-                           return KernelBroadcastProxy(*runtime, ref)
-                               .GetKernelInfo();
+                   [kernelcast, boot] {
+                     kernelcast.Call<KernelInfo>(
+                         [](const KernelBroadcastProxy& proxy) {
+                           return proxy.GetKernelInfo();
                          },
                          [boot](Result<KernelInfo> info) {
                            if (!info.ok()) {

@@ -16,6 +16,7 @@ MmsService::MmsService(rpc::ObjectRuntime& runtime, Executor& executor,
       name_client_(std::move(name_client)),
       options_(options),
       metrics_(metrics),
+      bindings_(runtime, name_client_.PathResolverFn()),
       next_session_id_(runtime.incarnation() << 20) {}
 
 MmsService::~MmsService() = default;
@@ -132,20 +133,10 @@ std::vector<MmsService::MdsReplica*> MmsService::CandidatesFor(
 
 // --- Open ------------------------------------------------------------------------
 
-rpc::Rebinder& MmsService::CmgrFor(uint8_t neighborhood) {
-  auto it = cmgrs_.find(neighborhood);
-  if (it == cmgrs_.end()) {
-    rpc::Rebinder::Options opts;
-    opts.max_attempts = 2;
-    it = cmgrs_
-             .emplace(neighborhood,
-                      std::make_unique<rpc::Rebinder>(
-                          executor_,
-                          name_client_.ResolveFnFor(CmgrName(neighborhood)),
-                          opts))
-             .first;
-  }
-  return *it->second;
+rpc::BoundClient<CmgrProxy> MmsService::CmgrFor(uint8_t neighborhood) {
+  rpc::BindingOptions opts = bindings_.default_options();
+  opts.max_attempts = 2;
+  return bindings_.Bind<CmgrProxy>(CmgrName(neighborhood), opts);
 }
 
 void MmsService::HandleOpen(const std::string& title, uint32_t settop_host,
@@ -187,10 +178,9 @@ void MmsService::TryOpenOn(std::vector<MdsReplica*> candidates, size_t index,
   // Step 4: allocate the high-bandwidth connection for the chosen server.
   CmgrFor(neighborhood)
       .Call<ConnectionGrant>(
-          [this, mds_host, settop_host, bitrate_bps](const wire::ObjectRef& cmgr) {
-            return CmgrProxy(runtime_, cmgr)
-                .Allocate(settop_host, mds_host, bitrate_bps,
-                          /*allow_partial=*/false);
+          [mds_host, settop_host, bitrate_bps](const CmgrProxy& cmgr) {
+            return cmgr.Allocate(settop_host, mds_host, bitrate_bps,
+                                 /*allow_partial=*/false);
           },
           [this, candidates = std::move(candidates), index, title, settop_host,
            sink, reply, replica](Result<ConnectionGrant> grant) mutable {
@@ -225,8 +215,8 @@ void MmsService::FinishOpen(MdsReplica* replica, const std::string& title,
           uint8_t neighborhood = NeighborhoodOfHost(settop_host);
           CmgrFor(neighborhood)
               .Call<void>(
-                  [this, grant](const wire::ObjectRef& cmgr) {
-                    return CmgrProxy(runtime_, cmgr).Release(grant.connection_id);
+                  [grant](const CmgrProxy& cmgr) {
+                    return cmgr.Release(grant.connection_id);
                   },
                   [](Result<void>) {});
           if (rpc::IsRebindable(ticket.status())) {
@@ -308,8 +298,8 @@ void MmsService::ReclaimSession(uint64_t session_id, bool tell_mds) {
   uint64_t connection_id = session.connection.connection_id;
   CmgrFor(neighborhood)
       .Call<void>(
-          [this, connection_id](const wire::ObjectRef& cmgr) {
-            return CmgrProxy(runtime_, cmgr).Release(connection_id);
+          [connection_id](const CmgrProxy& cmgr) {
+            return cmgr.Release(connection_id);
           },
           [](Result<void>) {});
 

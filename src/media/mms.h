@@ -165,7 +165,7 @@ class MmsService : public rpc::Skeleton {
   void AdoptSessions(const std::string& mds_name, const wire::ObjectRef& mds_ref,
                      const std::vector<SessionInfo>& sessions);
 
-  rpc::Rebinder& CmgrFor(uint8_t neighborhood);
+  rpc::BoundClient<CmgrProxy> CmgrFor(uint8_t neighborhood);
   void Count(std::string_view name);
 
   rpc::ObjectRuntime& runtime_;
@@ -179,7 +179,7 @@ class MmsService : public rpc::Skeleton {
   std::unique_ptr<ras::AuditClient> audit_;
   std::map<std::string, MdsReplica> mds_;
   std::map<uint64_t, Session> sessions_;
-  std::map<uint8_t, std::unique_ptr<rpc::Rebinder>> cmgrs_;
+  rpc::BindingTable bindings_;  // Per-neighborhood connection managers.
   uint64_t next_session_id_;
   PeriodicTimer refresh_timer_;
 };

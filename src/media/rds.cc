@@ -16,26 +16,17 @@ RdsService::RdsService(rpc::ObjectRuntime& runtime, Executor& executor,
       name_client_(std::move(name_client)),
       options_(options),
       metrics_(metrics),
-      next_transfer_id_(runtime.incarnation() << 20) {
+      next_transfer_id_(runtime.incarnation() << 20),
+      bindings_(runtime, name_client_.PathResolverFn()) {
   for (const DataItem& item : items) {
     items_[item.name] = item;
   }
 }
 
-rpc::Rebinder& RdsService::CmgrFor(uint8_t neighborhood) {
-  auto it = cmgrs_.find(neighborhood);
-  if (it == cmgrs_.end()) {
-    rpc::Rebinder::Options opts;
-    opts.max_attempts = 2;
-    it = cmgrs_
-             .emplace(neighborhood,
-                      std::make_unique<rpc::Rebinder>(
-                          executor_,
-                          name_client_.ResolveFnFor(CmgrName(neighborhood)),
-                          opts))
-             .first;
-  }
-  return *it->second;
+rpc::BoundClient<CmgrProxy> RdsService::CmgrFor(uint8_t neighborhood) {
+  rpc::BindingOptions opts = bindings_.default_options();
+  opts.max_attempts = 2;
+  return bindings_.Bind<CmgrProxy>(CmgrName(neighborhood), opts);
 }
 
 void RdsService::HandleOpenData(const std::string& name,
@@ -62,10 +53,9 @@ void RdsService::HandleOpenData(const std::string& name,
   DataItem data = item->second;
   CmgrFor(neighborhood)
       .Call<ConnectionGrant>(
-          [this, caller_host, server_host, want_bps](const wire::ObjectRef& cmgr) {
-            return CmgrProxy(runtime_, cmgr)
-                .Allocate(caller_host, server_host, want_bps,
-                          /*allow_partial=*/true);
+          [caller_host, server_host, want_bps](const CmgrProxy& cmgr) {
+            return cmgr.Allocate(caller_host, server_host, want_bps,
+                                 /*allow_partial=*/true);
           },
           [this, data, sink, caller_host, reply](Result<ConnectionGrant> grant) {
             if (!grant.ok()) {
@@ -104,8 +94,8 @@ void RdsService::StartTransfer(const DataItem& item, const wire::ObjectRef& sink
         if (connection_id != 0 && neighborhood != 0) {
           CmgrFor(neighborhood)
               .Call<void>(
-                  [this, connection_id](const wire::ObjectRef& cmgr) {
-                    return CmgrProxy(runtime_, cmgr).Release(connection_id);
+                  [connection_id](const CmgrProxy& cmgr) {
+                    return cmgr.Release(connection_id);
                   },
                   [](Result<void>) {});
         }

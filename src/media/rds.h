@@ -22,7 +22,7 @@
 #include "src/media/cmgr.h"
 #include "src/media/types.h"
 #include "src/naming/name_client.h"
-#include "src/rpc/rebinder.h"
+#include "src/rpc/binding_table.h"
 
 namespace itv::media {
 
@@ -138,7 +138,7 @@ class RdsService : public rpc::Skeleton {
   void StartTransfer(const DataItem& item, const wire::ObjectRef& sink,
                      uint32_t settop_host, const ConnectionGrant& grant,
                      rpc::ReplyFn reply);
-  rpc::Rebinder& CmgrFor(uint8_t neighborhood);
+  rpc::BoundClient<CmgrProxy> CmgrFor(uint8_t neighborhood);
   void Count(std::string_view name);
 
   rpc::ObjectRuntime& runtime_;
@@ -150,7 +150,7 @@ class RdsService : public rpc::Skeleton {
   wire::ObjectRef ref_;
   uint64_t next_transfer_id_;
   uint64_t transfers_started_ = 0;
-  std::map<uint8_t, std::unique_ptr<rpc::Rebinder>> cmgrs_;
+  rpc::BindingTable bindings_;  // Per-neighborhood connection managers.
 };
 
 }  // namespace itv::media

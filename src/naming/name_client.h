@@ -18,6 +18,7 @@
 
 #include "src/common/executor.h"
 #include "src/naming/stubs.h"
+#include "src/rpc/binding_table.h"
 #include "src/rpc/rebinder.h"
 
 namespace itv::naming {
@@ -75,6 +76,17 @@ class NameClient {
   rpc::Rebinder::ResolveFn ResolveFnFor(std::string path) const {
     return [client = *this, path = std::move(path)](
                std::function<void(Result<wire::ObjectRef>)> cb) {
+      client.Resolve(path).OnReady(
+          [cb](const Result<wire::ObjectRef>& r) { cb(r); });
+    };
+  }
+
+  // Adapts this client into the binding layer's resolver: a per-process
+  // rpc::BindingTable constructed with this resolves every binding path
+  // through the name service.
+  rpc::PathResolver PathResolverFn() const {
+    return [client = *this](const std::string& path,
+                            std::function<void(Result<wire::ObjectRef>)> cb) {
       client.Resolve(path).OnReady(
           [cb](const Result<wire::ObjectRef>& r) { cb(r); });
     };

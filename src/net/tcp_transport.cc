@@ -137,7 +137,10 @@ std::vector<uint8_t> TcpTransport::FrameMessage(const wire::Message& msg) const 
 void TcpTransport::Send(const wire::Endpoint& dst, wire::Message msg) {
   msg.source = local_;
   if (metrics_ != nullptr) {
-    metrics_->Add("net.msg.total");
+    if (c_msg_total_ == nullptr) {
+      c_msg_total_ = &metrics_->Intern("net.msg.total");
+    }
+    ++*c_msg_total_;
   }
   Connection* conn = nullptr;
   auto it = by_destination_.find(EndpointKey(dst));

@@ -70,6 +70,7 @@ class TcpTransport : public rpc::Transport {
 
   EventLoop& loop_;
   Metrics* metrics_;
+  Metrics::Counter* c_msg_total_ = nullptr;  // Interned on first Send().
   int listen_fd_ = -1;
   wire::Endpoint local_;
   Receiver receiver_;

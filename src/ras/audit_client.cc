@@ -9,7 +9,16 @@ AuditClient::AuditClient(rpc::ObjectRuntime& runtime, Executor& executor,
     : runtime_(runtime),
       executor_(executor),
       local_ras_(local_ras),
-      options_(options) {
+      options_(options),
+      // The local RAS lives at a well-known ref that survives restarts, so
+      // the binding is pinned: no name-service resolve, but calls still get
+      // the binding layer's retry/deadline/metrics treatment.
+      bindings_(runtime, [](const std::string&,
+                            std::function<void(Result<wire::ObjectRef>)> cb) {
+        cb(InternalError("pinned binding has no resolver"));
+      }),
+      ras_(bindings_.BindPinned<RasProxy>("ras/local", local_ras,
+                                          options_.binding)) {
   poll_timer_.Start(executor_, options_.poll_interval, [this] { Poll(); });
 }
 
@@ -34,11 +43,11 @@ void AuditClient::Poll() {
     entities.push_back(watch.entity);
   }
   ++polls_sent_;
-  RasProxy ras(runtime_, local_ras_);
-  rpc::CallOptions opts;
-  opts.timeout = options_.rpc_timeout;
-  ras.CheckStatus(entities)
-      .OnReady([this, ids](const Result<std::vector<uint8_t>>& r) {
+  ras_.Call<std::vector<uint8_t>>(
+      [entities = std::move(entities)](const RasProxy& ras) {
+        return ras.CheckStatus(entities);
+      },
+      [this, ids](Result<std::vector<uint8_t>> r) {
         if (!r.ok() || r->size() != ids.size()) {
           return;  // Local RAS briefly down; it rebuilds on our next poll.
         }

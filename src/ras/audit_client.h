@@ -19,6 +19,7 @@
 #include "src/common/executor.h"
 #include "src/naming/name_server.h"
 #include "src/ras/types.h"
+#include "src/rpc/binding_table.h"
 #include "src/rpc/runtime.h"
 
 namespace itv::ras {
@@ -30,6 +31,9 @@ class AuditClient {
     // (paper Section 9.7), the MMS the same by default.
     Duration poll_interval = Duration::Seconds(10);
     Duration rpc_timeout = Duration::Seconds(2);
+    // Retry/deadline policy for the pinned RAS binding; the deadline stays
+    // under poll_interval so a slow poll never overlaps the next one.
+    rpc::BindingOptions binding = PinnedRasDefaults();
   };
 
   using WatchId = uint64_t;
@@ -58,10 +62,19 @@ class AuditClient {
     DeathCallback cb;
   };
 
+  static rpc::BindingOptions PinnedRasDefaults() {
+    rpc::BindingOptions opts;
+    opts.max_attempts = 2;
+    opts.deadline = Duration::Seconds(8);
+    return opts;
+  }
+
   rpc::ObjectRuntime& runtime_;
   Executor& executor_;
   wire::ObjectRef local_ras_;
   Options options_;
+  rpc::BindingTable bindings_;
+  rpc::BoundClient<RasProxy> ras_;
   uint64_t next_id_ = 1;
   uint64_t polls_sent_ = 0;
   std::map<WatchId, Watch_> watches_;

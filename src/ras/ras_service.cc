@@ -72,8 +72,9 @@ RasService::RasService(rpc::ObjectRuntime& runtime, Executor& executor,
       name_client_(std::move(name_client)),
       options_(options),
       metrics_(metrics),
-      settopmgr_(executor, name_client_.ResolveFnFor(
-                               std::string(svc::kSettopManagerName))) {}
+      bindings_(runtime, name_client_.PathResolverFn()),
+      settopmgr_(
+          bindings_.Bind<svc::SettopManagerProxy>(svc::kSettopManagerName)) {}
 
 RasService::~RasService() = default;
 
@@ -205,8 +206,8 @@ void RasService::PollSettops() {
   }
   Count("ras.settop_poll");
   settopmgr_.Call<std::vector<uint8_t>>(
-      [this, hosts](const wire::ObjectRef& mgr) {
-        return svc::SettopManagerProxy(runtime_, mgr).GetStatus(hosts);
+      [hosts](const svc::SettopManagerProxy& mgr) {
+        return mgr.GetStatus(hosts);
       },
       [this, hosts](Result<std::vector<uint8_t>> r) {
         if (!r.ok() || r->size() != hosts.size()) {

@@ -26,8 +26,12 @@
 #include "src/common/metrics.h"
 #include "src/naming/name_client.h"
 #include "src/ras/types.h"
-#include "src/rpc/rebinder.h"
+#include "src/rpc/binding_table.h"
 #include "src/rpc/runtime.h"
+
+namespace itv::svc {
+class SettopManagerProxy;
+}
 
 namespace itv::ras {
 
@@ -98,7 +102,8 @@ class RasService {
   std::map<EntityId::Key, Tracked> tracked_;
   std::map<uint32_t, int> peer_failures_;
 
-  rpc::Rebinder settopmgr_;
+  rpc::BindingTable bindings_;
+  rpc::BoundClient<svc::SettopManagerProxy> settopmgr_;
   PeriodicTimer peer_poll_timer_;
   PeriodicTimer settop_poll_timer_;
 };

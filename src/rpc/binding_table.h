@@ -1,0 +1,268 @@
+// BindingTable: the unified client-side binding layer.
+//
+// The paper's clients (Section 8.2) bind to services by name ("svc/cmgr",
+// "svc/ras", ...) and transparently rebind through the name service when a
+// service instance fails over. Before this layer existed every client wired
+// up its own rpc::Rebinder and resolve lambda; a per-process BindingTable
+// now owns one named binding per service path and hands out typed
+// BoundClient<Proxy> smart proxies.
+//
+// What the table adds over scattered Rebinders:
+//   - Single-flight re-resolution: all calls in a process that go through
+//    one invalidated binding coalesce into a single name-service lookup
+//    (plus jittered exponential backoff), so a recovery storm costs
+//    O(processes) lookups instead of O(in-flight calls) — the paper's
+//    Section 9.7 mitigation.
+//   - Deadline propagation: each call carries a total budget split across
+//    resolve + retries, surfacing honest DEADLINE_EXCEEDED under fail-over.
+//   - Observability: rebind.count / rebind.coalesced counters and a
+//    rebind.latency histogram flow into the process Metrics, alongside
+//    per-binding accessors.
+//
+// The resolver is a plain function so this layer stays below naming/ in the
+// dependency order; naming::NameClient::PathResolverFn() adapts the name
+// client into one.
+
+#ifndef SRC_RPC_BINDING_TABLE_H_
+#define SRC_RPC_BINDING_TABLE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/common/future.h"
+#include "src/rpc/rebinder.h"
+#include "src/rpc/runtime.h"
+#include "src/wire/object_ref.h"
+
+namespace itv::rpc {
+
+// Resolves a slash-separated service path ("svc/mms") to a fresh object
+// reference; normally a name-service lookup.
+using PathResolver = std::function<void(
+    const std::string& path, std::function<void(Result<wire::ObjectRef>)>)>;
+
+// Per-binding retry/backoff/deadline policy (the Rebinder engine's knobs).
+using BindingOptions = Rebinder::Options;
+
+// One named binding: a service path plus the Rebinder engine that caches and
+// re-resolves its object reference. Owned by a BindingTable; stable address
+// for the table's lifetime.
+class Binding {
+ public:
+  Binding(Executor& executor, std::string path, PathResolver resolver,
+          const BindingOptions& options, Metrics* metrics)
+      : path_(std::move(path)),
+        rebinder_(
+            executor,
+            [resolver = std::move(resolver), path = path_](
+                std::function<void(Result<wire::ObjectRef>)> cb) {
+              resolver(path, std::move(cb));
+            },
+            options, metrics) {}
+
+  const std::string& path() const { return path_; }
+
+  const std::optional<wire::ObjectRef>& cached_ref() const {
+    return rebinder_.cached_ref();
+  }
+  void Invalidate() { rebinder_.Invalidate(); }
+  void Prime(wire::ObjectRef ref) { rebinder_.Prime(ref); }
+
+  // Name-service lookups issued / calls that piggybacked on one in flight.
+  uint64_t rebind_count() const { return rebinder_.rebind_count(); }
+  uint64_t coalesced_count() const { return rebinder_.coalesced_count(); }
+
+  // Runs `call` against a valid reference with rebind/retry; see
+  // Rebinder::Call. The Binding must outlive the operation.
+  template <typename T>
+  void Call(std::function<Future<T>(const wire::ObjectRef&)> call,
+            std::function<void(Result<T>)> done) {
+    rebinder_.Call<T>(std::move(call), std::move(done));
+  }
+
+  // Per-call deadline budget overriding the binding's configured one.
+  template <typename T>
+  void Call(std::function<Future<T>(const wire::ObjectRef&)> call,
+            std::function<void(Result<T>)> done, Duration deadline) {
+    rebinder_.CallWithDeadline<T>(std::move(call), std::move(done), deadline);
+  }
+
+  Rebinder& rebinder() { return rebinder_; }
+
+ private:
+  std::string path_;  // Declared before rebinder_: its resolve fn captures it.
+  Rebinder rebinder_;
+};
+
+// A typed smart proxy over a Binding: wraps each attempt in a Proxy
+// constructed against the currently-bound reference. Copyable value; the
+// Binding (and the table that owns it) must outlive it.
+template <typename P>
+class BoundClient {
+ public:
+  BoundClient() = default;
+  BoundClient(ObjectRuntime& runtime, Binding& binding)
+      : runtime_(&runtime), binding_(&binding) {}
+
+  explicit operator bool() const { return binding_ != nullptr; }
+  Binding& binding() const { return *binding_; }
+  const std::string& path() const { return binding_->path(); }
+
+  // Invokes `call` with a typed proxy bound to a valid reference, retrying
+  // through re-resolution on rebindable failures.
+  template <typename T>
+  void Call(std::function<Future<T>(const P&)> call,
+            std::function<void(Result<T>)> done) const {
+    binding_->Call<T>(WrapAttempt<T>(std::move(call)), std::move(done));
+  }
+
+  template <typename T>
+  void Call(std::function<Future<T>(const P&)> call,
+            std::function<void(Result<T>)> done, Duration deadline) const {
+    binding_->Call<T>(WrapAttempt<T>(std::move(call)), std::move(done),
+                      deadline);
+  }
+
+ private:
+  template <typename T>
+  std::function<Future<T>(const wire::ObjectRef&)> WrapAttempt(
+      std::function<Future<T>(const P&)> call) const {
+    return [runtime = runtime_,
+            call = std::move(call)](const wire::ObjectRef& ref) {
+      return call(P(*runtime, ref));
+    };
+  }
+
+  ObjectRuntime* runtime_ = nullptr;
+  Binding* binding_ = nullptr;
+};
+
+class BindingTable {
+ public:
+  // Metrics are taken from the runtime (may be null). Default options carry
+  // jitter and a finite deadline budget — the recovery-storm posture every
+  // client should have; pass explicit options to Get()/Bind() to override.
+  BindingTable(ObjectRuntime& runtime, PathResolver resolver)
+      : runtime_(runtime), resolver_(std::move(resolver)) {
+    default_options_.backoff_jitter = 0.25;
+    default_options_.deadline = Duration::Seconds(30);
+  }
+
+  BindingTable(const BindingTable&) = delete;
+  BindingTable& operator=(const BindingTable&) = delete;
+
+  ObjectRuntime& runtime() const { return runtime_; }
+
+  const BindingOptions& default_options() const { return default_options_; }
+  void set_default_options(const BindingOptions& options) {
+    default_options_ = options;
+  }
+
+  // Returns the binding for `path`, creating it with the given options (or
+  // the table defaults) on first use. Options are fixed at creation;
+  // subsequent lookups return the existing binding unchanged.
+  Binding& Get(std::string_view path) { return Get(path, default_options_); }
+  Binding& Get(std::string_view path, const BindingOptions& options) {
+    auto it = bindings_.find(path);
+    if (it == bindings_.end()) {
+      it = bindings_
+               .emplace(std::string(path),
+                        std::make_unique<Binding>(
+                            runtime_.executor(), std::string(path), resolver_,
+                            Seeded(options, path), runtime_.metrics()))
+               .first;
+    }
+    return *it->second;
+  }
+
+  // A binding pinned to a well-known reference (bootstrap refs survive
+  // restarts); it never consults the name service but still gains
+  // retry/backoff/deadline and metrics. `name` must not collide with a
+  // resolved path.
+  Binding& GetPinned(std::string_view name, const wire::ObjectRef& ref) {
+    return GetPinned(name, ref, default_options_);
+  }
+  Binding& GetPinned(std::string_view name, const wire::ObjectRef& ref,
+                     const BindingOptions& options) {
+    auto it = bindings_.find(name);
+    if (it == bindings_.end()) {
+      it = bindings_
+               .emplace(std::string(name),
+                        std::make_unique<Binding>(
+                            runtime_.executor(), std::string(name),
+                            [ref](const std::string&,
+                                  std::function<void(Result<wire::ObjectRef>)>
+                                      cb) { cb(ref); },
+                            Seeded(options, name), runtime_.metrics()))
+               .first;
+      it->second->Prime(ref);
+    }
+    return *it->second;
+  }
+
+  // Typed smart-proxy accessors.
+  template <typename P>
+  BoundClient<P> Bind(std::string_view path) {
+    return BoundClient<P>(runtime_, Get(path));
+  }
+  template <typename P>
+  BoundClient<P> Bind(std::string_view path, const BindingOptions& options) {
+    return BoundClient<P>(runtime_, Get(path, options));
+  }
+  template <typename P>
+  BoundClient<P> BindPinned(std::string_view name, const wire::ObjectRef& ref,
+                            const BindingOptions& options) {
+    return BoundClient<P>(runtime_, GetPinned(name, ref, options));
+  }
+
+  Binding* Find(std::string_view path) {
+    auto it = bindings_.find(path);
+    return it == bindings_.end() ? nullptr : it->second.get();
+  }
+
+  size_t size() const { return bindings_.size(); }
+
+  // Lookups issued / coalesced across all bindings in this table.
+  uint64_t total_rebinds() const {
+    uint64_t total = 0;
+    for (const auto& [path, binding] : bindings_) {
+      total += binding->rebind_count();
+    }
+    return total;
+  }
+  uint64_t total_coalesced() const {
+    uint64_t total = 0;
+    for (const auto& [path, binding] : bindings_) {
+      total += binding->coalesced_count();
+    }
+    return total;
+  }
+
+ private:
+  // Derives a per-binding jitter seed when the caller didn't pick one: the
+  // process incarnation is unique per process start, so settop fleets don't
+  // share a jitter sequence and fall into herd waves.
+  BindingOptions Seeded(BindingOptions options, std::string_view path) const {
+    if (options.jitter_seed == 0) {
+      uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the path.
+      for (char c : path) {
+        h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+      }
+      options.jitter_seed = runtime_.incarnation() ^ h;
+    }
+    return options;
+  }
+
+  ObjectRuntime& runtime_;
+  PathResolver resolver_;
+  BindingOptions default_options_;
+  std::map<std::string, std::unique_ptr<Binding>, std::less<>> bindings_;
+};
+
+}  // namespace itv::rpc
+
+#endif  // SRC_RPC_BINDING_TABLE_H_

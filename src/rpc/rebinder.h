@@ -13,6 +13,22 @@
 // invalidates the cache, re-resolves, and retries with configurable backoff.
 // The backoff option implements the paper's recovery-storm mitigation
 // ("we can modify the library routine to back off when repeating requests").
+//
+// Three behaviours matter for recovery storms (Section 9.7):
+//   - Single-flight resolution: while a resolve is in flight, further calls
+//    through the empty cache queue behind it instead of issuing their own
+//    name-service lookup, so a storm costs one lookup per process rather
+//    than one per in-flight call.
+//   - Jittered backoff: pure exponential backoff re-synchronizes thousands
+//    of settops into herd waves; `backoff_jitter` dithers each delay using
+//    the deterministic PRNG so waves spread out.
+//   - Deadline budget: `deadline` bounds the whole operation — resolve time,
+//    attempts and backoff together — surfacing an honest DEADLINE_EXCEEDED
+//    instead of unbounded per-attempt retries.
+//
+// Most code should not construct Rebinders directly: rpc::BindingTable
+// (src/rpc/binding_table.h) owns one Rebinder per named binding and hands
+// out typed BoundClient proxies.
 
 #ifndef SRC_RPC_REBINDER_H_
 #define SRC_RPC_REBINDER_H_
@@ -20,10 +36,14 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "src/common/executor.h"
 #include "src/common/future.h"
+#include "src/common/metrics.h"
+#include "src/common/rand.h"
 #include "src/wire/object_ref.h"
 
 namespace itv::rpc {
@@ -42,6 +62,18 @@ class Rebinder {
     Duration initial_backoff = Duration::Millis(100);
     double backoff_multiplier = 2.0;
     Duration max_backoff = Duration::Seconds(10);
+    // Fraction of each backoff delay randomized away (delay is drawn
+    // uniformly from [backoff * (1 - jitter), backoff]). Zero keeps the
+    // legacy deterministic schedule.
+    double backoff_jitter = 0.0;
+    // Seed for the jitter PRNG. Give every client a distinct seed (e.g.
+    // derived from the process incarnation) or jittered settops fall back
+    // into lock-step herds.
+    uint64_t jitter_seed = 0;
+    // Total wall-clock budget for one Call(): resolve time, attempts and
+    // backoff all draw from it. Infinite keeps the legacy behaviour of
+    // independent per-attempt timeouts.
+    Duration deadline = Duration::Infinite();
   };
 
   // The resolve function completes with a fresh object reference; usually
@@ -51,16 +83,23 @@ class Rebinder {
 
   Rebinder(Executor& executor, ResolveFn resolve)
       : Rebinder(executor, std::move(resolve), Options()) {}
-  Rebinder(Executor& executor, ResolveFn resolve, Options options)
-      : executor_(executor), resolve_(std::move(resolve)), options_(options) {}
+  Rebinder(Executor& executor, ResolveFn resolve, Options options,
+           Metrics* metrics = nullptr)
+      : executor_(executor),
+        resolve_(std::move(resolve)),
+        options_(options),
+        metrics_(metrics),
+        rng_(options.jitter_seed) {}
 
   const std::optional<wire::ObjectRef>& cached_ref() const { return ref_; }
   void Invalidate() { ref_.reset(); }
   void Prime(wire::ObjectRef ref) { ref_ = ref; }
 
-  // Number of re-resolutions performed over this Rebinder's lifetime
-  // (observability for the recovery-storm benchmark).
+  // Number of name-service lookups actually issued over this Rebinder's
+  // lifetime (observability for the recovery-storm benchmark). Calls that
+  // piggyback on an in-flight lookup count under coalesced_count() instead.
   uint64_t rebind_count() const { return rebind_count_; }
+  uint64_t coalesced_count() const { return coalesced_count_; }
 
   // Runs `call` against a valid reference, retrying through re-resolution on
   // rebindable failures. `done` receives the final outcome. The Rebinder must
@@ -68,71 +107,129 @@ class Rebinder {
   template <typename T>
   void Call(std::function<Future<T>(const wire::ObjectRef&)> call,
             std::function<void(Result<T>)> done) {
-    Attempt<T>(1, options_.initial_backoff, std::move(call), std::move(done));
+    CallWithDeadline<T>(std::move(call), std::move(done), options_.deadline);
+  }
+
+  // Like Call(), but with an explicit deadline budget overriding
+  // Options::deadline for this operation only.
+  template <typename T>
+  void CallWithDeadline(std::function<Future<T>(const wire::ObjectRef&)> call,
+                        std::function<void(Result<T>)> done, Duration budget) {
+    std::optional<Time> deadline;
+    if (!budget.is_infinite()) {
+      deadline = executor_.Now() + budget;
+    }
+    Attempt<T>(1, options_.initial_backoff, deadline, std::move(call),
+               std::move(done));
   }
 
  private:
   template <typename T>
-  void Attempt(int attempt, Duration backoff,
+  void Attempt(int attempt, Duration backoff, std::optional<Time> deadline,
                std::function<Future<T>(const wire::ObjectRef&)> call,
                std::function<void(Result<T>)> done) {
-    WithRef([this, attempt, backoff, call, done](Result<wire::ObjectRef> ref) mutable {
+    WithRef([this, attempt, backoff, deadline, call,
+             done](Result<wire::ObjectRef> ref) mutable {
       if (!ref.ok()) {
         // Resolve failure: the binding may be missing mid-fail-over; retry.
-        Retry<T>(attempt, backoff, ref.status(), std::move(call), std::move(done));
+        Retry<T>(attempt, backoff, deadline, ref.status(), std::move(call),
+                 std::move(done));
         return;
       }
-      call(*ref).OnReady([this, attempt, backoff, call,
+      call(*ref).OnReady([this, attempt, backoff, deadline, call,
                           done](const Result<T>& result) mutable {
         if (result.ok() || !IsRebindable(result.status())) {
           done(result);
           return;
         }
         Invalidate();
-        Retry<T>(attempt, backoff, result.status(), std::move(call),
+        Retry<T>(attempt, backoff, deadline, result.status(), std::move(call),
                  std::move(done));
       });
     });
   }
 
   template <typename T>
-  void Retry(int attempt, Duration backoff, const Status& error,
+  void Retry(int attempt, Duration backoff, std::optional<Time> deadline,
+             const Status& error,
              std::function<Future<T>(const wire::ObjectRef&)> call,
              std::function<void(Result<T>)> done) {
     if (attempt >= options_.max_attempts) {
       done(error);
       return;
     }
+    Duration delay = Jittered(backoff);
+    if (deadline.has_value() && executor_.Now() + delay >= *deadline) {
+      done(DeadlineExceededError(
+          "rebind deadline budget exhausted after " + std::to_string(attempt) +
+          " attempt(s); last error: " + error.message()));
+      return;
+    }
     Duration next_backoff = backoff * options_.backoff_multiplier;
     if (next_backoff > options_.max_backoff) {
       next_backoff = options_.max_backoff;
     }
-    executor_.ScheduleAfter(backoff, [this, attempt, next_backoff,
-                                      call = std::move(call),
-                                      done = std::move(done)]() mutable {
-      Attempt<T>(attempt + 1, next_backoff, std::move(call), std::move(done));
+    executor_.ScheduleAfter(delay, [this, attempt, next_backoff, deadline,
+                                    call = std::move(call),
+                                    done = std::move(done)]() mutable {
+      Attempt<T>(attempt + 1, next_backoff, deadline, std::move(call),
+                 std::move(done));
     });
   }
 
+  Duration Jittered(Duration backoff) {
+    if (options_.backoff_jitter <= 0.0) {
+      return backoff;
+    }
+    return backoff * (1.0 - options_.backoff_jitter * rng_.NextDouble());
+  }
+
+  // Single-flight: the first caller through an empty cache starts the
+  // resolve; callers arriving while it is in flight queue behind it and all
+  // complete from the one lookup.
   void WithRef(std::function<void(Result<wire::ObjectRef>)> cb) {
     if (ref_.has_value()) {
       cb(*ref_);
       return;
     }
+    resolve_waiters_.push_back(std::move(cb));
+    if (resolve_waiters_.size() > 1) {
+      ++coalesced_count_;
+      if (metrics_ != nullptr) {
+        metrics_->Add("rebind.coalesced");
+      }
+      return;
+    }
     ++rebind_count_;
-    resolve_([this, cb = std::move(cb)](Result<wire::ObjectRef> r) {
+    if (metrics_ != nullptr) {
+      metrics_->Add("rebind.count");
+    }
+    Time started = executor_.Now();
+    resolve_([this, started](Result<wire::ObjectRef> r) {
       if (r.ok()) {
         ref_ = *r;
       }
-      cb(std::move(r));
+      if (metrics_ != nullptr) {
+        metrics_->Observe("rebind.latency",
+                          (executor_.Now() - started).seconds());
+      }
+      std::vector<std::function<void(Result<wire::ObjectRef>)>> waiters;
+      waiters.swap(resolve_waiters_);
+      for (auto& waiter : waiters) {
+        waiter(r);
+      }
     });
   }
 
   Executor& executor_;
   ResolveFn resolve_;
   Options options_;
+  Metrics* metrics_;
+  Rng rng_;
   std::optional<wire::ObjectRef> ref_;
+  std::vector<std::function<void(Result<wire::ObjectRef>)>> resolve_waiters_;
   uint64_t rebind_count_ = 0;
+  uint64_t coalesced_count_ = 0;
 };
 
 }  // namespace itv::rpc

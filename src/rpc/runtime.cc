@@ -14,6 +14,15 @@ ObjectRuntime::ObjectRuntime(Executor& executor, Transport& transport,
       incarnation_(incarnation),
       policy_(policy),
       metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    c_request_sent_ = &metrics_->Intern("rpc.request.sent");
+    c_request_recv_ = &metrics_->Intern("rpc.request.recv");
+    c_reply_sent_ = &metrics_->Intern("rpc.reply.sent");
+    c_reply_recv_ = &metrics_->Intern("rpc.reply.recv");
+    c_nack_sent_ = &metrics_->Intern("rpc.nack.sent");
+    c_nack_recv_ = &metrics_->Intern("rpc.nack.recv");
+    c_timeout_ = &metrics_->Intern("rpc.timeout");
+  }
   transport_.SetReceiver([this](wire::Message msg) { OnMessage(std::move(msg)); });
 }
 
@@ -81,14 +90,14 @@ Future<wire::Bytes> ObjectRuntime::Invoke(const wire::ObjectRef& ref,
   uint64_t call_id = msg.call_id;
   if (!options.timeout.is_infinite()) {
     call.timer = executor_.ScheduleAfter(options.timeout, [this, call_id, ref] {
-      CountMetric("rpc.timeout");
+      Bump(c_timeout_);
       FailCall(call_id,
                DeadlineExceededError("rpc timeout to " + ref.endpoint.ToString()));
     });
   }
   pending_.emplace(call_id, std::move(call));
 
-  CountMetric("rpc.request.sent");
+  Bump(c_request_sent_);
   transport_.Send(ref.endpoint, std::move(msg));
   return future;
 }
@@ -108,7 +117,7 @@ void ObjectRuntime::OnMessage(wire::Message msg) {
 }
 
 void ObjectRuntime::HandleRequest(wire::Message msg) {
-  CountMetric("rpc.request.recv");
+  Bump(c_request_recv_);
 
   // Stale reference: the implementing process has died and this incarnation
   // took its place (paper Section 3.2.1: the timestamp "prevents use of this
@@ -133,7 +142,7 @@ void ObjectRuntime::HandleRequest(wire::Message msg) {
     reply.call_id = msg.call_id;
     reply.status = StatusCode::kInvalidArgument;
     reply.status_message = "interface type mismatch";
-    CountMetric("rpc.reply.sent");
+    Bump(c_reply_sent_);
     transport_.Send(msg.source, std::move(reply));
     return;
   }
@@ -148,7 +157,7 @@ void ObjectRuntime::HandleRequest(wire::Message msg) {
       reply.call_id = msg.call_id;
       reply.status = StatusCode::kPermissionDenied;
       reply.status_message = admitted.status().message();
-      CountMetric("rpc.reply.sent");
+      Bump(c_reply_sent_);
       transport_.Send(msg.source, std::move(reply));
       return;
     }
@@ -175,7 +184,7 @@ void ObjectRuntime::HandleRequest(wire::Message msg) {
         reply.payload.clear();
       }
     }
-    CountMetric("rpc.reply.sent");
+    Bump(c_reply_sent_);
     transport_.Send(reply_to, std::move(reply));
   };
 
@@ -183,7 +192,7 @@ void ObjectRuntime::HandleRequest(wire::Message msg) {
 }
 
 void ObjectRuntime::HandleReply(wire::Message msg) {
-  CountMetric("rpc.reply.recv");
+  Bump(c_reply_recv_);
   auto it = pending_.find(msg.call_id);
   if (it == pending_.end()) {
     return;  // Late reply after timeout; drop.
@@ -208,7 +217,7 @@ void ObjectRuntime::HandleReply(wire::Message msg) {
 }
 
 void ObjectRuntime::HandleNack(const wire::Message& msg) {
-  CountMetric("rpc.nack.recv");
+  Bump(c_nack_recv_);
   FailCall(msg.call_id, UnavailableError("object implementor is gone (" +
                                          msg.source.ToString() + ")"));
 }
@@ -217,7 +226,7 @@ void ObjectRuntime::SendNack(const wire::Message& request) {
   wire::Message nack;
   nack.kind = wire::MsgKind::kNack;
   nack.call_id = request.call_id;
-  CountMetric("rpc.nack.sent");
+  Bump(c_nack_sent_);
   transport_.Send(request.source, std::move(nack));
 }
 
@@ -232,12 +241,6 @@ void ObjectRuntime::FailCall(uint64_t call_id, Status status) {
     executor_.Cancel(call.timer);
   }
   call.promise.Set(std::move(status));
-}
-
-void ObjectRuntime::CountMetric(std::string_view name) {
-  if (metrics_ != nullptr) {
-    metrics_->Add(name);
-  }
 }
 
 }  // namespace itv::rpc

@@ -115,13 +115,28 @@ class ObjectRuntime {
   void HandleNack(const wire::Message& msg);
   void SendNack(const wire::Message& request);
   void FailCall(uint64_t call_id, Status status);
-  void CountMetric(std::string_view name);
+
+  static void Bump(Metrics::Counter* counter) {
+    if (counter != nullptr) {
+      ++*counter;
+    }
+  }
 
   Executor& executor_;
   Transport& transport_;
   const uint64_t incarnation_;
   SecurityPolicy* policy_;
   Metrics* metrics_;
+
+  // Pre-interned hot-path counters: one lookup at construction, a plain
+  // increment per message (null when metrics_ is null).
+  Metrics::Counter* c_request_sent_ = nullptr;
+  Metrics::Counter* c_request_recv_ = nullptr;
+  Metrics::Counter* c_reply_sent_ = nullptr;
+  Metrics::Counter* c_reply_recv_ = nullptr;
+  Metrics::Counter* c_nack_sent_ = nullptr;
+  Metrics::Counter* c_nack_recv_ = nullptr;
+  Metrics::Counter* c_timeout_ = nullptr;
 
   uint64_t next_object_id_ = 1;
   uint64_t next_call_id_ = 1;

@@ -53,7 +53,11 @@ naming::NameClient& AppManager::name_client() {
 }
 
 uint64_t AppManager::rds_rebinds() const {
-  return rds_ == nullptr ? 0 : rds_->rebind_count();
+  if (bindings_ == nullptr) {
+    return 0;
+  }
+  rpc::Binding* rds = bindings_->Find("svc/rds");
+  return rds == nullptr ? 0 : rds->rebind_count();
 }
 
 void AppManager::Boot(std::function<void(Status)> done) {
@@ -85,12 +89,12 @@ void AppManager::Boot(std::function<void(Status)> done) {
           boot_duration_ = executor_.Now() - boot_started_;
           name_client_ = std::make_unique<naming::NameClient>(
               runtime_, boot_params_.ns_host);
-          rds_ = std::make_unique<rpc::Rebinder>(
-              executor_, name_client_->ResolveFnFor("svc/rds"),
-              options_.rds_rebind);
-          settopmgr_ = std::make_unique<rpc::Rebinder>(
-              executor_,
-              name_client_->ResolveFnFor(std::string(svc::kSettopManagerName)));
+          bindings_ = std::make_unique<rpc::BindingTable>(
+              runtime_, name_client_->PathResolverFn());
+          rds_ = bindings_->Bind<media::RdsProxy>("svc/rds",
+                                                  options_.rds_rebind);
+          settopmgr_ = bindings_->Bind<svc::SettopManagerProxy>(
+              svc::kSettopManagerName);
           StartHeartbeats();
           if (metrics_ != nullptr) {
             metrics_->Add("settop.booted");
@@ -102,9 +106,9 @@ void AppManager::Boot(std::function<void(Status)> done) {
 
 void AppManager::StartHeartbeats() {
   heartbeat_timer_.Start(executor_, options_.heartbeat_interval, [this] {
-    settopmgr_->Call<void>(
-        [this](const wire::ObjectRef& mgr) {
-          return svc::SettopManagerProxy(runtime_, mgr).Heartbeat(my_host());
+    settopmgr_.Call<void>(
+        [host = my_host()](const svc::SettopManagerProxy& mgr) {
+          return mgr.Heartbeat(host);
         },
         [](Result<void>) {});
   });
@@ -112,9 +116,9 @@ void AppManager::StartHeartbeats() {
 
 void AppManager::Download(const std::string& item, DownloadCallback done) {
   ITV_CHECK(running()) << "settop not booted";
-  rds_->Call<media::TransferTicket>(
-      [this, item](const wire::ObjectRef& rds) {
-        return media::RdsProxy(runtime_, rds).OpenData(item, sink_ref_);
+  rds_.Call<media::TransferTicket>(
+      [item, sink = sink_ref_](const media::RdsProxy& rds) {
+        return rds.OpenData(item, sink);
       },
       [this, done = std::move(done)](Result<media::TransferTicket> ticket) {
         if (!ticket.ok()) {

@@ -27,7 +27,11 @@
 #include "src/media/broadcast.h"
 #include "src/media/rds.h"
 #include "src/naming/name_client.h"
-#include "src/rpc/rebinder.h"
+#include "src/rpc/binding_table.h"
+
+namespace itv::svc {
+class SettopManagerProxy;
+}
 
 namespace itv::settop {
 
@@ -40,7 +44,7 @@ class AppManager {
     // generated locally at the settop (instant).
     std::string cover_item;
     Duration rpc_timeout = Duration::Seconds(2);
-    rpc::Rebinder::Options rds_rebind;
+    rpc::BindingOptions rds_rebind;
   };
 
   enum class State {
@@ -98,8 +102,10 @@ class AppManager {
   State state_ = State::kOff;
   media::BootParams boot_params_;
   std::unique_ptr<naming::NameClient> name_client_;
-  std::unique_ptr<rpc::Rebinder> rds_;
-  std::unique_ptr<rpc::Rebinder> settopmgr_;
+  // Created at boot, once the name-service address is known.
+  std::unique_ptr<rpc::BindingTable> bindings_;
+  rpc::BoundClient<media::RdsProxy> rds_;
+  rpc::BoundClient<svc::SettopManagerProxy> settopmgr_;
   std::unique_ptr<DataSinkSkeleton> sink_;
   wire::ObjectRef sink_ref_;
   std::map<uint64_t, DownloadCallback> pending_downloads_;

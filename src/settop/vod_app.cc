@@ -50,8 +50,9 @@ VodApp::VodApp(rpc::ObjectRuntime& runtime, Executor& executor,
       name_client_(std::move(name_client)),
       options_(options),
       metrics_(metrics),
-      mms_(executor, name_client_.ResolveFnFor(std::string(media::kMmsName)),
-           options.mms_rebind) {
+      bindings_(runtime, name_client_.PathResolverFn()),
+      mms_(bindings_.Bind<media::MmsProxy>(media::kMmsName,
+                                           options.mms_rebind)) {
   sink_ = std::make_unique<MediaSinkSkeleton>(*this);
   sink_ref_ = runtime_.Export(sink_.get());
 }
@@ -76,9 +77,8 @@ void VodApp::PlayMovie(const std::string& title,
 void VodApp::OpenAndPlay(int64_t from_position) {
   uint32_t my_host = runtime_.local_endpoint().host;
   mms_.Call<media::MmsTicket>(
-      [this, my_host](const wire::ObjectRef& mms_ref) {
-        return media::MmsProxy(runtime_, mms_ref)
-            .Open(title_, my_host, sink_ref_);
+      [title = title_, my_host, sink = sink_ref_](const media::MmsProxy& mms) {
+        return mms.Open(title, my_host, sink);
       },
       [this, from_position](Result<media::MmsTicket> ticket) {
         if (!playing_) {
@@ -86,9 +86,7 @@ void VodApp::OpenAndPlay(int64_t from_position) {
           if (ticket.ok()) {
             wire::ObjectRef movie = ticket->movie;
             mms_.Call<void>(
-                [this, movie](const wire::ObjectRef& mms_ref) {
-                  return media::MmsProxy(runtime_, mms_ref).Close(movie);
-                },
+                [movie](const media::MmsProxy& mms) { return mms.Close(movie); },
                 [](Result<void>) {});
           }
           return;
@@ -179,9 +177,7 @@ void VodApp::CloseSession() {
   stream_id_ = 0;
   movie_ = wire::ObjectRef{};
   mms_.Call<void>(
-      [this, movie](const wire::ObjectRef& mms_ref) {
-        return media::MmsProxy(runtime_, mms_ref).Close(movie);
-      },
+      [movie](const media::MmsProxy& mms) { return mms.Close(movie); },
       [](Result<void>) {});
 }
 

@@ -21,7 +21,7 @@
 #include "src/common/metrics.h"
 #include "src/media/mms.h"
 #include "src/naming/name_client.h"
-#include "src/rpc/rebinder.h"
+#include "src/rpc/binding_table.h"
 
 namespace itv::settop {
 
@@ -32,7 +32,7 @@ class VodApp {
     // MDS sends every 500 ms by default, so 2 s = four missed chunks.
     Duration data_gap_timeout = Duration::Seconds(2);
     bool auto_resume = true;
-    rpc::Rebinder::Options mms_rebind;
+    rpc::BindingOptions mms_rebind;
   };
 
   VodApp(rpc::ObjectRuntime& runtime, Executor& executor,
@@ -71,7 +71,8 @@ class VodApp {
   Options options_;
   Metrics* metrics_;
 
-  rpc::Rebinder mms_;
+  rpc::BindingTable bindings_;
+  rpc::BoundClient<media::MmsProxy> mms_;
   std::unique_ptr<MediaSinkSkeleton> sink_;
   wire::ObjectRef sink_ref_;
 

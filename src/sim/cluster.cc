@@ -43,19 +43,26 @@ void Network::Isolate(uint32_t host, bool isolated) {
 
 void Network::Route(wire::Endpoint src, wire::Endpoint dst, wire::Message msg) {
   msg.source = src;
-  Metrics& metrics = cluster_.metrics();
-  metrics.Add("net.msg.total");
-  metrics.Add("net.bytes.total", msg.payload.size() + 64);
+  if (c_msg_total_ == nullptr) {
+    Metrics& metrics = cluster_.metrics();
+    c_msg_total_ = &metrics.Intern("net.msg.total");
+    c_bytes_total_ = &metrics.Intern("net.bytes.total");
+    c_msg_server_settop_ = &metrics.Intern("net.msg.server_settop");
+    c_msg_server_server_ = &metrics.Intern("net.msg.server_server");
+    c_msg_dropped_ = &metrics.Intern("net.msg.dropped");
+  }
+  ++*c_msg_total_;
+  *c_bytes_total_ += msg.payload.size() + 64;
   if (IsSettopHost(src.host) || IsSettopHost(dst.host)) {
-    metrics.Add("net.msg.server_settop");
+    ++*c_msg_server_settop_;
   } else {
-    metrics.Add("net.msg.server_server");
+    ++*c_msg_server_server_;
   }
   if (tap_) {
     tap_(src, dst, msg);
   }
   if (IsBlocked(src.host, dst.host)) {
-    metrics.Add("net.msg.dropped");
+    ++*c_msg_dropped_;
     return;
   }
 
@@ -64,7 +71,7 @@ void Network::Route(wire::Endpoint src, wire::Endpoint dst, wire::Message msg) {
       latency, [this, src, dst, msg = std::move(msg)]() mutable {
         Node* node = cluster_.FindNode(dst.host);
         if (node == nullptr || !node->alive() || IsBlocked(src.host, dst.host)) {
-          cluster_.metrics().Add("net.msg.dropped");
+          ++*c_msg_dropped_;
           return;
         }
         SimTransport* transport = node->TransportAt(dst.port);

@@ -88,6 +88,14 @@ class Network {
   std::set<std::pair<uint32_t, uint32_t>> partitions_;
   std::unordered_set<uint32_t> isolated_;
   Tap tap_;
+
+  // Hot-path counters, interned on first Route() (the cluster metrics
+  // object outlives the network).
+  Metrics::Counter* c_msg_total_ = nullptr;
+  Metrics::Counter* c_bytes_total_ = nullptr;
+  Metrics::Counter* c_msg_server_settop_ = nullptr;
+  Metrics::Counter* c_msg_server_server_ = nullptr;
+  Metrics::Counter* c_msg_dropped_ = nullptr;
 };
 
 // --- Transport ---------------------------------------------------------------

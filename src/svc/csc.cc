@@ -36,7 +36,8 @@ CscService::CscService(rpc::ObjectRuntime& runtime, Executor& executor,
       name_client_(std::move(name_client)),
       options_(options),
       metrics_(metrics),
-      db_(executor, name_client_.ResolveFnFor("svc/db")) {}
+      bindings_(runtime, name_client_.PathResolverFn()),
+      db_(bindings_.Bind<db::DatabaseProxy>("svc/db")) {}
 
 void CscService::Start() {
   ref_ = runtime_.Export(this);
@@ -59,9 +60,8 @@ void CscService::LoadConfig(
                        std::vector<uint32_t>)>
         cb) {
   db_.Call<std::vector<db::Row>>(
-      [this](const wire::ObjectRef& db_ref) {
-        return db::DatabaseProxy(runtime_, db_ref)
-            .Scan(std::string(kServiceConfigTable));
+      [](const db::DatabaseProxy& db) {
+        return db.Scan(std::string(kServiceConfigTable));
       },
       [this, cb](Result<std::vector<db::Row>> rows) {
         if (!rows.ok()) {
@@ -76,9 +76,9 @@ void CscService::LoadConfig(
         }
         // The server roster lives in the cluster table.
         db_.Call<std::string>(
-            [this](const wire::ObjectRef& db_ref) {
-              return db::DatabaseProxy(runtime_, db_ref)
-                  .Get(std::string(kClusterTable), std::string(kClusterServersKey));
+            [](const db::DatabaseProxy& db) {
+              return db.Get(std::string(kClusterTable),
+                            std::string(kClusterServersKey));
             },
             [desired, cb](Result<std::string> servers) {
               std::vector<uint32_t> roster;
@@ -235,10 +235,9 @@ void CscService::MutateAssignment(const std::string& service, uint32_t host,
     std::string value =
         EncodeHostList(std::vector<uint32_t>(hosts.begin(), hosts.end()));
     db_.Call<void>(
-        [this, service, value](const wire::ObjectRef& db_ref) {
+        [service, value](const db::DatabaseProxy& db) {
           // An empty host list still keeps the row so reconcile stops strays.
-          return db::DatabaseProxy(runtime_, db_ref)
-              .Put(std::string(kServiceConfigTable), service, value);
+          return db.Put(std::string(kServiceConfigTable), service, value);
         },
         [this, cb](Result<void> r) {
           if (r.ok()) {

@@ -25,7 +25,7 @@
 #include "src/common/metrics.h"
 #include "src/db/database_service.h"
 #include "src/naming/name_client.h"
-#include "src/rpc/rebinder.h"
+#include "src/rpc/binding_table.h"
 #include "src/svc/ssc.h"
 
 namespace itv::svc {
@@ -146,7 +146,8 @@ class CscService : public rpc::Skeleton {
 
   wire::ObjectRef ref_;
   std::unique_ptr<naming::PrimaryBinder> binder_;
-  rpc::Rebinder db_;
+  rpc::BindingTable bindings_;
+  rpc::BoundClient<db::DatabaseProxy> db_;
   PeriodicTimer reconcile_timer_;
   bool reconcile_in_flight_ = false;
   // Auto-migration bookkeeping: consecutive failed pings per host, and hosts

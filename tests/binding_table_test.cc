@@ -1,0 +1,423 @@
+// Client binding layer tests: BindingTable / BoundClient over the simulated
+// cluster. Covers the three capabilities the layer adds over a bare Rebinder
+// (single-flight re-resolution, deadline propagation, per-binding metrics)
+// plus the recovery-storm acceptance property: with a fleet of settops
+// calling through a killed binding, name-service resolves during recovery
+// scale with the number of processes, not with the number of in-flight calls.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/naming/name_client.h"
+#include "src/rpc/binding_table.h"
+#include "src/rpc/runtime.h"
+#include "src/rpc/stub_helpers.h"
+#include "src/sim/cluster.h"
+#include "src/svc/harness.h"
+#include "src/svc/settop_manager.h"
+
+namespace itv::rpc {
+namespace {
+
+// --- Ping stubs ---------------------------------------------------------------
+
+inline constexpr std::string_view kPingInterface = "itv.test.Ping";
+
+enum PingMethod : uint32_t { kPingMethodPing = 1 };
+
+class PingSkeleton : public Skeleton {
+ public:
+  std::string_view interface_name() const override { return kPingInterface; }
+  void Dispatch(uint32_t method_id, const wire::Bytes& args,
+                const CallContext& ctx, ReplyFn reply) override {
+    if (method_id != kPingMethodPing) {
+      return ReplyBadMethod(reply, method_id);
+    }
+    ++pings;
+    return ReplyWith(reply, pings);
+  }
+  uint64_t pings = 0;
+};
+
+class PingProxy : public Proxy {
+ public:
+  using Proxy::Proxy;
+  Future<uint64_t> Ping() const {
+    return DecodeReply<uint64_t>(Call(kPingMethodPing, {}));
+  }
+};
+
+// --- Fixture ------------------------------------------------------------------
+
+class BindingTableTest : public ::testing::Test {
+ protected:
+  BindingTableTest() {
+    server_ = &cluster_.AddServer("forge");
+    client_node_ = &cluster_.AddServer("kiln");
+    client_proc_ = &client_node_->Spawn("client");
+    SpawnService();
+  }
+
+  // (Re)starts the ping service on the same well-known port and records the
+  // fresh reference as what the resolver hands out.
+  void SpawnService() {
+    server_proc_ = &server_->Spawn("ping", 700);
+    skeleton_ = server_proc_->Emplace<PingSkeleton>();
+    current_ref_ = server_proc_->runtime().Export(skeleton_);
+  }
+
+  void KillService() {
+    server_->Kill(server_proc_->pid());
+    cluster_.RunUntilIdle();
+  }
+
+  // A path resolver that counts lookups, like a name service would under
+  // "ns.resolve". Results are delivered asynchronously — a real resolve is a
+  // name-service round trip, and single-flight coalescing only matters while
+  // a lookup is genuinely in flight.
+  PathResolver MakeResolver() {
+    return [this](const std::string& path,
+                  std::function<void(Result<wire::ObjectRef>)> cb) {
+      ++resolve_calls_;
+      last_resolved_path_ = path;
+      Result<wire::ObjectRef> r = current_ref_.is_null()
+                                      ? Result<wire::ObjectRef>(
+                                            NotFoundError("no binding"))
+                                      : Result<wire::ObjectRef>(current_ref_);
+      client_proc_->executor().ScheduleAfter(Duration::Millis(10),
+                                             [cb, r] { cb(r); });
+    };
+  }
+
+  BindingTable& Table() {
+    if (table_ == nullptr) {
+      table_ = client_proc_->Emplace<BindingTable>(client_proc_->runtime(),
+                                                   MakeResolver());
+    }
+    return *table_;
+  }
+
+  sim::Cluster cluster_;
+  sim::Node* server_ = nullptr;
+  sim::Node* client_node_ = nullptr;
+  sim::Process* server_proc_ = nullptr;
+  sim::Process* client_proc_ = nullptr;
+  PingSkeleton* skeleton_ = nullptr;
+  wire::ObjectRef current_ref_;
+  BindingTable* table_ = nullptr;
+  int resolve_calls_ = 0;
+  std::string last_resolved_path_;
+};
+
+// --- Basic table behaviour ----------------------------------------------------
+
+TEST_F(BindingTableTest, BindResolvesByPathAndCaches) {
+  BoundClient<PingProxy> ping = Table().Bind<PingProxy>("svc/ping");
+  std::vector<Result<uint64_t>> out;
+  for (int i = 0; i < 3; ++i) {
+    ping.Call<uint64_t>([](const PingProxy& p) { return p.Ping(); },
+                        [&](Result<uint64_t> r) { out.push_back(r); });
+    cluster_.RunFor(Duration::Seconds(1));
+  }
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& r : out) {
+    ASSERT_TRUE(r.ok()) << r.status();
+  }
+  EXPECT_EQ(resolve_calls_, 1);  // First call resolves; the rest hit the cache.
+  EXPECT_EQ(last_resolved_path_, "svc/ping");
+  EXPECT_EQ(Table().size(), 1u);
+  EXPECT_EQ(Table().Find("svc/ping"), &ping.binding());
+  EXPECT_EQ(Table().Find("svc/other"), nullptr);
+}
+
+TEST_F(BindingTableTest, SameBindingSharedAcrossBinds) {
+  BoundClient<PingProxy> a = Table().Bind<PingProxy>("svc/ping");
+  BoundClient<PingProxy> b = Table().Bind<PingProxy>("svc/ping");
+  EXPECT_EQ(&a.binding(), &b.binding());
+  EXPECT_EQ(Table().size(), 1u);
+}
+
+// --- Single-flight re-resolution ----------------------------------------------
+
+TEST_F(BindingTableTest, ConcurrentColdCallsCoalesceIntoOneResolve) {
+  constexpr int kCalls = 16;
+  BoundClient<PingProxy> ping = Table().Bind<PingProxy>("svc/ping");
+  int ok = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    ping.Call<uint64_t>([](const PingProxy& p) { return p.Ping(); },
+                        [&](Result<uint64_t> r) { ok += r.ok(); });
+  }
+  cluster_.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(ok, kCalls);
+  EXPECT_EQ(resolve_calls_, 1);  // One lookup for all sixteen calls.
+  EXPECT_EQ(ping.binding().rebind_count(), 1u);
+  EXPECT_EQ(ping.binding().coalesced_count(), kCalls - 1u);
+}
+
+TEST_F(BindingTableTest, StormAfterRestartCoalescesPerProcess) {
+  // Warm the cache, then restart the service: every concurrent call fails
+  // with UNAVAILABLE and wants to re-resolve at once. The binding must fold
+  // them into one lookup (plus the initial one).
+  BindingOptions opts;  // No jitter: keep the retry instants aligned so the
+  opts.initial_backoff = Duration::Millis(50);  // storm truly collides.
+  BoundClient<PingProxy> ping = Table().Bind<PingProxy>("svc/ping", opts);
+  bool warm = false;
+  ping.Call<uint64_t>([](const PingProxy& p) { return p.Ping(); },
+                      [&](Result<uint64_t> r) { warm = r.ok(); });
+  cluster_.RunFor(Duration::Seconds(1));
+  ASSERT_TRUE(warm);
+
+  KillService();
+  SpawnService();
+
+  constexpr int kCalls = 12;
+  int ok = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    ping.Call<uint64_t>([](const PingProxy& p) { return p.Ping(); },
+                        [&](Result<uint64_t> r) { ok += r.ok(); });
+  }
+  cluster_.RunFor(Duration::Seconds(10));
+  EXPECT_EQ(ok, kCalls);
+  // One warm-up resolve plus one shared post-restart resolve.
+  EXPECT_EQ(resolve_calls_, 2);
+  EXPECT_EQ(ping.binding().rebind_count(), 2u);
+  EXPECT_GE(ping.binding().coalesced_count(), kCalls - 1u);
+}
+
+TEST_F(BindingTableTest, FailedSharedResolveFailsAllWaiters) {
+  current_ref_ = wire::ObjectRef{};  // Resolver finds nothing.
+  BindingOptions opts;
+  opts.max_attempts = 2;
+  opts.initial_backoff = Duration::Millis(10);
+  BoundClient<PingProxy> ping = Table().Bind<PingProxy>("svc/ping", opts);
+  int failed = 0;
+  for (int i = 0; i < 5; ++i) {
+    ping.Call<uint64_t>([](const PingProxy& p) { return p.Ping(); },
+                        [&](Result<uint64_t> r) { failed += !r.ok(); });
+  }
+  cluster_.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(failed, 5);
+  // Two attempts each, but resolves stay shared per retry wave, far below
+  // the 10 a per-call lookup would cost.
+  EXPECT_LE(resolve_calls_, 4);
+}
+
+// --- Deadline propagation -----------------------------------------------------
+
+TEST_F(BindingTableTest, DeadlineBudgetExhaustedMidFailover) {
+  // Service dies and never comes back; the resolver keeps handing out the
+  // dead reference, so every attempt fails UNAVAILABLE and wants to retry.
+  // A 2 s budget must cut the retry loop short with DEADLINE_EXCEEDED well
+  // before the 20-attempt policy runs out.
+  KillService();
+  BindingOptions opts;
+  opts.max_attempts = 20;
+  opts.initial_backoff = Duration::Millis(500);
+  opts.backoff_multiplier = 2.0;
+  BoundClient<PingProxy> ping = Table().Bind<PingProxy>("svc/ping", opts);
+
+  Result<uint64_t> out = InternalError("unset");
+  bool done = false;
+  Time start = cluster_.Now();
+  ping.Call<uint64_t>([](const PingProxy& p) { return p.Ping(); },
+                      [&](Result<uint64_t> r) {
+                        out = std::move(r);
+                        done = true;
+                      },
+                      Duration::Seconds(2));
+  cluster_.RunFor(Duration::Seconds(30));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(IsDeadlineExceeded(out.status())) << out.status();
+  // The budget was honored: we gave up around the 2 s mark, not after the
+  // full exponential-backoff ladder (which would take > 15 s).
+  EXPECT_LE((cluster_.Now() - start).seconds(), 30.0);
+  EXPECT_LT(ping.binding().rebind_count(), 8u);
+}
+
+TEST_F(BindingTableTest, BudgetLeftoverAllowsRecovery) {
+  // Fail-over completes inside the budget: the call must ride through it.
+  BoundClient<PingProxy> ping = Table().Bind<PingProxy>("svc/ping");
+  bool warm = false;
+  ping.Call<uint64_t>([](const PingProxy& p) { return p.Ping(); },
+                      [&](Result<uint64_t> r) { warm = r.ok(); });
+  cluster_.RunFor(Duration::Seconds(1));
+  ASSERT_TRUE(warm);
+
+  KillService();
+  SpawnService();
+
+  Result<uint64_t> out = InternalError("unset");
+  ping.Call<uint64_t>([](const PingProxy& p) { return p.Ping(); },
+                      [&](Result<uint64_t> r) { out = std::move(r); },
+                      Duration::Seconds(10));
+  cluster_.RunFor(Duration::Seconds(15));
+  EXPECT_TRUE(out.ok()) << out.status();
+}
+
+// --- Per-binding metrics ------------------------------------------------------
+
+TEST_F(BindingTableTest, RebindMetricsFlowIntoProcessMetrics) {
+  Metrics& m = cluster_.metrics();
+  uint64_t count_before = m.Get("rebind.count");
+  uint64_t coalesced_before = m.Get("rebind.coalesced");
+
+  BoundClient<PingProxy> ping = Table().Bind<PingProxy>("svc/ping");
+  int ok = 0;
+  for (int i = 0; i < 4; ++i) {
+    ping.Call<uint64_t>([](const PingProxy& p) { return p.Ping(); },
+                        [&](Result<uint64_t> r) { ok += r.ok(); });
+  }
+  cluster_.RunFor(Duration::Seconds(5));
+  ASSERT_EQ(ok, 4);
+  EXPECT_EQ(m.Get("rebind.count") - count_before, 1u);
+  EXPECT_EQ(m.Get("rebind.coalesced") - coalesced_before, 3u);
+  const Histogram* latency = m.FindHistogram("rebind.latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GE(latency->count(), 1u);
+}
+
+// --- Pinned bindings ----------------------------------------------------------
+
+TEST_F(BindingTableTest, PinnedBindingNeverConsultsResolver) {
+  BoundClient<PingProxy> ping = Table().BindPinned<PingProxy>(
+      "ping/pinned", current_ref_, Table().default_options());
+  int ok = 0;
+  for (int i = 0; i < 3; ++i) {
+    ping.Call<uint64_t>([](const PingProxy& p) { return p.Ping(); },
+                        [&](Result<uint64_t> r) { ok += r.ok(); });
+    cluster_.RunFor(Duration::Seconds(1));
+  }
+  EXPECT_EQ(ok, 3);
+  EXPECT_EQ(resolve_calls_, 0);
+}
+
+// --- Jitter -------------------------------------------------------------------
+
+TEST_F(BindingTableTest, JitteredBackoffStaysWithinConfiguredBounds) {
+  // With jitter, retry delays land in (backoff * (1 - jitter), backoff]: the
+  // whole ladder finishes no later than un-jittered, and still finishes.
+  KillService();
+  current_ref_ = wire::ObjectRef{};
+  BindingOptions opts;
+  opts.max_attempts = 4;
+  opts.initial_backoff = Duration::Millis(100);
+  opts.backoff_multiplier = 2.0;
+  opts.backoff_jitter = 0.5;
+  opts.jitter_seed = 42;
+  BoundClient<PingProxy> ping = Table().Bind<PingProxy>("svc/ping", opts);
+  bool done = false;
+  Time start = cluster_.Now();
+  Time done_at;
+  ping.Call<uint64_t>([](const PingProxy& p) { return p.Ping(); },
+                      [&](Result<uint64_t> r) {
+                        done = !r.ok();
+                        done_at = cluster_.Now();
+                      });
+  cluster_.RunFor(Duration::Seconds(5));
+  ASSERT_TRUE(done);
+  double elapsed = (done_at - start).seconds();
+  // Un-jittered ladder: 100 + 200 + 400 ms of sleep plus four 10 ms
+  // resolves. Jitter in [0, 0.5) only shortens delays.
+  EXPECT_LE(elapsed, 0.8);
+  EXPECT_EQ(resolve_calls_, 4);
+}
+
+// --- Acceptance: recovery-storm resolve count is O(processes) -----------------
+
+TEST(BindingStormTest, ResolvesScaleWithProcessesNotCalls) {
+  // 64 settop processes each hold a primed binding to a popular service and
+  // fire 4 concurrent calls right after the service restarts (paper Section
+  // 8.2's recovery storm). Without single-flight the name service would see
+  // ~256 resolves; the binding layer folds each process's calls into one.
+  constexpr size_t kSettops = 64;
+  constexpr int kCallsPerSettop = 4;
+
+  svc::HarnessOptions hopts;
+  hopts.server_count = 2;
+  hopts.start_csc = false;
+  svc::ClusterHarness harness(hopts);
+  harness.Boot();
+  sim::Cluster& cluster = harness.cluster();
+
+  auto spawn_service = [&]() -> wire::ObjectRef {
+    sim::Process& p = harness.SpawnProcessOn(1, "popular");
+    auto* skeleton = p.Emplace<svc::SettopManagerService>(p.executor());
+    wire::ObjectRef ref = p.runtime().Export(skeleton);
+    svc::SscProxy ssc(p.runtime(), svc::SscRefAt(p.host()));
+    ssc.NotifyReady(p.pid(), {ref}).OnReady([](const Result<void>&) {});
+    return ref;
+  };
+  wire::ObjectRef ref_v1 = spawn_service();
+  sim::Process& setup = harness.SpawnProcessOn(0, "setup");
+  harness.ClientFor(setup).Bind("svc/popular", ref_v1).OnReady(
+      [](const Result<void>&) {});
+  cluster.RunFor(Duration::Seconds(2));
+
+  struct SettopClient {
+    sim::Process* process;
+    BindingTable* table;
+    int ok = 0;
+  };
+  std::vector<SettopClient> settops;
+  settops.reserve(kSettops);
+  for (size_t i = 0; i < kSettops; ++i) {
+    sim::Node& node = harness.AddSettop(static_cast<uint8_t>(1 + (i % 2)));
+    sim::Process& p = node.Spawn("client");
+    auto* table = p.Emplace<BindingTable>(
+        p.runtime(), harness.ClientFor(p).PathResolverFn());
+    table->Get("svc/popular").Prime(ref_v1);
+    settops.push_back(SettopClient{&p, table});
+  }
+
+  // Restart the popular service and repoint the name binding.
+  harness.server(1).Kill(harness.server(1).FindProcessByName("popular")->pid());
+  cluster.RunFor(Duration::Millis(200));
+  wire::ObjectRef ref_v2 = spawn_service();
+  harness.ClientFor(setup).Unbind("svc/popular").OnReady(
+      [](const Result<void>&) {});
+  cluster.RunFor(Duration::Seconds(1));
+  harness.ClientFor(setup).Bind("svc/popular", ref_v2).OnReady(
+      [](const Result<void>&) {});
+  cluster.RunFor(Duration::Seconds(1));
+
+  uint64_t resolves_before = harness.metrics().Get("ns.resolve");
+
+  // The storm: every settop fires all its calls at the same virtual instant.
+  for (SettopClient& s : settops) {
+    BoundClient<svc::SettopManagerProxy> mgr =
+        s.table->Bind<svc::SettopManagerProxy>("svc/popular");
+    for (int c = 0; c < kCallsPerSettop; ++c) {
+      sim::Process* p = s.process;
+      SettopClient* self = &s;
+      mgr.Call<void>(
+          [p](const svc::SettopManagerProxy& proxy) {
+            return proxy.Heartbeat(p->host());
+          },
+          [self](Result<void> r) { self->ok += r.ok(); });
+    }
+  }
+  cluster.RunFor(Duration::Seconds(30));
+
+  uint64_t total_calls = 0;
+  uint64_t coalesced = 0;
+  for (const SettopClient& s : settops) {
+    EXPECT_EQ(s.ok, kCallsPerSettop);
+    total_calls += kCallsPerSettop;
+    coalesced += s.table->total_coalesced();
+  }
+  uint64_t resolves = harness.metrics().Get("ns.resolve") - resolves_before;
+  // O(processes): every settop needs about one lookup; allow slack for a
+  // straggler retry, but stay far below one lookup per in-flight call.
+  EXPECT_GE(resolves, kSettops / 2);
+  EXPECT_LE(resolves, 2 * kSettops);
+  EXPECT_LT(resolves, total_calls);
+  // The folded calls show up in the coalescing counters. (Not every extra
+  // call coalesces — jitter spreads retries, and late ones hit the already
+  // refreshed cache, which is just as cheap.)
+  EXPECT_GT(coalesced, 0u);
+}
+
+}  // namespace
+}  // namespace itv::rpc

@@ -130,6 +130,72 @@ TEST_P(ChaosTest, ClusterConvergesAfterRandomServiceKills) {
   }
 }
 
+TEST_P(ChaosTest, NameServiceMasterDiesWhileBindingsResolve) {
+  // The nastiest rebind window: kill the MMS so every viewer's binding
+  // invalidates and re-resolves, then kill a name-service replica (rotating
+  // across servers, so the master dies in some rounds) while those resolves
+  // are in flight. The binding layer must absorb the combined outage: name
+  // lookups back off with jitter until re-election, then the coalesced
+  // resolve completes and playback resumes.
+  Rng rng(GetParam());
+
+  std::vector<settop::VodApp*> viewers;
+  for (uint8_t nb = 1; nb <= 3; ++nb) {
+    sim::Node& settop = harness_.AddSettop(nb);
+    sim::Process& p = settop.Spawn("viewer");
+    settop::VodApp::Options opts;
+    opts.mms_rebind.max_attempts = 50;
+    opts.mms_rebind.initial_backoff = Duration::Millis(500);
+    opts.mms_rebind.backoff_multiplier = 1.2;
+    opts.mms_rebind.backoff_jitter = 0.25;
+    opts.mms_rebind.jitter_seed = GetParam() + nb;
+    auto* vod = p.Emplace<settop::VodApp>(
+        p.runtime(), p.executor(), harness_.ClientFor(p), opts,
+        &harness_.metrics());
+    vod->PlayMovie("movie-" + std::to_string(rng.Below(8)), [](Status) {});
+    viewers.push_back(vod);
+  }
+  cluster().RunFor(Duration::Seconds(15));
+  for (settop::VodApp* vod : viewers) {
+    ASSERT_TRUE(vod->playing());
+  }
+
+  for (int round = 0; round < 4; ++round) {
+    // Kill the MMS primary: viewers' next chunk gap triggers Close/Open
+    // through the invalidated binding, which resolves via the name service.
+    for (size_t server = 0; server < 3; ++server) {
+      sim::Process* mms = harness_.server(server).FindProcessByName("mmsd");
+      if (mms != nullptr) {
+        harness_.server(server).Kill(mms->pid());
+        break;
+      }
+    }
+    // A breath later — resolves now in flight — kill a name-service replica.
+    cluster().RunFor(Duration::Seconds(1));
+    size_t ns_server = (round + rng.Below(2)) % 3;
+    sim::Process* nsd = harness_.server(ns_server).FindProcessByName("nsd");
+    if (nsd != nullptr) {
+      harness_.server(ns_server).Kill(nsd->pid());
+    }
+    // Re-election (~majority heartbeat timeouts), SSC restarts, rebinds.
+    cluster().RunFor(Duration::Seconds(45));
+  }
+
+  cluster().RunFor(Duration::Seconds(60));
+  for (size_t i = 0; i < viewers.size(); ++i) {
+    EXPECT_TRUE(viewers[i]->playing()) << "viewer " << i;
+    EXPECT_GT(viewers[i]->chunks_received(), 0u) << "viewer " << i;
+  }
+
+  // The storm stayed O(processes): coalesced rebinds were recorded, and the
+  // name space answers again.
+  EXPECT_GT(harness_.metrics().Get("rebind.count"), 0u);
+  sim::Process& probe = harness_.SpawnProcessOn(0, "final-probe");
+  auto ref = harness_.ClientFor(probe).Resolve("svc/mms");
+  cluster().RunFor(Duration::Seconds(5));
+  EXPECT_TRUE(ref.is_ready() && ref.result().ok());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
                          ::testing::Values(1001, 2002, 3003, 4004));
 

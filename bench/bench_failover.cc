@@ -17,10 +17,13 @@
 // the mean about half of it.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
-#include "src/naming/name_client.h"
 #include "src/common/rand.h"
+#include "src/common/trace.h"
+#include "src/naming/name_client.h"
 #include "src/rpc/binding_table.h"
 #include "src/svc/harness.h"
 #include "src/svc/settop_manager.h"
@@ -39,6 +42,14 @@ struct TrialResult {
   // The client-library view: a call through a primed binding issued at crash
   // time; the binding layer re-resolves until the backup answers.
   Histogram client_s;
+  // Per-phase decomposition reconstructed from the trace buffer
+  // (trace::FailoverTimeline): kill -> ras.peer_dead -> ns.audit.unbind ->
+  // bind.primary.
+  Histogram detect_s;
+  Histogram unbind_s;
+  Histogram rebind_s;
+  int timelines_complete = 0;
+  std::string sample_report;  // One trial's human-readable decomposition.
   uint64_t rebinds = 0;  // rebind.count across trials (lookups issued).
   int failures = 0;
 };
@@ -119,16 +130,22 @@ TrialResult RunTrials(const Params& params, int trials, uint64_t seed) {
     bool bound_done = false;
     bool bound_ok = false;
     Time bound_at;
-    table->Bind<svc::SettopManagerProxy>("svc/target")
-        .Call<void>(
-            [host = client.host()](const svc::SettopManagerProxy& mgr) {
-              return mgr.Heartbeat(host);
-            },
-            [&](Result<void> r) {
-              bound_done = true;
-              bound_ok = r.ok();
-              bound_at = harness.cluster().Now();
-            });
+    {
+      // Root a trace at the client call so its rebind.attempt /
+      // rebind.resolve activity joins the recorded fail-over timeline.
+      trace::Tracer& tracer = client.tracer();
+      trace::ScopedContext scoped(&tracer, tracer.StartTrace());
+      table->Bind<svc::SettopManagerProxy>("svc/target")
+          .Call<void>(
+              [host = client.host()](const svc::SettopManagerProxy& mgr) {
+                return mgr.Heartbeat(host);
+              },
+              [&](Result<void> r) {
+                bound_done = true;
+                bound_ok = r.ok();
+                bound_at = harness.cluster().Now();
+              });
+    }
 
     // Poll until the backup's binding is visible.
     bool recovered = false;
@@ -157,6 +174,22 @@ TrialResult RunTrials(const Params& params, int trials, uint64_t seed) {
       out.client_s.Record((bound_at - crash_at).seconds());
     }
     out.rebinds += table->total_rebinds();
+
+    // Reconstruct the per-phase decomposition from the cluster trace buffer.
+    trace::FailoverTimeline timeline = trace::FailoverTimeline::Reconstruct(
+        harness.cluster().trace_buffer().Snapshot(), crash_at, "svc/target");
+    if (bound_done && bound_ok) {
+      timeline.client_ok_at = bound_at;
+    }
+    if (timeline.complete()) {
+      ++out.timelines_complete;
+      out.detect_s.Record(timeline.detect_delay().seconds());
+      out.unbind_s.Record(timeline.unbind_delay().seconds());
+      out.rebind_s.Record(timeline.rebind_delay().seconds());
+      if (out.sample_report.empty()) {
+        out.sample_report = timeline.Report();
+      }
+    }
   }
   return out;
 }
@@ -172,8 +205,8 @@ int main() {
       "paper: max fail-over = bind-retry + ns-audit + ras-poll; defaults "
       "10+10+5 = 25 s\n\n");
   bench::PrintRow({"bind_retry_s", "ns_audit_s", "ras_poll_s", "paper_max_s",
-                   "observed_mean", "observed_max", "client_mean", "rebinds",
-                   "trials_ok"});
+                   "observed_p50", "observed_p99", "observed_max",
+                   "client_mean", "rebinds", "trials_ok"});
 
   const Params settings[] = {
       {10, 10, 5},  // Paper defaults.
@@ -184,6 +217,7 @@ int main() {
       {5, 10, 5},
   };
   constexpr int kTrials = 40;
+  std::vector<TrialResult> results;
   for (const Params& p : settings) {
     TrialResult r = RunTrials(p, kTrials, /*seed=*/42);
     double paper_max = p.bind_retry_s + p.ns_audit_s + p.ras_poll_s;
@@ -191,11 +225,40 @@ int main() {
                      bench::Fmt("%.0f", p.ns_audit_s),
                      bench::Fmt("%.0f", p.ras_poll_s),
                      bench::Fmt("%.0f", paper_max),
-                     bench::Fmt("%.1f", r.failover_s.Mean()),
+                     bench::Fmt("%.1f", r.failover_s.Percentile(50)),
+                     bench::Fmt("%.1f", r.failover_s.Percentile(99)),
                      bench::Fmt("%.1f", r.failover_s.Max()),
                      bench::Fmt("%.1f", r.client_s.Mean()),
                      bench::FmtInt(r.rebinds),
                      bench::FmtInt(static_cast<uint64_t>(r.failover_s.count()))});
+    results.push_back(std::move(r));
+  }
+
+  // Per-phase decomposition of the same trials, reconstructed by
+  // trace::FailoverTimeline from the recorded spans (kill -> ras.peer_dead ->
+  // ns.audit.unbind -> bind.primary).
+  std::printf("\nper-phase decomposition via trace::FailoverTimeline "
+              "(seconds, mean/max over complete timelines):\n\n");
+  bench::PrintRow({"bind_retry_s", "ns_audit_s", "ras_poll_s", "detect_mean",
+                   "detect_max", "unbind_mean", "unbind_max", "rebind_mean",
+                   "rebind_max", "timelines"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Params& p = settings[i];
+    const TrialResult& r = results[i];
+    bench::PrintRow({bench::Fmt("%.0f", p.bind_retry_s),
+                     bench::Fmt("%.0f", p.ns_audit_s),
+                     bench::Fmt("%.0f", p.ras_poll_s),
+                     bench::Fmt("%.1f", r.detect_s.Mean()),
+                     bench::Fmt("%.1f", r.detect_s.Max()),
+                     bench::Fmt("%.1f", r.unbind_s.Mean()),
+                     bench::Fmt("%.1f", r.unbind_s.Max()),
+                     bench::Fmt("%.1f", r.rebind_s.Mean()),
+                     bench::Fmt("%.1f", r.rebind_s.Max()),
+                     bench::FmtInt(static_cast<uint64_t>(r.timelines_complete))});
+  }
+  if (!results.empty() && !results[0].sample_report.empty()) {
+    std::printf("\nsample timeline (paper defaults, one trial):\n%s",
+                results[0].sample_report.c_str());
   }
   std::printf(
       "\nnote: observed max can exceed the paper's sum by the RAS RPC "

@@ -25,7 +25,9 @@ namespace {
 struct Row {
   size_t replicas;
   double resolve_local_ms;
+  double resolve_p99_ms;
   double bind_via_slave_ms;
+  double bind_p99_ms;
   double msgs_per_update;
   double msgs_per_resolve;
 };
@@ -101,7 +103,9 @@ Row Measure(size_t replicas) {
       static_cast<double>(harness.metrics().Get("net.msg.total") - msgs_before) /
       kOps;
 
-  return Row{replicas, resolve_ms.Mean(), bind_ms.Mean(), msgs_per_update,
+  return Row{replicas,        resolve_ms.Percentile(50),
+             resolve_ms.Percentile(99), bind_ms.Percentile(50),
+             bind_ms.Percentile(99),    msgs_per_update,
              msgs_per_resolve};
 }
 
@@ -115,13 +119,16 @@ int main() {
   std::printf(
       "clients talk to the replica on their own server; binds are forwarded "
       "to the master\nand multicast to every slave.\n\n");
-  bench::PrintRow({"replicas", "resolve_ms", "bind_ms", "msgs/resolve",
+  bench::PrintRow({"replicas", "resolve_p50_ms", "resolve_p99_ms",
+                   "bind_p50_ms", "bind_p99_ms", "msgs/resolve",
                    "msgs/update"});
   for (size_t replicas : {1, 2, 3, 5, 8}) {
     Row row = Measure(replicas);
     bench::PrintRow({bench::FmtInt(row.replicas),
                      bench::Fmt("%.3f", row.resolve_local_ms),
+                     bench::Fmt("%.3f", row.resolve_p99_ms),
                      bench::Fmt("%.3f", row.bind_via_slave_ms),
+                     bench::Fmt("%.3f", row.bind_p99_ms),
                      bench::Fmt("%.1f", row.msgs_per_resolve),
                      bench::Fmt("%.1f", row.msgs_per_update)});
   }

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "src/common/logging.h"
 #include "src/naming/name_client.h"
 #include "src/rpc/binding_table.h"
 #include "src/svc/csc.h"
@@ -39,13 +40,14 @@ void RegisterDrillService(svc::ClusterHarness& harness) {
 }  // namespace
 
 int main() {
+  // The logger supplies the sim-time and node/process prefix on every line
+  // (service logs included), replacing the old hand-formatted timestamps.
+  SetMinLogLevel(LogLevel::kInfo);
   svc::HarnessOptions opts;
   opts.server_count = 3;
   svc::ClusterHarness harness(opts);
   sim::Cluster& cluster = harness.cluster();
-  auto say = [&](const std::string& what) {
-    std::printf("[t=%8s] %s\n", cluster.Now().ToString().c_str(), what.c_str());
-  };
+  auto say = [&](const std::string& what) { ITV_LOG(Info) << what; };
 
   RegisterDrillService(harness);
   harness.AssignService("drilld", harness.HostOf(1));
@@ -75,11 +77,11 @@ int main() {
         [&](Result<std::vector<uint8_t>> r) { ok = r.ok(); });
     cluster.RunFor(Duration::Seconds(40));
     uint32_t host = drill.cached_ref() ? drill.cached_ref()->endpoint.host : 0;
-    std::printf("[t=%8s] %s: call %s (served by server %u.%u.%u.%u, "
-                "rebinds so far: %llu)\n",
-                cluster.Now().ToString().c_str(), label, ok ? "OK" : "FAILED",
-                host >> 24, (host >> 16) & 0xff, (host >> 8) & 0xff, host & 0xff,
-                static_cast<unsigned long long>(drill.rebind_count()));
+    ITV_LOG(Info) << StrFormat(
+        "%s: call %s (served by server %u.%u.%u.%u, rebinds so far: %llu)",
+        label, ok ? "OK" : "FAILED", host >> 24, (host >> 16) & 0xff,
+        (host >> 8) & 0xff, host & 0xff,
+        static_cast<unsigned long long>(drill.rebind_count()));
   };
 
   call_through("baseline");

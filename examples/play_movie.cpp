@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "src/common/logging.h"
 #include "src/media/factories.h"
 #include "src/settop/app_manager.h"
 #include "src/settop/vod_app.h"
@@ -19,14 +20,16 @@
 using namespace itv;
 
 int main() {
+  // The logger prefixes every line with sim-time and (for service code) the
+  // emitting node/process, so the narration interleaves with service logs on
+  // one consistent timeline — no hand-formatted timestamps needed.
+  SetMinLogLevel(LogLevel::kInfo);
   svc::HarnessOptions opts;
   opts.server_count = 2;
   opts.neighborhood_count = 2;
   svc::ClusterHarness harness(opts);
   sim::Cluster& cluster = harness.cluster();
-  auto say = [&](const std::string& what) {
-    std::printf("[t=%8s] %s\n", cluster.Now().ToString().c_str(), what.c_str());
-  };
+  auto say = [&](const std::string& what) { ITV_LOG(Info) << what; };
 
   media::MediaDeployment deploy;
   deploy.movies = {

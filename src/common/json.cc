@@ -1,0 +1,267 @@
+#include "src/common/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace itv::json {
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Recursive-descent syntax checker. Tracks position only; never builds a
+// document tree.
+class Checker {
+ public:
+  explicit Checker(std::string_view text) : text_(text) {}
+
+  bool Run(std::string* error) {
+    SkipWs();
+    if (!Value()) {
+      Fill(error);
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      err_ = "trailing characters after value";
+      Fill(error);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const char* why) {
+    if (err_ == nullptr) {
+      err_ = why;
+    }
+    return false;
+  }
+
+  void Fill(std::string* error) const {
+    if (error != nullptr) {
+      *error = "offset " + std::to_string(pos_) + ": " +
+               (err_ != nullptr ? err_ : "invalid JSON");
+    }
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Fail("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool String() {
+    if (!Eat('"')) {
+      return Fail("expected '\"'");
+    }
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+              return Fail("bad \\u escape");
+            }
+            ++pos_;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return Fail("bad escape character");
+        }
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    Eat('-');
+    if (pos_ >= text_.size() || std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+      return Fail("bad number");
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (Eat('.')) {
+      if (pos_ >= text_.size() || std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+        return Fail("bad fraction");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+        return Fail("bad exponent");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool Value() {
+    if (++depth_ > 256) {
+      return Fail("nesting too deep");
+    }
+    SkipWs();
+    bool ok = false;
+    if (pos_ >= text_.size()) {
+      ok = Fail("unexpected end of input");
+    } else {
+      switch (text_[pos_]) {
+        case '{':
+          ok = Object();
+          break;
+        case '[':
+          ok = Array();
+          break;
+        case '"':
+          ok = String();
+          break;
+        case 't':
+          ok = Literal("true");
+          break;
+        case 'f':
+          ok = Literal("false");
+          break;
+        case 'n':
+          ok = Literal("null");
+          break;
+        default:
+          ok = Number();
+      }
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool Object() {
+    Eat('{');
+    SkipWs();
+    if (Eat('}')) {
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (!Eat(':')) {
+        return Fail("expected ':' in object");
+      }
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Eat(',')) {
+        continue;
+      }
+      if (Eat('}')) {
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool Array() {
+    Eat('[');
+    SkipWs();
+    if (Eat(']')) {
+      return true;
+    }
+    while (true) {
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Eat(',')) {
+        continue;
+      }
+      if (Eat(']')) {
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  const char* err_ = nullptr;
+};
+
+}  // namespace
+
+bool ValidateSyntax(std::string_view text, std::string* error) {
+  return Checker(text).Run(error);
+}
+
+}  // namespace itv::json

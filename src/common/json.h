@@ -1,0 +1,27 @@
+// Minimal JSON utilities for the telemetry exporters.
+//
+// The exporters (src/common/trace.h, Metrics::DumpJson) emit JSON by direct
+// string building; Escape() covers the string-literal rules. ValidateSyntax()
+// is a full (if small) RFC 8259 syntax checker used by tests and the trace
+// dump tool to prove that emitted documents load cleanly in external viewers
+// (chrome://tracing, Perfetto) without depending on a JSON library.
+
+#ifndef SRC_COMMON_JSON_H_
+#define SRC_COMMON_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace itv::json {
+
+// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+// quotes added).
+std::string Escape(std::string_view s);
+
+// True when `text` is one syntactically valid JSON value. On failure, fills
+// `error` (if non-null) with a byte offset and description.
+bool ValidateSyntax(std::string_view text, std::string* error = nullptr);
+
+}  // namespace itv::json
+
+#endif  // SRC_COMMON_JSON_H_

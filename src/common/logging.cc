@@ -22,6 +22,13 @@ LogLevel& MinLevelSlot() {
   return level;
 }
 
+// Identity of the code currently running (installed via ScopedLogIdentity).
+// thread_local for safety, though the simulator is single-threaded.
+const std::string*& IdentitySlot() {
+  thread_local const std::string* identity = nullptr;
+  return identity;
+}
+
 }  // namespace
 
 std::string_view LogLevelName(LogLevel level) {
@@ -49,6 +56,15 @@ void SetLogTimeSource(std::function<Time()> now) {
   TimeSourceSlot() = std::move(now);
 }
 
+const std::string* CurrentLogIdentity() { return IdentitySlot(); }
+
+ScopedLogIdentity::ScopedLogIdentity(const std::string* identity)
+    : prev_(IdentitySlot()) {
+  IdentitySlot() = identity;
+}
+
+ScopedLogIdentity::~ScopedLogIdentity() { IdentitySlot() = prev_; }
+
 namespace log_internal {
 
 void Emit(LogLevel level, const std::string& message) {
@@ -58,17 +74,22 @@ void Emit(LogLevel level, const std::string& message) {
     now = TimeSourceSlot()();
     have_time = true;
   }
+  const std::string* identity = IdentitySlot();
   if (SinkSlot()) {
-    SinkSlot()(level, now, message);
+    SinkSlot()(level, now, identity, message);
     return;
   }
+  // "[LEVEL <sim-time> <node/process>] file:line] message" — the same
+  // time/identity pair the tracer stamps on spans, so log lines and traces
+  // correlate directly.
+  std::string prefix = std::string(LogLevelName(level));
   if (have_time) {
-    std::fprintf(stderr, "[%s %s] %s\n", std::string(LogLevelName(level)).c_str(),
-                 now.ToString().c_str(), message.c_str());
-  } else {
-    std::fprintf(stderr, "[%s] %s\n", std::string(LogLevelName(level)).c_str(),
-                 message.c_str());
+    prefix += " " + now.ToString();
   }
+  if (identity != nullptr) {
+    prefix += " " + *identity;
+  }
+  std::fprintf(stderr, "[%s] %s\n", prefix.c_str(), message.c_str());
 }
 
 }  // namespace log_internal

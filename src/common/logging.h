@@ -30,14 +30,37 @@ enum class LogLevel : int {
 
 std::string_view LogLevelName(LogLevel level);
 
-// A sink receives fully-formatted log records.
-using LogSink = std::function<void(LogLevel, Time, const std::string& message)>;
+// A sink receives fully-formatted log records. `identity` is the node/process
+// identity of the code that logged (see ScopedLogIdentity); null when none is
+// installed.
+using LogSink = std::function<void(LogLevel, Time, const std::string* identity,
+                                   const std::string& message)>;
 
 // Global logging configuration (process-wide; tests swap sinks in and out).
 void SetLogSink(LogSink sink);      // nullptr restores the stderr sink.
 void SetMinLogLevel(LogLevel min);  // Default: kWarn (keeps test output quiet).
 LogLevel MinLogLevel();
 void SetLogTimeSource(std::function<Time()> now);  // nullptr -> no timestamp.
+
+// --- Identity context hook ---------------------------------------------------
+// The simulator installs the running process's identity ("server-2/nsd")
+// around every callback it dispatches, so every log line carries sim-time AND
+// who emitted it — the key for correlating logs with trace spans. The pointer
+// must outlive the scope (it normally points at a field of sim::Process).
+
+const std::string* CurrentLogIdentity();
+
+class ScopedLogIdentity {
+ public:
+  explicit ScopedLogIdentity(const std::string* identity);
+  ~ScopedLogIdentity();
+
+  ScopedLogIdentity(const ScopedLogIdentity&) = delete;
+  ScopedLogIdentity& operator=(const ScopedLogIdentity&) = delete;
+
+ private:
+  const std::string* prev_;
+};
 
 namespace log_internal {
 

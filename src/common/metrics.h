@@ -19,6 +19,8 @@
 #include <string_view>
 
 #include "src/common/histogram.h"
+#include "src/common/json.h"
+#include "src/common/strings.h"
 
 namespace itv {
 
@@ -79,19 +81,57 @@ class Metrics {
   }
 
   // Sum of all counters whose name starts with `prefix` (e.g. "net.msg.").
+  // Runs inside bench report loops, so it seeks to the prefix range instead
+  // of scanning every counter: the map is ordered, so matches are contiguous
+  // starting at lower_bound(prefix).
   uint64_t SumPrefix(std::string_view prefix) const {
     uint64_t total = 0;
-    for (const auto& [name, value] : counters_) {
-      if (name.size() >= prefix.size() &&
-          std::string_view(name).substr(0, prefix.size()) == prefix) {
-        total += value;
+    for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+      if (!StartsWith(it->first, prefix)) {
+        break;
       }
+      total += it->second;
     }
     return total;
   }
 
   const std::map<std::string, uint64_t, std::less<>>& counters() const {
     return counters_;
+  }
+
+  // Machine-readable snapshot of every counter, gauge and histogram (with
+  // count/min/mean/p50/p99/max summaries). Pairs with trace::ChromeTraceJson
+  // so a bench or chaos run can dump both sides of its telemetry.
+  std::string DumpJson() const {
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : counters_) {
+      out += StrFormat("%s\"%s\":%llu", first ? "" : ",",
+                       json::Escape(name).c_str(),
+                       static_cast<unsigned long long>(value));
+      first = false;
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : gauges_) {
+      out += StrFormat("%s\"%s\":%lld", first ? "" : ",",
+                       json::Escape(name).c_str(),
+                       static_cast<long long>(value));
+      first = false;
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+      out += StrFormat(
+          "%s\"%s\":{\"count\":%llu,\"min\":%g,\"mean\":%g,\"p50\":%g,"
+          "\"p99\":%g,\"max\":%g}",
+          first ? "" : ",", json::Escape(name).c_str(),
+          static_cast<unsigned long long>(h.count()), h.Min(), h.Mean(),
+          h.Percentile(50), h.Percentile(99), h.Max());
+      first = false;
+    }
+    out += "}}";
+    return out;
   }
 
   // Zeroes counters in place (interned handles stay valid) and drops gauges

@@ -1,0 +1,187 @@
+#include "src/common/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/common/json.h"
+#include "src/common/strings.h"
+
+namespace itv::trace {
+
+namespace {
+
+// Chrome trace-event timestamps are microseconds; keep sub-microsecond
+// precision as a fraction.
+double ToMicros(Time t) { return static_cast<double>(t.nanos()) / 1000.0; }
+double ToMicros(Duration d) { return static_cast<double>(d.nanos()) / 1000.0; }
+
+void AppendCommon(std::string& out, const TraceEvent& e, uint32_t pid,
+                  uint32_t tid) {
+  out += StrFormat("\"name\":\"%s\",\"cat\":\"ocs\",\"pid\":%u,\"tid\":%u",
+                   json::Escape(e.name).c_str(), pid, tid);
+  out += StrFormat(",\"ts\":%.3f", ToMicros(e.begin));
+  out += StrFormat(
+      ",\"args\":{\"trace_id\":%llu,\"span_id\":%llu,\"parent_span_id\":%llu",
+      static_cast<unsigned long long>(e.trace_id),
+      static_cast<unsigned long long>(e.span_id),
+      static_cast<unsigned long long>(e.parent_span_id));
+  if (!e.detail.empty()) {
+    out += StrFormat(",\"detail\":\"%s\"", json::Escape(e.detail).c_str());
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceBuffer& buffer) {
+  std::vector<TraceEvent> events = buffer.Snapshot();
+
+  // Stable small integers: one trace-process per node, one trace-thread per
+  // sim process (keyed by pid so restarted incarnations stay distinct rows).
+  std::map<std::string, uint32_t> node_ids;
+  std::map<uint64_t, uint32_t> thread_ids;
+  for (const TraceEvent& e : events) {
+    node_ids.emplace(e.node, 0);
+    thread_ids.emplace(e.pid, 0);
+  }
+  uint32_t next = 1;
+  for (auto& [node, id] : node_ids) {
+    id = next++;
+  }
+  next = 1;
+  for (auto& [pid, id] : thread_ids) {
+    id = next++;
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& body) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{" + body + "}";
+  };
+
+  // Metadata: label trace processes with node names and trace threads with
+  // process names.
+  for (const auto& [node, id] : node_ids) {
+    emit(StrFormat("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                   "\"tid\":0,\"args\":{\"name\":\"%s\"}",
+                   id, json::Escape(node).c_str()));
+  }
+  std::map<uint64_t, const TraceEvent*> thread_names;
+  for (const TraceEvent& e : events) {
+    thread_names.emplace(e.pid, &e);
+  }
+  for (const auto& [pid, e] : thread_names) {
+    emit(StrFormat(
+        "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+        "\"args\":{\"name\":\"%s (pid %llu)\"}",
+        node_ids[e->node], thread_ids[pid], json::Escape(e->process).c_str(),
+        static_cast<unsigned long long>(pid)));
+  }
+
+  for (const TraceEvent& e : events) {
+    std::string body;
+    AppendCommon(body, e, node_ids[e.node], thread_ids[e.pid]);
+    if (e.kind == EventKind::kSpan) {
+      body += StrFormat(",\"ph\":\"X\",\"dur\":%.3f", ToMicros(e.duration));
+    } else {
+      body += ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    emit(body);
+  }
+  out += "]}";
+  return out;
+}
+
+bool ValidateChromeTrace(const std::string& json, std::string* error) {
+  if (!json::ValidateSyntax(json, error)) {
+    return false;
+  }
+  auto require = [&](std::string_view key) {
+    if (json.find("\"" + std::string(key) + "\"") == std::string::npos) {
+      if (error != nullptr) {
+        *error = "missing required key: " + std::string(key);
+      }
+      return false;
+    }
+    return true;
+  };
+  // A well-formed document always has the container key plus, for any
+  // non-empty buffer, the per-event required fields.
+  for (std::string_view key : {"traceEvents", "ph", "ts", "pid", "tid", "name"}) {
+    if (!require(key)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- FailoverTimeline --------------------------------------------------------
+
+FailoverTimeline FailoverTimeline::Reconstruct(
+    const std::vector<TraceEvent>& events, Time kill_time,
+    std::string_view path) {
+  FailoverTimeline timeline;
+  timeline.kill_time = kill_time;
+  auto matches_path = [path](const TraceEvent& e) {
+    return path.empty() || e.detail.find(path) != std::string::npos;
+  };
+  for (const TraceEvent& e : events) {
+    if (e.begin < kill_time) {
+      continue;
+    }
+    if (!timeline.detected_at.has_value()) {
+      if (e.name == kEventPeerDead) {
+        timeline.detected_at = e.begin;
+      }
+      continue;
+    }
+    if (!timeline.unbound_at.has_value()) {
+      if (e.name == kEventAuditUnbind && matches_path(e)) {
+        timeline.unbound_at = e.begin;
+      }
+      continue;
+    }
+    if (!timeline.rebound_at.has_value()) {
+      if (e.name == kEventBindPrimary && matches_path(e)) {
+        timeline.rebound_at = e.begin;
+      }
+      continue;
+    }
+    break;
+  }
+  return timeline;
+}
+
+std::string FailoverTimeline::Report() const {
+  std::ostringstream os;
+  os << "fail-over timeline (kill at " << kill_time.ToString() << ")\n";
+  auto line = [&os](const char* phase, const char* marker,
+                    const std::optional<Time>& at, Duration delay) {
+    os << "  " << phase << ": ";
+    if (at.has_value()) {
+      os << "+" << delay.ToString() << " (" << marker << " at "
+         << at->ToString() << ")";
+    } else {
+      os << "no " << marker << " event observed";
+    }
+    os << "\n";
+  };
+  line("ras-poll detect ", "ras.peer_dead", detected_at, detect_delay());
+  line("ns-audit unbind ", "ns.audit.unbind", unbound_at, unbind_delay());
+  line("bind-retry rebind", "bind.primary", rebound_at, rebind_delay());
+  if (rebound_at.has_value()) {
+    os << "  total kill->primary: " << total().ToString() << "\n";
+  }
+  if (client_ok_at.has_value()) {
+    os << "  client call recovered: +"
+       << (*client_ok_at - kill_time).ToString() << " after kill\n";
+  }
+  return os.str();
+}
+
+}  // namespace itv::trace

@@ -1,6 +1,7 @@
 #include "src/naming/name_client.h"
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 
 namespace itv::naming {
 
@@ -63,12 +64,29 @@ void PrimaryBinder::TryBind() {
     return;
   }
   ++bind_attempts_;
-  client_.Bind(path_, my_ref_).OnReady([this](const Result<void>& r) {
+  // Each bind attempt roots a trace: when a backup finally wins after the
+  // audit removes the dead primary's binding, the winning attempt's
+  // bind.primary instant is the fail-over timeline's recovery marker.
+  trace::Tracer* tracer = client_.runtime().tracer();
+  trace::TraceContext ctx;
+  Time begin;
+  if (tracer != nullptr) {
+    ctx = tracer->StartTrace();
+    begin = tracer->now();
+  }
+  trace::ScopedContext scoped(tracer, ctx);
+  client_.Bind(path_, my_ref_).OnReady([this, ctx, begin](
+                                           const Result<void>& r) {
     if (!running_) {
       return;
     }
+    trace::Tracer* tracer = client_.runtime().tracer();
     if (r.ok()) {
       is_primary_ = true;
+      if (tracer != nullptr) {
+        tracer->Span(ctx, "bind.attempt", begin, path_);
+        tracer->Instant(ctx, trace::kEventBindPrimary, path_);
+      }
       ITV_LOG(Info) << "primary/backup: became primary for " << path_;
       if (on_primary_) {
         on_primary_();
@@ -77,6 +95,11 @@ void PrimaryBinder::TryBind() {
     }
     // ALREADY_EXISTS: a primary is alive. Anything else (no master elected,
     // name service briefly unreachable): retry as well.
+    if (tracer != nullptr) {
+      tracer->Span(ctx, "bind.attempt", begin,
+                   path_ + " error=" +
+                       std::string(StatusCodeName(r.status().code())));
+    }
     retry_timer_ = executor_.ScheduleAfter(options_.retry_interval, [this] {
       retry_timer_ = kInvalidTimerId;
       TryBind();

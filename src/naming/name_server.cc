@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/common/trace.h"
 
 namespace itv::naming {
 
@@ -44,6 +46,10 @@ class NameServer::ContextSkeleton : public rpc::Skeleton {
     switch (method_id) {
       case kNcMethodResolve:
         server_.Count("ns.resolve");
+        if (server_.runtime_.tracer() != nullptr) {
+          server_.runtime_.tracer()->Instant(ctx.trace, "ns.resolve",
+                                             JoinPath(name));
+        }
         server_.ResolveFrom(node_, name, 0, caller_host, 0,
                             [reply](Result<wire::ObjectRef> r) {
                               if (!r.ok()) {
@@ -811,10 +817,24 @@ void NameServer::RunAudit() {
     refs.push_back(o.ref);
   }
   Count("ns.audit.sweep");
-  audit_->CheckObjects(refs, [this, objects](std::vector<uint8_t> alive) {
+  // Each audit sweep roots a trace: the RAS liveness queries it issues are
+  // stamped as its children, and a removal emits the ns.audit.unbind instant
+  // the fail-over timeline keys on.
+  trace::Tracer* tracer = runtime_.tracer();
+  trace::TraceContext audit_ctx;
+  Time audit_begin;
+  if (tracer != nullptr) {
+    audit_ctx = tracer->StartTrace();
+    audit_begin = tracer->now();
+  }
+  trace::ScopedContext scoped(tracer, audit_ctx);
+  audit_->CheckObjects(refs, [this, objects, audit_ctx,
+                              audit_begin](std::vector<uint8_t> alive) {
+    trace::Tracer* tracer = runtime_.tracer();
     if (alive.size() != objects.size()) {
       return;
     }
+    size_t removed = 0;
     for (size_t i = 0; i < objects.size(); ++i) {
       if (alive[i]) {
         continue;
@@ -833,12 +853,22 @@ void NameServer::RunAudit() {
         continue;
       }
       Count("ns.audit.unbind");
+      ++removed;
       ITV_LOG(Info) << "ns: auditing removed dead object "
                     << JoinPath(objects[i].path);
+      if (tracer != nullptr) {
+        tracer->Instant(audit_ctx, trace::kEventAuditUnbind,
+                        JoinPath(objects[i].path));
+      }
       NameUpdate unbind;
       unbind.op = NameOp::kUnbind;
       unbind.path = objects[i].path;
       MasterApply(unbind, [](Status) {});
+    }
+    if (tracer != nullptr) {
+      tracer->Span(audit_ctx, "ns.audit", audit_begin,
+                   StrFormat("checked=%zu removed=%zu", objects.size(),
+                             removed));
     }
   });
 }

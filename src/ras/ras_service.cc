@@ -4,6 +4,8 @@
 
 #include "src/common/address.h"
 #include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/common/trace.h"
 #include "src/svc/settop_manager.h"
 #include "src/svc/ssc.h"
 
@@ -159,14 +161,35 @@ void RasService::PollPeers() {
     RasProxy peer(runtime_, RasRefAt(host));
     rpc::CallOptions opts;
     opts.timeout = options_.rpc_timeout;
-    auto query = peer.CheckStatus(entities);
-    query.OnReady([this, host, entities](const Result<std::vector<uint8_t>>& r) {
+    // Each per-host poll roots a trace; declaring a peer dead emits the
+    // ras.peer_dead instant the fail-over timeline keys on.
+    trace::Tracer* tracer = runtime_.tracer();
+    trace::TraceContext poll_ctx;
+    Time poll_begin;
+    if (tracer != nullptr) {
+      poll_ctx = tracer->StartTrace();
+      poll_begin = tracer->now();
+    }
+    trace::ScopedContext scoped(tracer, poll_ctx);
+    auto query = peer.CheckStatus(entities, opts);
+    query.OnReady([this, host, entities, poll_ctx,
+                   poll_begin](const Result<std::vector<uint8_t>>& r) {
+      trace::Tracer* tracer = runtime_.tracer();
+      if (tracer != nullptr) {
+        tracer->Span(poll_ctx, "ras.poll", poll_begin,
+                     StrFormat("host=%u entities=%zu%s", host, entities.size(),
+                               r.ok() ? "" : " error"));
+      }
       if (!r.ok()) {
         int failures = ++peer_failures_[host];
         if (failures >= options_.peer_failures_to_dead) {
           // The server (or at least its RAS) is gone; its objects are dead
           // for fail-over purposes.
           Count("ras.peer_declared_dead");
+          if (tracer != nullptr) {
+            tracer->Instant(poll_ctx, trace::kEventPeerDead,
+                            StrFormat("host=%u failures=%d", host, failures));
+          }
           for (const EntityId& entity : entities) {
             auto it = tracked_.find(entity.key());
             if (it != tracked_.end()) {

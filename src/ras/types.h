@@ -92,9 +92,10 @@ class RasProxy : public rpc::Proxy {
   // Returns one EntityStatus (as uint8) per entity, immediately — the RAS
   // never blocks a checkStatus on contacting other services (Section 7.2).
   Future<std::vector<uint8_t>> CheckStatus(
-      const std::vector<EntityId>& entities) const {
+      const std::vector<EntityId>& entities,
+      const rpc::CallOptions& options = {}) const {
     return rpc::DecodeReply<std::vector<uint8_t>>(
-        Call(kRasMethodCheckStatus, rpc::EncodeArgs(entities)));
+        Call(kRasMethodCheckStatus, rpc::EncodeArgs(entities), options));
   }
 };
 

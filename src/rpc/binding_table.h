@@ -175,6 +175,7 @@ class BindingTable {
                             runtime_.executor(), std::string(path), resolver_,
                             Seeded(options, path), runtime_.metrics()))
                .first;
+      it->second->rebinder().set_tracer(runtime_.tracer(), it->second->path());
     }
     return *it->second;
   }
@@ -199,6 +200,7 @@ class BindingTable {
                                       cb) { cb(ref); },
                             Seeded(options, name), runtime_.metrics()))
                .first;
+      it->second->rebinder().set_tracer(runtime_.tracer(), it->second->path());
       it->second->Prime(ref);
     }
     return *it->second;

@@ -44,6 +44,7 @@
 #include "src/common/future.h"
 #include "src/common/metrics.h"
 #include "src/common/rand.h"
+#include "src/common/trace.h"
 #include "src/wire/object_ref.h"
 
 namespace itv::rpc {
@@ -95,6 +96,15 @@ class Rebinder {
   void Invalidate() { ref_.reset(); }
   void Prime(wire::ObjectRef ref) { ref_ = ref; }
 
+  // Enables causal tracing of rebind activity: operations initiated under a
+  // traced context get `rebind.resolve` spans and `rebind.attempt` instants
+  // tagged with `label` (normally the binding path). Untraced operations
+  // record nothing.
+  void set_tracer(trace::Tracer* tracer, std::string label = {}) {
+    tracer_ = tracer;
+    trace_label_ = std::move(label);
+  }
+
   // Number of name-service lookups actually issued over this Rebinder's
   // lifetime (observability for the recovery-storm benchmark). Calls that
   // piggyback on an in-flight lookup count under coalesced_count() instead.
@@ -119,41 +129,59 @@ class Rebinder {
     if (!budget.is_infinite()) {
       deadline = executor_.Now() + budget;
     }
-    Attempt<T>(1, options_.initial_backoff, deadline, std::move(call),
+    // The initiator's trace context is captured per-operation, so each caller
+    // coalesced behind a shared resolve still stamps its own retries and
+    // invocations with its own trace (the contexts ride the closures, not the
+    // Rebinder).
+    trace::TraceContext op;
+    if (tracer_ != nullptr) {
+      op = tracer_->current();
+    }
+    Attempt<T>(1, options_.initial_backoff, deadline, op, std::move(call),
                std::move(done));
   }
 
  private:
   template <typename T>
   void Attempt(int attempt, Duration backoff, std::optional<Time> deadline,
+               trace::TraceContext op,
                std::function<Future<T>(const wire::ObjectRef&)> call,
                std::function<void(Result<T>)> done) {
-    WithRef([this, attempt, backoff, deadline, call,
-             done](Result<wire::ObjectRef> ref) mutable {
+    WithRef(op, [this, attempt, backoff, deadline, op, call,
+                 done](Result<wire::ObjectRef> ref) mutable {
       if (!ref.ok()) {
         // Resolve failure: the binding may be missing mid-fail-over; retry.
-        Retry<T>(attempt, backoff, deadline, ref.status(), std::move(call),
+        Retry<T>(attempt, backoff, deadline, op, ref.status(), std::move(call),
                  std::move(done));
         return;
       }
-      call(*ref).OnReady([this, attempt, backoff, deadline, call,
+      // Re-install this operation's context: the callback may run from the
+      // resolve completion (another operation's stack) or a backoff timer.
+      trace::ScopedContext scoped(tracer_, op);
+      call(*ref).OnReady([this, attempt, backoff, deadline, op, call,
                           done](const Result<T>& result) mutable {
         if (result.ok() || !IsRebindable(result.status())) {
           done(result);
           return;
         }
         Invalidate();
-        Retry<T>(attempt, backoff, deadline, result.status(), std::move(call),
-                 std::move(done));
+        Retry<T>(attempt, backoff, deadline, op, result.status(),
+                 std::move(call), std::move(done));
       });
     });
   }
 
   template <typename T>
   void Retry(int attempt, Duration backoff, std::optional<Time> deadline,
-             const Status& error,
+             trace::TraceContext op, const Status& error,
              std::function<Future<T>(const wire::ObjectRef&)> call,
              std::function<void(Result<T>)> done) {
+    if (tracer_ != nullptr) {
+      tracer_->Instant(op, "rebind.attempt",
+                       trace_label_ + " attempt=" + std::to_string(attempt) +
+                           " error=" +
+                           std::string(StatusCodeName(error.code())));
+    }
     if (attempt >= options_.max_attempts) {
       done(error);
       return;
@@ -169,10 +197,10 @@ class Rebinder {
     if (next_backoff > options_.max_backoff) {
       next_backoff = options_.max_backoff;
     }
-    executor_.ScheduleAfter(delay, [this, attempt, next_backoff, deadline,
+    executor_.ScheduleAfter(delay, [this, attempt, next_backoff, deadline, op,
                                     call = std::move(call),
                                     done = std::move(done)]() mutable {
-      Attempt<T>(attempt + 1, next_backoff, deadline, std::move(call),
+      Attempt<T>(attempt + 1, next_backoff, deadline, op, std::move(call),
                  std::move(done));
     });
   }
@@ -186,8 +214,10 @@ class Rebinder {
 
   // Single-flight: the first caller through an empty cache starts the
   // resolve; callers arriving while it is in flight queue behind it and all
-  // complete from the one lookup.
-  void WithRef(std::function<void(Result<wire::ObjectRef>)> cb) {
+  // complete from the one lookup. The resolve span belongs to the leader's
+  // trace (`op`); coalesced callers' traces show only their own retries.
+  void WithRef(const trace::TraceContext& op,
+               std::function<void(Result<wire::ObjectRef>)> cb) {
     if (ref_.has_value()) {
       cb(*ref_);
       return;
@@ -205,13 +235,25 @@ class Rebinder {
       metrics_->Add("rebind.count");
     }
     Time started = executor_.Now();
-    resolve_([this, started](Result<wire::ObjectRef> r) {
+    trace::TraceContext resolve_ctx;
+    if (tracer_ != nullptr && op.valid()) {
+      resolve_ctx = tracer_->Child(op);
+    }
+    // The name-service lookup issued by resolve_ runs under the resolve
+    // span's context, linking it into the leader's trace.
+    trace::ScopedContext scoped(tracer_, resolve_ctx);
+    resolve_([this, started, resolve_ctx](Result<wire::ObjectRef> r) {
       if (r.ok()) {
         ref_ = *r;
       }
       if (metrics_ != nullptr) {
         metrics_->Observe("rebind.latency",
                           (executor_.Now() - started).seconds());
+      }
+      if (tracer_ != nullptr) {
+        tracer_->Span(resolve_ctx, "rebind.resolve", started,
+                      trace_label_ + (r.ok() ? "" : " error=" + std::string(
+                          StatusCodeName(r.status().code()))));
       }
       std::vector<std::function<void(Result<wire::ObjectRef>)>> waiters;
       waiters.swap(resolve_waiters_);
@@ -225,6 +267,8 @@ class Rebinder {
   ResolveFn resolve_;
   Options options_;
   Metrics* metrics_;
+  trace::Tracer* tracer_ = nullptr;
+  std::string trace_label_;
   Rng rng_;
   std::optional<wire::ObjectRef> ref_;
   std::vector<std::function<void(Result<wire::ObjectRef>)>> resolve_waiters_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/strings.h"
 
 namespace itv::rpc {
 
@@ -77,6 +78,16 @@ Future<wire::Bytes> ObjectRuntime::Invoke(const wire::ObjectRef& ref,
   msg.target_incarnation = ref.incarnation;
   msg.payload = std::move(args);
 
+  // Propagate the caller's trace: the request carries a child span of
+  // whatever traced operation is on the stack; untraced calls stay untraced
+  // (no spans, no wire ids), keeping data-plane chatter out of the buffer.
+  trace::TraceContext call_trace;
+  if (tracer_ != nullptr && tracer_->current().valid()) {
+    call_trace = tracer_->Child(tracer_->current());
+    msg.trace_id = call_trace.trace_id;
+    msg.span_id = call_trace.span_id;
+  }
+
   if (policy_ != nullptr) {
     Status s = policy_->ProtectRequest(ref.endpoint, &msg);
     if (!s.ok()) {
@@ -87,6 +98,14 @@ Future<wire::Bytes> ObjectRuntime::Invoke(const wire::ObjectRef& ref,
   PendingCall call;
   Future<wire::Bytes> future = call.promise.future();
   call.ticket_id = msg.auth.ticket_id;
+  if (call_trace.valid()) {
+    call.trace = call_trace;
+    call.started = tracer_->now();
+    call.trace_detail =
+        StrFormat("obj=%llu m=%u to=%s",
+                  static_cast<unsigned long long>(ref.object_id), method_id,
+                  ref.endpoint.ToString().c_str());
+  }
   uint64_t call_id = msg.call_id;
   if (!options.timeout.is_infinite()) {
     call.timer = executor_.ScheduleAfter(options.timeout, [this, call_id, ref] {
@@ -164,12 +183,39 @@ void ObjectRuntime::HandleRequest(wire::Message msg) {
     ctx.caller = *admitted;
   }
 
+  // Join the caller's trace: this dispatch becomes a child span of the wire
+  // context, recorded when the servant replies (handling may be async).
+  Time dispatch_begin;
+  if (tracer_ != nullptr && msg.trace_id != 0) {
+    trace::TraceContext wire_ctx;
+    wire_ctx.trace_id = msg.trace_id;
+    wire_ctx.span_id = msg.span_id;
+    ctx.trace = tracer_->Child(wire_ctx);
+    dispatch_begin = tracer_->now();
+  }
+
   // Capture what the reply needs; the servant may complete asynchronously.
   wire::Endpoint reply_to = msg.source;
   uint64_t call_id = msg.call_id;
   uint64_t ticket_id = msg.auth.ticket_id;
-  ReplyFn reply_fn = [this, reply_to, call_id, ticket_id](Status status,
-                                                          wire::Bytes payload) {
+  trace::TraceContext server_trace = ctx.trace;
+  std::string span_detail;
+  if (server_trace.valid()) {
+    span_detail = StrFormat("%s#%u", std::string(servant->interface_name()).c_str(),
+                            msg.method_id);
+  }
+  ReplyFn reply_fn = [this, reply_to, call_id, ticket_id, server_trace,
+                      dispatch_begin, span_detail](Status status,
+                                                   wire::Bytes payload) {
+    if (tracer_ != nullptr && server_trace.valid()) {
+      std::string detail = span_detail;
+      if (!status.ok()) {
+        detail += " status=";
+        detail += StatusCodeName(status.code());
+      }
+      tracer_->Span(server_trace, "rpc.server", dispatch_begin,
+                    std::move(detail));
+    }
     wire::Message reply;
     reply.kind = wire::MsgKind::kReply;
     reply.call_id = call_id;
@@ -188,6 +234,9 @@ void ObjectRuntime::HandleRequest(wire::Message msg) {
     transport_.Send(reply_to, std::move(reply));
   };
 
+  // Synchronous servant work (including nested Invokes) runs under this
+  // call's context, so downstream requests are stamped as its children.
+  trace::ScopedContext scoped(tracer_, ctx.trace);
   servant->Dispatch(msg.method_id, msg.payload, ctx, std::move(reply_fn));
 }
 
@@ -205,10 +254,12 @@ void ObjectRuntime::HandleReply(wire::Message msg) {
   if (policy_ != nullptr) {
     Status s = policy_->CheckReply(call.ticket_id, &msg);
     if (!s.ok()) {
+      FinishCallSpan(call, StatusCode::kInternal);
       call.promise.Set(InternalError("reply verification failed: " + s.message()));
       return;
     }
   }
+  FinishCallSpan(call, msg.status);
   if (msg.status != StatusCode::kOk) {
     call.promise.Set(Status(msg.status, msg.status_message));
     return;
@@ -240,7 +291,21 @@ void ObjectRuntime::FailCall(uint64_t call_id, Status status) {
   if (call.timer != kInvalidTimerId) {
     executor_.Cancel(call.timer);
   }
+  FinishCallSpan(call, status.code());
   call.promise.Set(std::move(status));
+}
+
+// Records the client-side span for a resolved call (reply, NACK, or timeout).
+void ObjectRuntime::FinishCallSpan(PendingCall& call, StatusCode status) {
+  if (tracer_ == nullptr || !call.trace.valid()) {
+    return;
+  }
+  std::string detail = std::move(call.trace_detail);
+  if (status != StatusCode::kOk) {
+    detail += " status=";
+    detail += StatusCodeName(status);
+  }
+  tracer_->Span(call.trace, "rpc.call", call.started, std::move(detail));
 }
 
 }  // namespace itv::rpc

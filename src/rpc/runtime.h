@@ -25,6 +25,7 @@
 #include "src/common/executor.h"
 #include "src/common/future.h"
 #include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/rpc/security.h"
 #include "src/rpc/transport.h"
 #include "src/wire/message.h"
@@ -38,6 +39,10 @@ namespace itv::rpc {
 struct CallContext {
   CallerInfo caller;
   wire::Endpoint caller_endpoint;
+  // Server-side span context for this call (invalid when the request was
+  // untraced). Servants that do asynchronous downstream work propagate it
+  // explicitly; synchronous work inherits it via the runtime's ScopedContext.
+  trace::TraceContext trace;
 };
 
 // Completion for a servant method: status + marshalled reply payload.
@@ -102,11 +107,23 @@ class ObjectRuntime {
   // order: SSC starts services before tickets exist).
   void set_security_policy(SecurityPolicy* policy) { policy_ = policy; }
 
+  // Tracer for causal spans (may be null / unset: tracing off). When set,
+  // Invoke() stamps outgoing requests with a child of the tracer's current
+  // context, and HandleRequest() runs servant dispatch under the propagated
+  // context so a trace flows settop -> NS -> RAS -> SSC across processes.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() { return tracer_; }
+
  private:
   struct PendingCall {
     Promise<wire::Bytes> promise;
     TimerId timer = kInvalidTimerId;
     uint64_t ticket_id = 0;  // For reply verification.
+    // Client-side span (only when the call was issued under a traced
+    // context): recorded when the reply/NACK/timeout resolves the call.
+    trace::TraceContext trace;
+    Time started;
+    std::string trace_detail;
   };
 
   void OnMessage(wire::Message msg);
@@ -115,6 +132,7 @@ class ObjectRuntime {
   void HandleNack(const wire::Message& msg);
   void SendNack(const wire::Message& request);
   void FailCall(uint64_t call_id, Status status);
+  void FinishCallSpan(PendingCall& call, StatusCode status);
 
   static void Bump(Metrics::Counter* counter) {
     if (counter != nullptr) {
@@ -127,6 +145,7 @@ class ObjectRuntime {
   const uint64_t incarnation_;
   SecurityPolicy* policy_;
   Metrics* metrics_;
+  trace::Tracer* tracer_ = nullptr;
 
   // Pre-interned hot-path counters: one lookup at construction, a plain
   // increment per message (null when metrics_ is null).

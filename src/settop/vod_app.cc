@@ -100,6 +100,8 @@ void VodApp::OpenAndPlay(int64_t from_position) {
         movie_ = ticket->movie;
         mds_host_ = ticket->mds_host;
         media::MovieProxy movie(runtime_, movie_);
+        // During a reopen, the play call continues the gap-detection trace.
+        trace::ScopedContext scoped(runtime_.tracer(), reopen_ctx_);
         movie.Play(from_position).OnReady([this](const Result<void>& r) {
           if (!playing_) {
             return;
@@ -110,6 +112,12 @@ void VodApp::OpenAndPlay(int64_t from_position) {
           }
           if (metrics_ != nullptr) {
             metrics_->Add("vod.playing");
+          }
+          trace::Tracer* tracer = runtime_.tracer();
+          if (tracer != nullptr && reopen_ctx_.valid()) {
+            tracer->Span(reopen_ctx_, "vod.reopen", reopen_begin_,
+                         title_ + " pos=" + std::to_string(position_bytes_));
+            reopen_ctx_ = {};
           }
           // Arm the failure detector.
           if (gap_timer_ != kInvalidTimerId) {
@@ -155,7 +163,17 @@ void VodApp::OnDataGap() {
   }
   ITV_LOG(Info) << "vod: stream went quiet at " << position_bytes_
                 << " bytes; reopening";
+  // Root the reopen trace at gap detection: the whole recovery — MMS rebind,
+  // reopen, resumed play — hangs off this context.
+  trace::Tracer* tracer = runtime_.tracer();
+  if (tracer != nullptr) {
+    reopen_ctx_ = tracer->StartTrace();
+    reopen_begin_ = tracer->now();
+    tracer->Instant(reopen_ctx_, "vod.data_gap",
+                    title_ + " pos=" + std::to_string(position_bytes_));
+  }
   // Section 3.5.2: close the original movie, ask the MMS to open it again.
+  trace::ScopedContext scoped(tracer, reopen_ctx_);
   CloseSession();
   if (!options_.auto_resume) {
     Finish(UnavailableError("media stream failed"));

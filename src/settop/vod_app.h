@@ -19,6 +19,7 @@
 
 #include "src/common/executor.h"
 #include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/media/mms.h"
 #include "src/naming/name_client.h"
 #include "src/rpc/binding_table.h"
@@ -87,6 +88,10 @@ class VodApp {
   uint64_t chunks_received_ = 0;
   uint32_t mds_host_ = 0;
   TimerId gap_timer_ = kInvalidTimerId;
+  // Trace of an in-progress reopen: rooted when a data gap is detected,
+  // closed (as the vod.reopen span) when playback resumes.
+  trace::TraceContext reopen_ctx_;
+  Time reopen_begin_;
 };
 
 }  // namespace itv::settop

@@ -107,14 +107,20 @@ Process::Process(Cluster& cluster, Node& node, std::string name, uint64_t pid,
       pid_(pid),
       port_(port),
       incarnation_(cluster.NextIncarnation()),
+      log_identity_(node.name() + "/" + name_),
       executor_(cluster.scheduler()),
+      tracer_(&cluster.trace_buffer(), &executor_, node.name(), name_, pid),
       transport_(std::make_unique<SimTransport>(cluster,
                                                 wire::Endpoint{node.host(), port})),
-      default_policy_(node.name() + "/" + name_),
+      default_policy_(log_identity_),
       runtime_(std::make_unique<rpc::ObjectRuntime>(executor_, *transport_,
                                                     incarnation_,
                                                     &default_policy_,
-                                                    &cluster.metrics())) {}
+                                                    &cluster.metrics())) {
+  executor_.set_identity(&log_identity_);
+  transport_->set_identity(&log_identity_);
+  runtime_->set_tracer(&tracer_);
+}
 
 Process::~Process() = default;
 

@@ -28,7 +28,9 @@
 #include <vector>
 
 #include "src/common/address.h"
+#include "src/common/logging.h"
 #include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/rpc/runtime.h"
 #include "src/rpc/security.h"
 #include "src/rpc/transport.h"
@@ -112,14 +114,21 @@ class SimTransport : public rpc::Transport {
   bool has_receiver() const { return receiver_ != nullptr; }
   void Deliver(wire::Message msg) {
     if (receiver_) {
+      // Delivery runs receiving-process code, so log lines it emits carry
+      // that process's identity (the executor installs the same identity
+      // around timer callbacks).
+      ScopedLogIdentity scoped(identity_);
       receiver_(std::move(msg));
     }
   }
+
+  void set_identity(const std::string* identity) { identity_ = identity; }
 
  private:
   Cluster& cluster_;
   wire::Endpoint local_;
   Receiver receiver_;
+  const std::string* identity_ = nullptr;
 };
 
 // --- Per-process executor ----------------------------------------------------
@@ -138,12 +147,16 @@ class ProcessExecutor : public Executor {
     TimerId id = scheduler_.ScheduleAt(
         when, [this, id_slot, fn = std::move(fn)] {
           live_.erase(*id_slot);
+          ScopedLogIdentity scoped(identity_);
           fn();
         });
     *id_slot = id;
     live_.insert(id);
     return id;
   }
+
+  // Identity stamped onto log lines emitted from this process's callbacks.
+  void set_identity(const std::string* identity) { identity_ = identity; }
 
   bool Cancel(TimerId id) override {
     live_.erase(id);
@@ -160,6 +173,7 @@ class ProcessExecutor : public Executor {
  private:
   Scheduler& scheduler_;
   std::unordered_set<TimerId> live_;
+  const std::string* identity_ = nullptr;
 };
 
 // --- Process -----------------------------------------------------------------
@@ -186,6 +200,9 @@ class Process {
   rpc::ObjectRuntime& runtime() { return *runtime_; }
   rpc::Transport& transport() { return *transport_; }
   rpc::InsecurePolicy& default_policy() { return default_policy_; }
+  trace::Tracer& tracer() { return tracer_; }
+  // "node/process" — what log lines and spans are stamped with.
+  const std::string& log_identity() const { return log_identity_; }
 
   // Constructs a service object owned by this process; destroyed (in reverse
   // construction order) when the process dies.
@@ -223,10 +240,12 @@ class Process {
   uint64_t pid_;
   uint16_t port_;
   uint64_t incarnation_;
+  std::string log_identity_;  // "node/process".
   bool alive_ = true;
   bool kill_pending_ = false;
 
   ProcessExecutor executor_;
+  trace::Tracer tracer_;
   std::unique_ptr<SimTransport> transport_;
   rpc::InsecurePolicy default_policy_;
   std::unique_ptr<rpc::ObjectRuntime> runtime_;
@@ -294,6 +313,9 @@ class Cluster {
   Scheduler& scheduler() { return scheduler_; }
   Network& network() { return network_; }
   Metrics& metrics() { return metrics_; }
+  // Cluster-wide span buffer (shared by every process's Tracer, like
+  // metrics()). Capacity 0 disables recording.
+  trace::TraceBuffer& trace_buffer() { return trace_buffer_; }
   Time Now() const { return scheduler_.Now(); }
 
   Node& AddServer(const std::string& name);
@@ -320,6 +342,7 @@ class Cluster {
 
   Scheduler scheduler_;
   Metrics metrics_;
+  trace::TraceBuffer trace_buffer_;
   Network network_;
   uint8_t next_server_index_ = 1;
   std::map<uint8_t, uint16_t> next_settop_index_;

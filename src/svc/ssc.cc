@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 
 namespace itv::svc {
 
@@ -76,9 +77,22 @@ void SscService::OnServiceExit(const std::string& name, uint64_t pid) {
   }
   // Automatic restart after failure (Section 8.1).
   ++service.restarts;
+  // Root a trace at the exit so the restart delay is visible as the
+  // ssc.restart span (exit -> relaunch) in fail-over timelines.
+  trace::Tracer* tracer = self_.runtime().tracer();
+  trace::TraceContext restart_ctx;
+  Time exit_time;
+  if (tracer != nullptr) {
+    restart_ctx = tracer->StartTrace();
+    exit_time = tracer->now();
+    tracer->Instant(restart_ctx, "ssc.service_exit",
+                    name + " pid=" + std::to_string(pid));
+  }
   ITV_LOG(Info) << "ssc@" << self_.node().name() << ": restarting " << name
                 << " (restart #" << service.restarts << ")";
-  self_.executor().ScheduleAfter(options_.restart_delay, [this, name] {
+  self_.executor().ScheduleAfter(options_.restart_delay, [this, name,
+                                                          restart_ctx,
+                                                          exit_time] {
     auto iter = services_.find(name);
     if (iter == services_.end() || !iter->second.want_running ||
         iter->second.running) {
@@ -87,6 +101,11 @@ void SscService::OnServiceExit(const std::string& name, uint64_t pid) {
     if (!DoLaunch(iter->second).ok()) {
       // Launch failure: retry on the same cadence.
       OnServiceExit(name, 0);
+      return;
+    }
+    trace::Tracer* tracer = self_.runtime().tracer();
+    if (tracer != nullptr) {
+      tracer->Span(restart_ctx, "ssc.restart", exit_time, name);
     }
   });
 }

@@ -44,6 +44,8 @@ Bytes EncodeMessage(const Message& m) {
   w.WriteU64(m.type_id);
   w.WriteU32(m.method_id);
   w.WriteU64(m.target_incarnation);
+  w.WriteU64(m.trace_id);
+  w.WriteU64(m.span_id);
   w.WriteU8(static_cast<uint8_t>(m.status));
   w.WriteString(m.status_message);
   w.WriteString(m.auth.principal);
@@ -66,6 +68,8 @@ bool DecodeMessage(const Bytes& b, Message* out) {
   out->type_id = r.ReadU64();
   out->method_id = r.ReadU32();
   out->target_incarnation = r.ReadU64();
+  out->trace_id = r.ReadU64();
+  out->span_id = r.ReadU64();
   out->status = static_cast<StatusCode>(r.ReadU8());
   out->status_message = r.ReadString();
   out->auth.principal = r.ReadString();

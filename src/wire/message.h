@@ -48,6 +48,13 @@ struct Message {
   StatusCode status = StatusCode::kOk;
   std::string status_message;
 
+  // Causal-trace propagation (src/common/trace.h): the trace this request
+  // belongs to and the caller's span (the callee's parent). Zero = untraced.
+  // Observability metadata only — like `source`, it never influences dispatch,
+  // so it is carried outside the signed portion.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
   AuthBlock auth;
   Bytes payload;
 

@@ -10,11 +10,17 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "src/common/rand.h"
+#include "src/common/trace.h"
 #include "src/media/factories.h"
+#include "src/naming/name_client.h"
 #include "src/settop/app_manager.h"
 #include "src/settop/vod_app.h"
 #include "src/svc/harness.h"
+#include "src/svc/settop_manager.h"
 
 namespace itv {
 namespace {
@@ -198,6 +204,86 @@ TEST_P(ChaosTest, NameServiceMasterDiesWhileBindingsResolve) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
                          ::testing::Values(1001, 2002, 3003, 4004));
+
+// --- Scripted kill, reconstructed from the trace buffer -----------------------
+
+TEST(FailoverTraceTest, TimelineMatchesPaperWorstCaseBound) {
+  // Paper Section 9.7 defaults: backup re-binds every 10 s, the name service
+  // audits every 10 s, the RAS polls peers every 5 s => 25 s worst case. A
+  // scripted server crash must leave enough spans in the cluster trace buffer
+  // for FailoverTimeline to reconstruct each phase, and every reconstructed
+  // phase must respect its polling-interval bound.
+  svc::HarnessOptions opts;
+  opts.server_count = 3;
+  opts.ns.audit_interval = Duration::Seconds(10);
+  opts.ras.peer_poll_interval = Duration::Seconds(5);
+  opts.ras.peer_failures_to_dead = 1;
+  opts.ras.rpc_timeout = Duration::Seconds(1);
+  opts.start_csc = false;
+  svc::ClusterHarness harness(opts);
+  harness.Boot();
+
+  naming::PrimaryBinder::Options binder_opts;
+  binder_opts.retry_interval = Duration::Seconds(10);
+  auto spawn_replica = [&](size_t server_index) {
+    sim::Process& p = harness.SpawnProcessOn(server_index, "target");
+    auto* skeleton = p.Emplace<svc::SettopManagerService>(p.executor());
+    wire::ObjectRef ref = p.runtime().Export(skeleton);
+    svc::SscProxy ssc(p.runtime(), svc::SscRefAt(p.host()));
+    ssc.NotifyReady(p.pid(), {ref}).OnReady([](const Result<void>&) {});
+    auto* binder = p.Emplace<naming::PrimaryBinder>(
+        p.executor(), harness.ClientFor(p), "svc/target", ref, binder_opts);
+    binder->Start();
+  };
+  spawn_replica(1);  // Primary binds first.
+  harness.cluster().RunFor(Duration::Seconds(2));
+  spawn_replica(2);  // Backup keeps retrying behind it.
+  harness.cluster().RunFor(Duration::Seconds(5));
+
+  sim::Process& probe = harness.SpawnProcessOn(0, "probe");
+  auto resolved = harness.ClientFor(probe).Resolve("svc/target");
+  harness.cluster().RunFor(Duration::Seconds(3));
+  ASSERT_TRUE(resolved.is_ready() && resolved.result().ok());
+  ASSERT_EQ(resolved.result()->endpoint.host, harness.HostOf(1));
+
+  harness.cluster().RunFor(Duration::Seconds(7));  // De-phase the pollers.
+  Time crash_at = harness.cluster().Now();
+  harness.server(1).Crash();
+  harness.cluster().RunFor(Duration::Seconds(45));
+
+  std::vector<trace::TraceEvent> events =
+      harness.cluster().trace_buffer().Snapshot();
+  trace::FailoverTimeline timeline =
+      trace::FailoverTimeline::Reconstruct(events, crash_at, "svc/target");
+  ASSERT_TRUE(timeline.complete()) << timeline.Report();
+
+  // Each phase is bounded by its polling interval (detection additionally
+  // pays the RPC timeout that discovers the dead peer); slack covers RPC
+  // latency and scheduling quantization.
+  const double slack_s = 3.0;
+  EXPECT_GE(timeline.detect_delay().seconds(), 0.0);
+  EXPECT_LE(timeline.detect_delay().seconds(), 5.0 + 1.0 + slack_s)
+      << timeline.Report();
+  EXPECT_GE(timeline.unbind_delay().seconds(), 0.0);
+  EXPECT_LE(timeline.unbind_delay().seconds(), 10.0 + slack_s)
+      << timeline.Report();
+  EXPECT_GE(timeline.rebind_delay().seconds(), 0.0);
+  EXPECT_LE(timeline.rebind_delay().seconds(), 10.0 + slack_s)
+      << timeline.Report();
+  EXPECT_GT(timeline.total().seconds(), 0.0);
+  EXPECT_LE(timeline.total().seconds(), 25.0 + slack_s) << timeline.Report();
+
+  // The recording spans multiple processes (RAS, name service, the binder's
+  // process) and exports as a loadable Chrome trace-event document.
+  std::set<std::string> recorders;
+  for (const trace::TraceEvent& e : events) {
+    recorders.insert(e.node + "/" + e.process);
+  }
+  EXPECT_GE(recorders.size(), 3u);
+  std::string json = trace::ChromeTraceJson(harness.cluster().trace_buffer());
+  std::string error;
+  EXPECT_TRUE(trace::ValidateChromeTrace(json, &error)) << error;
+}
 
 }  // namespace
 }  // namespace itv

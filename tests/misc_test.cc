@@ -92,7 +92,8 @@ TEST(MetricsTest, CountersGaugesAndPrefixSums) {
 
 TEST(LoggingTest, SinkReceivesFormattedRecordsAboveThreshold) {
   std::vector<std::pair<LogLevel, std::string>> captured;
-  SetLogSink([&](LogLevel level, Time, const std::string& message) {
+  SetLogSink([&](LogLevel level, Time, const std::string*,
+                 const std::string& message) {
     captured.emplace_back(level, message);
   });
   LogLevel before = MinLogLevel();
@@ -113,7 +114,9 @@ TEST(LoggingTest, SinkReceivesFormattedRecordsAboveThreshold) {
 
 TEST(LoggingTest, TimeSourceStampsRecords) {
   Time seen;
-  SetLogSink([&](LogLevel, Time t, const std::string&) { seen = t; });
+  SetLogSink([&](LogLevel, Time t, const std::string*, const std::string&) {
+    seen = t;
+  });
   SetLogTimeSource([] { return Time::FromNanos(5'000'000'000); });
   LogLevel before = MinLogLevel();
   SetMinLogLevel(LogLevel::kInfo);

@@ -1,0 +1,392 @@
+// Tests for the causal-tracing substrate (src/common/trace.h): ring-buffer
+// semantics, tracer/context mechanics, the Chrome trace-event and metrics
+// JSON exporters, FailoverTimeline reconstruction, and the end-to-end
+// property the wire propagation exists for — a traced call that rides
+// through a forced rebind keeps its own trace even when the binding layer
+// coalesces the re-resolution across callers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
+#include "src/rpc/binding_table.h"
+#include "src/rpc/runtime.h"
+#include "src/rpc/stub_helpers.h"
+#include "src/sim/cluster.h"
+
+namespace itv {
+namespace {
+
+using trace::EventKind;
+using trace::TraceBuffer;
+using trace::TraceContext;
+using trace::TraceEvent;
+using trace::Tracer;
+
+TraceEvent Marker(std::string name, double at_s, std::string detail = {}) {
+  TraceEvent e;
+  e.kind = EventKind::kInstant;
+  e.name = std::move(name);
+  e.detail = std::move(detail);
+  e.begin = Time() + Duration::Seconds(at_s);
+  return e;
+}
+
+// --- TraceBuffer --------------------------------------------------------------
+
+TEST(TraceBufferTest, PartialFillKeepsRecordingOrder) {
+  TraceBuffer buf(8);
+  for (int i = 0; i < 3; ++i) {
+    buf.Push(Marker("e" + std::to_string(i), i));
+  }
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.recorded(), 3u);
+  EXPECT_EQ(buf.dropped(), 0u);
+  std::vector<TraceEvent> events = buf.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(events[i].name, "e" + std::to_string(i));
+  }
+}
+
+TEST(TraceBufferTest, OverflowEvictsOldestAndCountsDrops) {
+  TraceBuffer buf(4);
+  for (int i = 0; i < 10; ++i) {
+    buf.Push(Marker("e" + std::to_string(i), i));
+  }
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.recorded(), 10u);
+  EXPECT_EQ(buf.dropped(), 6u);
+  // The survivors are the newest four, still in chronological order.
+  std::vector<TraceEvent> events = buf.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].name, "e" + std::to_string(6 + i));
+  }
+}
+
+TEST(TraceBufferTest, ZeroCapacityDropsEverything) {
+  TraceBuffer buf(0);
+  for (int i = 0; i < 3; ++i) {
+    buf.Push(Marker("e", i));
+  }
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.dropped(), 3u);
+  EXPECT_TRUE(buf.Snapshot().empty());
+}
+
+// --- Tracer / ScopedContext ---------------------------------------------------
+
+TEST(TracerTest, NullBufferDisablesRecordingAndPropagation) {
+  Tracer tracer(nullptr, nullptr, "node", "proc", 1);
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_FALSE(tracer.StartTrace().valid());
+  EXPECT_FALSE(tracer.Child(TraceContext{}).valid());
+  tracer.Instant(TraceContext{}, "noop");  // Must not crash or record.
+  trace::ScopedContext with_tracer(&tracer, TraceContext{});
+  trace::ScopedContext without_tracer(nullptr, TraceContext{});
+}
+
+TEST(TracerTest, ChildSpansShareTraceAndLinkParents) {
+  sim::Cluster cluster;
+  sim::Node& node = cluster.AddServer("n1");
+  sim::Process& proc = node.Spawn("proc");
+  Tracer& tracer = proc.tracer();
+
+  TraceContext root = tracer.StartTrace();
+  ASSERT_TRUE(root.valid());
+  TraceContext child = tracer.Child(root);
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_EQ(child.parent_span_id, root.span_id);
+  EXPECT_NE(child.span_id, root.span_id);
+
+  Time begin = tracer.now();
+  cluster.RunFor(Duration::Millis(5));
+  tracer.Span(child, "unit.child", begin, "payload");
+  tracer.Instant(root, "unit.mark");
+
+  std::vector<TraceEvent> events = cluster.trace_buffer().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kSpan);
+  EXPECT_EQ(events[0].name, "unit.child");
+  EXPECT_EQ(events[0].detail, "payload");
+  EXPECT_EQ(events[0].duration, Duration::Millis(5));
+  EXPECT_EQ(events[0].node, "n1");
+  EXPECT_EQ(events[0].process, "proc");
+  EXPECT_EQ(events[1].kind, EventKind::kInstant);
+  EXPECT_EQ(events[1].trace_id, root.trace_id);
+}
+
+TEST(TracerTest, ScopedContextNestsAndRestores) {
+  sim::Cluster cluster;
+  sim::Process& proc = cluster.AddServer("n1").Spawn("proc");
+  Tracer& tracer = proc.tracer();
+  TraceContext outer = tracer.StartTrace();
+  TraceContext inner = tracer.Child(outer);
+
+  EXPECT_FALSE(tracer.current().valid());
+  {
+    trace::ScopedContext a(&tracer, outer);
+    EXPECT_EQ(tracer.current(), outer);
+    {
+      trace::ScopedContext b(&tracer, inner);
+      EXPECT_EQ(tracer.current(), inner);
+    }
+    EXPECT_EQ(tracer.current(), outer);
+  }
+  EXPECT_FALSE(tracer.current().valid());
+}
+
+// --- Exporters ----------------------------------------------------------------
+
+TEST(ExportTest, ChromeTraceJsonIsLoadable) {
+  sim::Cluster cluster;
+  sim::Process& a = cluster.AddServer("alpha").Spawn("svc-a");
+  sim::Process& b = cluster.AddServer("beta").Spawn("svc-b");
+
+  TraceContext root = a.tracer().StartTrace();
+  Time begin = a.tracer().now();
+  cluster.RunFor(Duration::Millis(3));
+  a.tracer().Span(root, "alpha.work", begin, "detail with \"quotes\"");
+  b.tracer().Instant(b.tracer().Child(root), "beta.mark");
+
+  std::string json = trace::ChromeTraceJson(cluster.trace_buffer());
+  std::string error;
+  EXPECT_TRUE(trace::ValidateChromeTrace(json, &error)) << error;
+  // Both nodes appear as named trace processes; both events survive.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("alpha"), std::string::npos);
+  EXPECT_NE(json.find("beta.mark"), std::string::npos);
+}
+
+TEST(ExportTest, EmptyBufferStillEmitsValidJsonSyntax) {
+  TraceBuffer empty;
+  std::string json = trace::ChromeTraceJson(empty);
+  std::string error;
+  EXPECT_TRUE(json::ValidateSyntax(json, &error)) << error;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ExportTest, MetricsDumpJsonIsValidAndComplete) {
+  Metrics m;
+  m.Add("chaos.kills", 7);
+  m.Add("weird\"na\\me", 1);  // Escaping must keep the document valid.
+  m.SetGauge("queue.depth", -2);
+  m.Observe("open.latency", 1.5);
+  m.Observe("open.latency", 2.5);
+
+  std::string dump = m.DumpJson();
+  std::string error;
+  EXPECT_TRUE(json::ValidateSyntax(dump, &error)) << error;
+  EXPECT_NE(dump.find("\"chaos.kills\":7"), std::string::npos);
+  EXPECT_NE(dump.find("\"queue.depth\":-2"), std::string::npos);
+  EXPECT_NE(dump.find("\"open.latency\""), std::string::npos);
+  EXPECT_NE(dump.find("\"count\":2"), std::string::npos);
+}
+
+// --- FailoverTimeline ---------------------------------------------------------
+
+TEST(FailoverTimelineTest, ReconstructsPaperCausalChain) {
+  Time kill = Time() + Duration::Seconds(10);
+  std::vector<TraceEvent> events;
+  // Noise that must be ignored: a pre-kill bind (stale), an unbind for a
+  // different service, a bind for a different service.
+  events.push_back(Marker(std::string(trace::kEventBindPrimary), 5, "svc/target"));
+  events.push_back(Marker(std::string(trace::kEventPeerDead), 12, "host=2"));
+  events.push_back(Marker(std::string(trace::kEventAuditUnbind), 13, "svc/other"));
+  events.push_back(Marker(std::string(trace::kEventAuditUnbind), 18, "svc/target"));
+  events.push_back(Marker(std::string(trace::kEventBindPrimary), 20, "svc/other"));
+  events.push_back(Marker(std::string(trace::kEventBindPrimary), 25, "svc/target"));
+
+  trace::FailoverTimeline t =
+      trace::FailoverTimeline::Reconstruct(events, kill, "svc/target");
+  ASSERT_TRUE(t.complete());
+  EXPECT_EQ(t.detect_delay(), Duration::Seconds(2));
+  EXPECT_EQ(t.unbind_delay(), Duration::Seconds(6));
+  EXPECT_EQ(t.rebind_delay(), Duration::Seconds(7));
+  EXPECT_EQ(t.total(), Duration::Seconds(15));
+
+  std::string report = t.Report();
+  EXPECT_NE(report.find("ras.peer_dead"), std::string::npos);
+  EXPECT_NE(report.find("total kill->primary"), std::string::npos);
+}
+
+TEST(FailoverTimelineTest, OutOfOrderMarkersLeaveTimelineIncomplete) {
+  Time kill = Time() + Duration::Seconds(10);
+  std::vector<TraceEvent> events;
+  // A rebind observed before any detection is not this fail-over's chain.
+  events.push_back(Marker(std::string(trace::kEventBindPrimary), 11, "svc/target"));
+  events.push_back(Marker(std::string(trace::kEventPeerDead), 12, "host=2"));
+
+  trace::FailoverTimeline t =
+      trace::FailoverTimeline::Reconstruct(events, kill, "svc/target");
+  EXPECT_FALSE(t.complete());
+  ASSERT_TRUE(t.detected_at.has_value());
+  EXPECT_FALSE(t.unbound_at.has_value());
+  // Missing phases read as zero, not garbage.
+  EXPECT_EQ(t.unbind_delay(), Duration());
+  EXPECT_EQ(t.rebind_delay(), Duration());
+  EXPECT_EQ(t.total(), Duration());
+}
+
+// --- End-to-end propagation through the binding layer -------------------------
+
+inline constexpr std::string_view kEchoInterface = "itv.test.TraceEcho";
+
+enum EchoMethod : uint32_t { kEchoMethodPing = 1 };
+
+class EchoSkeleton : public rpc::Skeleton {
+ public:
+  std::string_view interface_name() const override { return kEchoInterface; }
+  void Dispatch(uint32_t method_id, const wire::Bytes& args,
+                const rpc::CallContext& ctx, rpc::ReplyFn reply) override {
+    if (method_id != kEchoMethodPing) {
+      return rpc::ReplyBadMethod(reply, method_id);
+    }
+    ++pings;
+    return rpc::ReplyWith(reply, pings);
+  }
+  uint64_t pings = 0;
+};
+
+class EchoProxy : public rpc::Proxy {
+ public:
+  using Proxy::Proxy;
+  Future<uint64_t> Ping() const {
+    return rpc::DecodeReply<uint64_t>(Call(kEchoMethodPing, {}));
+  }
+};
+
+class TracePropagationTest : public ::testing::Test {
+ protected:
+  TracePropagationTest() {
+    server_ = &cluster_.AddServer("forge");
+    client_ = &cluster_.AddServer("kiln").Spawn("client");
+    SpawnService();
+  }
+
+  void SpawnService() {
+    server_proc_ = &server_->Spawn("echo", 700);
+    skeleton_ = server_proc_->Emplace<EchoSkeleton>();
+    current_ref_ = server_proc_->runtime().Export(skeleton_);
+  }
+
+  rpc::PathResolver MakeResolver() {
+    return [this](const std::string& path,
+                  std::function<void(Result<wire::ObjectRef>)> cb) {
+      ++resolve_calls_;
+      Result<wire::ObjectRef> r(current_ref_);
+      client_->executor().ScheduleAfter(Duration::Millis(10),
+                                        [cb, r] { cb(r); });
+    };
+  }
+
+  sim::Cluster cluster_;
+  sim::Node* server_ = nullptr;
+  sim::Process* server_proc_ = nullptr;
+  sim::Process* client_ = nullptr;
+  EchoSkeleton* skeleton_ = nullptr;
+  wire::ObjectRef current_ref_;
+  int resolve_calls_ = 0;
+};
+
+TEST_F(TracePropagationTest, UntracedCallsRecordNothing) {
+  auto* table = client_->Emplace<rpc::BindingTable>(client_->runtime(),
+                                                    MakeResolver());
+  auto echo = table->Bind<EchoProxy>("svc/echo");
+  bool ok = false;
+  echo.Call<uint64_t>([](const EchoProxy& p) { return p.Ping(); },
+                      [&](Result<uint64_t> r) { ok = r.ok(); });
+  cluster_.RunFor(Duration::Seconds(1));
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(cluster_.trace_buffer().size(), 0u);
+}
+
+TEST_F(TracePropagationTest, DistinctTracesSurviveCoalescedRebind) {
+  auto* table = client_->Emplace<rpc::BindingTable>(client_->runtime(),
+                                                    MakeResolver());
+  rpc::BindingOptions opts;  // No jitter so the retry storm truly collides.
+  opts.initial_backoff = Duration::Millis(50);
+  auto echo = table->Bind<EchoProxy>("svc/echo", opts);
+
+  // Warm the binding (untraced), then restart the service so every traced
+  // call below fails against the stale reference and wants to rebind.
+  bool warm = false;
+  echo.Call<uint64_t>([](const EchoProxy& p) { return p.Ping(); },
+                      [&](Result<uint64_t> r) { warm = r.ok(); });
+  cluster_.RunFor(Duration::Seconds(1));
+  ASSERT_TRUE(warm);
+  server_->Kill(server_proc_->pid());
+  cluster_.RunUntilIdle();
+  SpawnService();
+
+  constexpr int kCalls = 6;
+  Tracer& tracer = client_->tracer();
+  std::vector<uint64_t> trace_ids;
+  int ok = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    TraceContext root = tracer.StartTrace();
+    trace_ids.push_back(root.trace_id);
+    trace::ScopedContext scoped(&tracer, root);
+    echo.Call<uint64_t>([](const EchoProxy& p) { return p.Ping(); },
+                        [&](Result<uint64_t> r) { ok += r.ok(); });
+  }
+  cluster_.RunFor(Duration::Seconds(10));
+  ASSERT_EQ(ok, kCalls);
+  // The rebind storm was coalesced: one warm-up resolve, one shared retry.
+  EXPECT_EQ(resolve_calls_, 2);
+
+  std::vector<TraceEvent> events = cluster_.trace_buffer().Snapshot();
+  auto in_trace = [&](const TraceEvent& e) {
+    return std::find(trace_ids.begin(), trace_ids.end(), e.trace_id) !=
+           trace_ids.end();
+  };
+
+  // Coalescing did not merge the traces: every caller's own trace still
+  // shows its client-side call span and its own rebind retry marker.
+  for (uint64_t id : trace_ids) {
+    bool call_span = false;
+    bool attempt = false;
+    for (const TraceEvent& e : events) {
+      if (e.trace_id != id) {
+        continue;
+      }
+      call_span |= e.name == "rpc.call" && e.kind == EventKind::kSpan;
+      attempt |= e.name == "rebind.attempt";
+    }
+    EXPECT_TRUE(call_span) << "trace " << id;
+    EXPECT_TRUE(attempt) << "trace " << id;
+  }
+
+  // The shared resolve ran once and belongs to exactly one caller's trace
+  // (the single-flight leader), not to a merged or orphan context.
+  std::vector<const TraceEvent*> resolves;
+  for (const TraceEvent& e : events) {
+    if (e.name == "rebind.resolve") {
+      resolves.push_back(&e);
+    }
+  }
+  ASSERT_EQ(resolves.size(), 1u);
+  EXPECT_TRUE(in_trace(*resolves[0]));
+  EXPECT_NE(resolves[0]->detail.find("svc/echo"), std::string::npos);
+
+  // The contexts crossed the wire: the server process recorded dispatch
+  // spans inside the callers' traces, under its own identity.
+  int server_spans = 0;
+  for (const TraceEvent& e : events) {
+    if (e.name == "rpc.server" && in_trace(e)) {
+      ++server_spans;
+      EXPECT_EQ(e.node, "forge");
+    }
+  }
+  EXPECT_GE(server_spans, kCalls);
+}
+
+}  // namespace
+}  // namespace itv

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "src/common/rand.h"
 #include "src/common/trace.h"
@@ -218,9 +219,17 @@ int main() {
   };
   constexpr int kTrials = 40;
   std::vector<TrialResult> results;
+  bench::ReportSection report("bench_failover");
   for (const Params& p : settings) {
     TrialResult r = RunTrials(p, kTrials, /*seed=*/42);
     double paper_max = p.bind_retry_s + p.ns_audit_s + p.ras_poll_s;
+    std::string prefix = bench::Fmt("%.0f", p.bind_retry_s) + "_" +
+                         bench::Fmt("%.0f", p.ns_audit_s) + "_" +
+                         bench::Fmt("%.0f", p.ras_poll_s) + "_";
+    report.Set(prefix + "p50_s", r.failover_s.Percentile(50));
+    report.Set(prefix + "p99_s", r.failover_s.Percentile(99));
+    report.Set(prefix + "max_s", r.failover_s.Max());
+    report.Set(prefix + "client_mean_s", r.client_s.Mean());
     bench::PrintRow({bench::Fmt("%.0f", p.bind_retry_s),
                      bench::Fmt("%.0f", p.ns_audit_s),
                      bench::Fmt("%.0f", p.ras_poll_s),
@@ -267,5 +276,6 @@ int main() {
       "fail-over seen through the binding layer (a call primed to the\ndead "
       "primary, retried with jittered backoff); rebinds counts its "
       "name-service lookups.\n");
+  report.WriteMerged();
   return 0;
 }

@@ -13,9 +13,17 @@
 //   - movie-open latency (should stay flat: opens touch only the local NS
 //    replica, one cmgr, one trunk, one MDS);
 //   - RPC messages per successful open (flat = no hidden central hot spot).
+//
+// A second "channel surf" phase has every admitted settop close its movie and
+// open another one, twice. Re-opens re-resolve the MMS, so this phase
+// measures the client-side resolution cache: with the cache each surf open
+// skips the name-service round trip entirely. Each cluster size runs twice —
+// cache detached, then cache attached — on identical workloads, and the
+// surf-phase msgs/open and NS resolve counts are reported for both.
 
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "src/common/rand.h"
 #include "src/media/factories.h"
@@ -26,6 +34,8 @@
 namespace itv {
 namespace {
 
+constexpr size_t kSurfRounds = 2;
+
 struct RunResult {
   size_t servers = 0;
   size_t settops = 0;
@@ -34,10 +44,16 @@ struct RunResult {
   double mean_open_s = 0;
   double p50_open_s = 0;
   double p99_open_s = 0;
-  double msgs_per_open = 0;
+  double cold_msgs_per_open = 0;
+  // Channel-surf phase: every admitted settop closes and re-opens, twice.
+  size_t surf_opens = 0;
+  double surf_msgs_per_open = 0;
+  uint64_t surf_ns_resolves = 0;
+  uint64_t cache_hits = 0;
 };
 
-RunResult RunCluster(size_t servers, size_t settops_per_server) {
+RunResult RunCluster(size_t servers, size_t settops_per_server,
+                     bool use_cache) {
   svc::HarnessOptions opts;
   opts.server_count = servers;
   opts.neighborhood_count = static_cast<uint8_t>(servers);
@@ -61,13 +77,14 @@ RunResult RunCluster(size_t servers, size_t settops_per_server) {
   size_t total = servers * settops_per_server;
   struct Viewer {
     sim::Process* process;
+    naming::NameClient nc;
+    uint32_t settop_host = 0;
     Future<media::MmsTicket> open;
     Time started;
   };
   std::vector<Viewer> viewers;
   viewers.reserve(total);
 
-  // One shared resolve of the MMS per settop process.
   RunResult result;
   result.servers = servers;
   result.settops = total;
@@ -80,11 +97,12 @@ RunResult RunCluster(size_t servers, size_t settops_per_server) {
     sim::Node& settop = harness.AddSettop(nb);
     sim::Process& p = settop.Spawn("viewer");
     naming::NameClient nc = harness.ClientFor(p);
+    if (!use_cache) {
+      nc.set_resolution_cache(nullptr);  // Baseline: every resolve hits NS.
+    }
     std::string title = "movie-" + std::to_string(rng.Below(40));
 
-    Viewer viewer;
-    viewer.process = &p;
-    viewer.started = harness.cluster().Now();
+    Viewer viewer{&p, nc, settop.host(), {}, harness.cluster().Now()};
     // Resolve then open; the latency histogram records resolve+open time for
     // the opens that are admitted.
     Promise<media::MmsTicket> done;
@@ -116,25 +134,88 @@ RunResult RunCluster(size_t servers, size_t settops_per_server) {
   harness.cluster().RunFor(Duration::Seconds(10));
 
   for (Viewer& viewer : viewers) {
-    if (!viewer.open.is_ready()) {
-      ++result.rejected;
-      continue;
-    }
-    if (viewer.open.result().ok()) {
+    if (viewer.open.is_ready() && viewer.open.result().ok()) {
       ++result.admitted;
     } else {
       ++result.rejected;
     }
   }
-  uint64_t msgs_after = harness.metrics().Get("net.msg.total");
+  uint64_t cold_msgs_after = harness.metrics().Get("net.msg.total");
   result.mean_open_s = open_latency.Mean();
   result.p50_open_s = open_latency.Percentile(50);
   result.p99_open_s = open_latency.Percentile(99);
-  result.msgs_per_open =
+  result.cold_msgs_per_open =
       result.admitted == 0
           ? 0
-          : static_cast<double>(msgs_after - msgs_before) /
+          : static_cast<double>(cold_msgs_after - msgs_before) /
                 static_cast<double>(result.admitted);
+
+  // --- Channel-surf phase: close, re-resolve the MMS, open another movie.
+  uint64_t surf_msgs_before = harness.metrics().Get("net.msg.total");
+  uint64_t surf_resolves_before = harness.metrics().Get("ns.resolve");
+  for (size_t round = 0; round < kSurfRounds; ++round) {
+    for (Viewer& viewer : viewers) {
+      if (!viewer.open.is_ready() || !viewer.open.result().ok()) {
+        continue;  // Never admitted; stays out.
+      }
+      media::MmsTicket held = *viewer.open.result();
+      std::string title = "movie-" + std::to_string(rng.Below(40));
+      Promise<media::MmsTicket> done;
+      viewer.open = done.future();
+      sim::Process* p = viewer.process;
+      uint32_t settop_host = viewer.settop_host;
+      naming::NameClient nc = viewer.nc;
+      nc.Resolve(std::string(media::kMmsName))
+          .OnReady([p, held, title, done, settop_host,
+                    nc](const Result<wire::ObjectRef>& mms) mutable {
+            if (!mms.ok()) {
+              done.Set(mms.status());
+              return;
+            }
+            media::MmsProxy proxy(p->runtime(), *mms);
+            proxy.Close(held.movie)
+                .OnReady([p, title, done, settop_host, nc](
+                             const Result<void>& closed) mutable {
+                  if (!closed.ok()) {
+                    done.Set(closed.status());
+                    return;
+                  }
+                  // Re-resolve per open, as a settop app would; with the
+                  // cache attached this is answered locally.
+                  nc.Resolve(std::string(media::kMmsName))
+                      .OnReady([p, title, done, settop_host](
+                                   const Result<wire::ObjectRef>& mms2) mutable {
+                        if (!mms2.ok()) {
+                          done.Set(mms2.status());
+                          return;
+                        }
+                        media::MmsProxy proxy2(p->runtime(), *mms2);
+                        proxy2.Open(title, settop_host, wire::ObjectRef{})
+                            .OnReady(
+                                [done](const Result<media::MmsTicket>& t) mutable {
+                                  done.Set(t);
+                                });
+                      });
+                });
+          });
+      harness.cluster().RunFor(Duration::Millis(50));
+    }
+    harness.cluster().RunFor(Duration::Seconds(5));
+    for (Viewer& viewer : viewers) {
+      if (viewer.open.is_ready() && viewer.open.result().ok()) {
+        ++result.surf_opens;
+      }
+    }
+  }
+  uint64_t surf_msgs_after = harness.metrics().Get("net.msg.total");
+  result.surf_msgs_per_open =
+      result.surf_opens == 0
+          ? 0
+          : static_cast<double>(surf_msgs_after - surf_msgs_before) /
+                static_cast<double>(result.surf_opens);
+  result.surf_ns_resolves =
+      harness.metrics().Get("ns.resolve") - surf_resolves_before;
+  result.cache_hits = harness.metrics().Get("resolve.cache.hit");
   return result;
 }
 
@@ -146,23 +227,43 @@ int main() {
   bench::PrintHeader("E2: capacity scales linearly with servers (paper 9.6)");
   std::printf(
       "demand: 24 settops/server x 3 Mb/s; per-server MDS capacity 48 Mb/s "
-      "(16 streams)\n\n");
-  bench::PrintRow({"servers", "settops", "admitted", "streams/srv",
-                   "open_p50_s", "open_p99_s", "msgs/open*"});
+      "(16 streams)\nsurf phase: every admitted settop closes + re-opens "
+      "twice, re-resolving the MMS\n\n");
+  bench::PrintRow({"servers", "cache", "admitted", "open_p50_s", "open_p99_s",
+                   "cold_m/open", "surf_m/open", "surf_ns_res", "hits"});
+  bench::ReportSection report("bench_scalability");
   for (size_t servers : {1, 2, 4, 8}) {
-    RunResult r = RunCluster(servers, /*settops_per_server=*/24);
-    bench::PrintRow({bench::FmtInt(r.servers), bench::FmtInt(r.settops),
-                     bench::FmtInt(r.admitted),
-                     bench::Fmt("%.1f", static_cast<double>(r.admitted) /
-                                            static_cast<double>(r.servers)),
-                     bench::Fmt("%.4f", r.p50_open_s),
-                     bench::Fmt("%.4f", r.p99_open_s),
-                     bench::Fmt("%.0f", r.msgs_per_open)});
+    RunResult off = RunCluster(servers, /*settops_per_server=*/24,
+                               /*use_cache=*/false);
+    RunResult on = RunCluster(servers, /*settops_per_server=*/24,
+                              /*use_cache=*/true);
+    for (const RunResult* r : {&off, &on}) {
+      bench::PrintRow(
+          {bench::FmtInt(r->servers), r == &on ? "on" : "off",
+           bench::FmtInt(r->admitted), bench::Fmt("%.4f", r->p50_open_s),
+           bench::Fmt("%.4f", r->p99_open_s),
+           bench::Fmt("%.1f", r->cold_msgs_per_open),
+           bench::Fmt("%.1f", r->surf_msgs_per_open),
+           bench::FmtInt(r->surf_ns_resolves), bench::FmtInt(r->cache_hits)});
+    }
+    std::string prefix = "servers_" + std::to_string(servers) + "_";
+    report.SetInt(prefix + "admitted", on.admitted);
+    report.Set(prefix + "open_p50_s", on.p50_open_s);
+    report.Set(prefix + "open_p99_s", on.p99_open_s);
+    report.Set(prefix + "cold_msgs_per_open", on.cold_msgs_per_open);
+    report.Set(prefix + "surf_msgs_per_open_nocache", off.surf_msgs_per_open);
+    report.Set(prefix + "surf_msgs_per_open_cache", on.surf_msgs_per_open);
+    report.SetInt(prefix + "surf_ns_resolves_nocache", off.surf_ns_resolves);
+    report.SetInt(prefix + "surf_ns_resolves_cache", on.surf_ns_resolves);
+    report.SetInt(prefix + "resolve_cache_hits", on.cache_hits);
   }
+  report.WriteMerged();
   std::printf(
-      "\nexpect: admitted ~= 16 x servers (flat streams/srv); open latency "
-      "and per-open\nmessage cost roughly flat => no central bottleneck "
-      "(*includes background polling traffic\nduring the run, so it "
-      "overstates the true per-open cost uniformly).\n");
+      "\nexpect: admitted ~= 16 x servers; open latency and cold per-open "
+      "message cost\nroughly flat => no central bottleneck (cold m/open "
+      "includes background polling\ntraffic, so it overstates the true cost "
+      "uniformly). With the resolution cache,\nsurf m/open drops and "
+      "surf-phase NS resolves collapse to ~0: re-opens skip the\n"
+      "name-service round trip.\n");
   return 0;
 }

@@ -7,26 +7,31 @@ namespace itv::auth {
 namespace {
 
 Digest HmacSha256Raw(const Key& key, const void* data, size_t len) {
-  uint8_t ipad[64];
-  uint8_t opad[64];
-  std::memset(ipad, 0x36, sizeof(ipad));
-  std::memset(opad, 0x5c, sizeof(opad));
-  for (size_t i = 0; i < key.size(); ++i) {
-    ipad[i] ^= key[i];
-    opad[i] ^= key[i];
-  }
-  Sha256 inner;
-  inner.Update(ipad, sizeof(ipad));
-  inner.Update(data, len);
-  Digest inner_digest = inner.Finish();
-
-  Sha256 outer;
-  outer.Update(opad, sizeof(opad));
-  outer.Update(inner_digest.data(), inner_digest.size());
-  return outer.Finish();
+  HmacSha256Stream stream(key);
+  stream.Update(data, len);
+  return stream.Finish();
 }
 
 }  // namespace
+
+HmacSha256Stream::HmacSha256Stream(const Key& key) {
+  uint8_t ipad[64];
+  std::memset(ipad, 0x36, sizeof(ipad));
+  std::memset(opad_, 0x5c, sizeof(opad_));
+  for (size_t i = 0; i < key.size(); ++i) {
+    ipad[i] ^= key[i];
+    opad_[i] ^= key[i];
+  }
+  inner_.Update(ipad, sizeof(ipad));
+}
+
+Digest HmacSha256Stream::Finish() {
+  Digest inner_digest = inner_.Finish();
+  Sha256 outer;
+  outer.Update(opad_, sizeof(opad_));
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
 
 Digest HmacSha256(const Key& key, const wire::Bytes& message) {
   return HmacSha256Raw(key, message.data(), message.size());

@@ -18,6 +18,22 @@ using Key = std::array<uint8_t, 32>;
 Digest HmacSha256(const Key& key, const wire::Bytes& message);
 Digest HmacSha256(const Key& key, std::string_view message);
 
+// Streaming HMAC-SHA256: feed the message in pieces, then Finish(). Used by
+// the sign-over-spans call path (Message::ForEachSignedSpan) so signing never
+// materializes the signed portion. Produces bit-identical digests to the
+// one-shot HmacSha256 over the concatenated input.
+class HmacSha256Stream {
+ public:
+  explicit HmacSha256Stream(const Key& key);
+
+  void Update(const void* data, size_t len) { inner_.Update(data, len); }
+  Digest Finish();
+
+ private:
+  Sha256 inner_;
+  uint8_t opad_[64];
+};
+
 // Constant-time comparison (signature checks).
 bool DigestsEqual(const Digest& a, const Digest& b);
 

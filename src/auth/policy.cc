@@ -12,6 +12,15 @@ namespace {
 uint64_t RequestNonce(uint64_t call_id) { return call_id * 2; }
 uint64_t ReplyNonce(uint64_t call_id) { return call_id * 2 + 1; }
 
+// Sign-over-spans: streams the message's signed portion through the HMAC
+// without materializing the temporary buffer SignedPortion() would build.
+Digest SignMessage(const Key& key, const wire::Message& m) {
+  HmacSha256Stream stream(key);
+  m.ForEachSignedSpan(
+      [&stream](const uint8_t* p, size_t n) { stream.Update(p, n); });
+  return stream.Finish();
+}
+
 }  // namespace
 
 void KerberosPolicy::PrefetchTicket(const wire::Endpoint& dst,
@@ -74,7 +83,7 @@ Status KerberosPolicy::ProtectRequest(const wire::Endpoint& dst,
   // Calls to the auth service itself: sign with the master key (ticket 0).
   if (!auth_ref_.is_null() && dst == auth_ref_.endpoint) {
     m->auth.ticket_id = 0;
-    m->auth.signature = DigestToBytes(HmacSha256(master_key_, m->SignedPortion()));
+    m->auth.signature = DigestToBytes(SignMessage(master_key_, *m));
     Count("auth.call_signed_master");
     return OkStatus();
   }
@@ -96,8 +105,7 @@ Status KerberosPolicy::ProtectRequest(const wire::Endpoint& dst,
     ChaCha20Crypt(ticket.session_key, RequestNonce(m->call_id), &m->payload);
     m->auth.encrypted = true;
   }
-  m->auth.signature =
-      DigestToBytes(HmacSha256(ticket.session_key, m->SignedPortion()));
+  m->auth.signature = DigestToBytes(SignMessage(ticket.session_key, *m));
   Count("auth.call_signed");
   return OkStatus();
 }
@@ -148,7 +156,7 @@ Result<rpc::CallerInfo> KerberosPolicy::AdmitRequest(wire::Message* m) {
     return PermissionDeniedError("malformed signature");
   }
   std::copy(m->auth.signature.begin(), m->auth.signature.end(), claimed.begin());
-  if (!DigestsEqual(claimed, HmacSha256(verify_key, m->SignedPortion()))) {
+  if (!DigestsEqual(claimed, SignMessage(verify_key, *m))) {
     Count("auth.rejected_bad_signature");
     return PermissionDeniedError("signature verification failed");
   }
@@ -176,8 +184,7 @@ Status KerberosPolicy::ProtectReply(uint64_t ticket_id, wire::Message* reply) {
     ChaCha20Crypt(session_key, ReplyNonce(reply->call_id), &reply->payload);
     reply->auth.encrypted = true;
   }
-  reply->auth.signature =
-      DigestToBytes(HmacSha256(session_key, reply->SignedPortion()));
+  reply->auth.signature = DigestToBytes(SignMessage(session_key, *reply));
   return OkStatus();
 }
 
@@ -197,7 +204,7 @@ Status KerberosPolicy::CheckReply(uint64_t ticket_id, wire::Message* reply) {
   }
   std::copy(reply->auth.signature.begin(), reply->auth.signature.end(),
             claimed.begin());
-  if (!DigestsEqual(claimed, HmacSha256(session_key, reply->SignedPortion()))) {
+  if (!DigestsEqual(claimed, SignMessage(session_key, *reply))) {
     Count("auth.reply_rejected");
     return PermissionDeniedError("reply signature verification failed");
   }

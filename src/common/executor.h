@@ -13,9 +13,9 @@
 #define SRC_COMMON_EXECUTOR_H_
 
 #include <cstdint>
-#include <functional>
 #include <utility>
 
+#include "src/common/function.h"
 #include "src/common/time.h"
 
 namespace itv {
@@ -30,20 +30,20 @@ class Executor {
   virtual Time Now() const = 0;
 
   // Runs `fn` at (virtual or real) time `when`. Returns an id usable with
-  // Cancel(). Timers fire at most once.
-  virtual TimerId ScheduleAt(Time when, std::function<void()> fn) = 0;
+  // Cancel(). Timers fire at most once. `UniqueFn` accepts any callable
+  // (std::function included) but, unlike std::function, also move-only
+  // lambdas, so delivery paths can move payloads instead of copying.
+  virtual TimerId ScheduleAt(Time when, UniqueFn fn) = 0;
 
   // Returns true if the timer existed and had not yet fired.
   virtual bool Cancel(TimerId id) = 0;
 
-  TimerId ScheduleAfter(Duration delay, std::function<void()> fn) {
+  TimerId ScheduleAfter(Duration delay, UniqueFn fn) {
     return ScheduleAt(Now() + delay, std::move(fn));
   }
 
   // Runs `fn` on the next scheduler turn.
-  TimerId Post(std::function<void()> fn) {
-    return ScheduleAt(Now(), std::move(fn));
-  }
+  TimerId Post(UniqueFn fn) { return ScheduleAt(Now(), std::move(fn)); }
 };
 
 // A repeating timer with RAII cancellation. Used for every polling loop in
@@ -57,7 +57,7 @@ class PeriodicTimer {
   PeriodicTimer& operator=(const PeriodicTimer&) = delete;
 
   // Fires `fn` every `period`, first firing after `period` (not immediately).
-  void Start(Executor& executor, Duration period, std::function<void()> fn) {
+  void Start(Executor& executor, Duration period, UniqueFn fn) {
     Stop();
     executor_ = &executor;
     period_ = period;
@@ -89,7 +89,7 @@ class PeriodicTimer {
   Executor* executor_ = nullptr;
   TimerId timer_ = kInvalidTimerId;
   Duration period_;
-  std::function<void()> fn_;
+  UniqueFn fn_;
 };
 
 }  // namespace itv

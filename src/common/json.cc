@@ -61,6 +61,57 @@ class Checker {
     return true;
   }
 
+  // Parses `{ "key": value, ... }`, recording each member's raw value text.
+  // Assumes the text already passed Run() (callers validate first), so the
+  // error paths here only fire on non-object top-level values.
+  bool SplitObject(std::map<std::string, std::string>* members,
+                   std::string* error) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '{') {
+      Fail("top-level value is not an object");
+      Fill(error);
+      return false;
+    }
+    Eat('{');
+    SkipWs();
+    if (Eat('}')) {
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      size_t key_start = pos_;
+      if (!String()) {
+        Fill(error);
+        return false;
+      }
+      std::string key(text_.substr(key_start + 1, pos_ - key_start - 2));
+      SkipWs();
+      if (!Eat(':')) {
+        Fail("expected ':' in object");
+        Fill(error);
+        return false;
+      }
+      SkipWs();
+      size_t value_start = pos_;
+      if (!Value()) {
+        Fill(error);
+        return false;
+      }
+      (*members)[key] =
+          std::string(text_.substr(value_start, pos_ - value_start));
+      SkipWs();
+      if (Eat(',')) {
+        continue;
+      }
+      if (Eat('}')) {
+        return true;
+      }
+      Fail("expected ',' or '}' in object");
+      Fill(error);
+      return false;
+    }
+  }
+
  private:
   bool Fail(const char* why) {
     if (err_ == nullptr) {
@@ -262,6 +313,15 @@ class Checker {
 
 bool ValidateSyntax(std::string_view text, std::string* error) {
   return Checker(text).Run(error);
+}
+
+bool SplitTopLevelObject(std::string_view text,
+                         std::map<std::string, std::string>* members,
+                         std::string* error) {
+  if (!ValidateSyntax(text, error)) {
+    return false;
+  }
+  return Checker(text).SplitObject(members, error);
 }
 
 }  // namespace itv::json

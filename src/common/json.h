@@ -9,6 +9,7 @@
 #ifndef SRC_COMMON_JSON_H_
 #define SRC_COMMON_JSON_H_
 
+#include <map>
 #include <string>
 #include <string_view>
 
@@ -21,6 +22,16 @@ std::string Escape(std::string_view s);
 // True when `text` is one syntactically valid JSON value. On failure, fills
 // `error` (if non-null) with a byte offset and description.
 bool ValidateSyntax(std::string_view text, std::string* error = nullptr);
+
+// Splits one JSON object into its top-level members: raw (unparsed) value
+// text per key. Returns false (with `error` filled) unless `text` is a
+// syntactically valid JSON object. Keys are returned as their raw string
+// contents (escapes not decoded — fine for the identifier-like keys the
+// benchmark report uses). This is what lets several bench binaries merge
+// their sections into one BENCH_*.json without a JSON document model.
+bool SplitTopLevelObject(std::string_view text,
+                         std::map<std::string, std::string>* members,
+                         std::string* error = nullptr);
 
 }  // namespace itv::json
 

@@ -16,7 +16,7 @@ Time EventLoop::Now() const {
       std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
 }
 
-TimerId EventLoop::ScheduleAt(Time when, std::function<void()> fn) {
+TimerId EventLoop::ScheduleAt(Time when, UniqueFn fn) {
   TimerId id = next_timer_id_++;
   timer_handlers_.emplace(id, std::move(fn));
   timer_queue_.push(TimerEntry{when, next_seq_++, id});
@@ -34,7 +34,7 @@ void EventLoop::RunDueTimers() {
     if (it == timer_handlers_.end()) {
       continue;  // Cancelled.
     }
-    std::function<void()> fn = std::move(it->second);
+    UniqueFn fn = std::move(it->second);
     timer_handlers_.erase(it);
     fn();
   }

@@ -30,7 +30,7 @@ class EventLoop : public Executor {
 
   // Executor:
   Time Now() const override;
-  TimerId ScheduleAt(Time when, std::function<void()> fn) override;
+  TimerId ScheduleAt(Time when, UniqueFn fn) override;
   bool Cancel(TimerId id) override;
 
   // Fd readiness. `cb(readable, writable)` runs on the loop when the fd is
@@ -75,7 +75,7 @@ class EventLoop : public Executor {
   uint64_t next_seq_ = 1;
   std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<TimerEntry>>
       timer_queue_;
-  std::map<TimerId, std::function<void()>> timer_handlers_;
+  std::map<TimerId, UniqueFn> timer_handlers_;
   std::map<int, FdWatch> fds_;
 };
 

@@ -124,13 +124,34 @@ void TcpTransport::WatchConnection(Connection* conn) {
                 });
 }
 
-std::vector<uint8_t> TcpTransport::FrameMessage(const wire::Message& msg) const {
-  wire::Bytes body = wire::EncodeMessage(msg);
-  wire::Writer frame;
-  frame.WriteU32(static_cast<uint32_t>(body.size() + 6));
+wire::Bytes TcpTransport::TakeFrameBuffer() {
+  if (frame_pool_.empty()) {
+    return {};
+  }
+  wire::Bytes buffer = std::move(frame_pool_.back());
+  frame_pool_.pop_back();
+  return buffer;
+}
+
+void TcpTransport::RecycleFrameBuffer(wire::Bytes buffer) {
+  constexpr size_t kMaxPooled = 16;
+  constexpr size_t kMaxPooledCapacity = 256 * 1024;
+  if (frame_pool_.size() < kMaxPooled && buffer.capacity() > 0 &&
+      buffer.capacity() <= kMaxPooledCapacity) {
+    frame_pool_.push_back(std::move(buffer));
+  }
+}
+
+std::vector<uint8_t> TcpTransport::FrameMessage(const wire::Message& msg) {
+  size_t body_size = msg.EncodedSize();
+  // Serialize straight into the (recycled) frame buffer: no intermediate
+  // body vector, one reservation for the whole frame.
+  wire::Writer frame(TakeFrameBuffer());
+  frame.Reserve(4 + 6 + body_size);
+  frame.WriteU32(static_cast<uint32_t>(body_size + 6));
   frame.WriteU32(local_.host);
   frame.WriteU16(local_.port);
-  frame.WriteRaw(body.data(), body.size());
+  wire::EncodeMessageTo(msg, frame);
   return frame.TakeBytes();
 }
 
@@ -245,6 +266,7 @@ void TcpTransport::FlushWrites(Connection* conn) {
       CloseConnection(conn, /*nack_inflight=*/true);
       return;
     }
+    RecycleFrameBuffer(std::move(frame));
     conn->write_queue.pop_front();
     conn->write_offset = 0;
   }
@@ -271,7 +293,8 @@ void TcpTransport::ConsumeFrames(Connection* conn) {
     offset += 4 + frame_len;
 
     wire::Message msg;
-    if (!wire::DecodeMessage(body, &msg)) {
+    // Consuming decode: the payload is moved out of `body`, not copied.
+    if (!wire::DecodeMessage(std::move(body), &msg)) {
       ITV_LOG(Warn) << "tcp: malformed frame dropped";
       continue;
     }

@@ -65,8 +65,12 @@ class TcpTransport : public rpc::Transport {
   void FlushWrites(Connection* conn);
   void ConsumeFrames(Connection* conn);
   void CloseConnection(Connection* conn, bool nack_inflight);
-  std::vector<uint8_t> FrameMessage(const wire::Message& msg) const;
+  std::vector<uint8_t> FrameMessage(const wire::Message& msg);
   void DeliverLocalNack(uint64_t call_id, const wire::Endpoint& from);
+  // Frame buffers recycle through a small pool, so a reply's frame reuses
+  // the capacity freed by an earlier request's frame instead of allocating.
+  wire::Bytes TakeFrameBuffer();
+  void RecycleFrameBuffer(wire::Bytes buffer);
 
   EventLoop& loop_;
   Metrics* metrics_;
@@ -77,6 +81,7 @@ class TcpTransport : public rpc::Transport {
   // Owned connections; keyed by destination endpoint for outgoing reuse.
   std::vector<std::unique_ptr<Connection>> connections_;
   std::map<uint64_t, Connection*> by_destination_;
+  std::vector<wire::Bytes> frame_pool_;
 };
 
 }  // namespace itv::net

@@ -1,0 +1,143 @@
+// Client-side name-resolution cache (paper Section 3.2.1).
+//
+// The paper's stale-incarnation NACK is exactly the invalidation signal a
+// binding cache needs: a client may reuse a resolved reference freely, because
+// the moment the implementing process dies or restarts, the next call fails
+// with a NACK and the client re-resolves. This cache leans on that contract:
+//
+//   - Lookup/Insert: path -> ObjectRef, consulted by naming::NameClient
+//     before issuing the Resolve RPC (a hit costs zero messages).
+//   - InvalidateTarget: wired to ObjectRuntime::AddStaleTargetObserver; a
+//     NACK (definitely dead) or call timeout (suspected dead) drops every
+//     entry pointing at that endpoint, so the Rebinder's re-resolve goes back
+//     to the name service rather than replaying the stale binding.
+//   - InvalidatePath: local Bind/Unbind through the client drops the entry.
+//   - max_age: bounds staleness from events no NACK reaches us for (e.g. the
+//     NS audit unbinding a dead service while we sit idle); defaults to the
+//     order of the paper's 10-second audit interval.
+//
+// Single-threaded like everything else in a process; no locks.
+
+#ifndef SRC_RPC_RESOLUTION_CACHE_H_
+#define SRC_RPC_RESOLUTION_CACHE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/executor.h"
+#include "src/common/metrics.h"
+#include "src/wire/object_ref.h"
+
+namespace itv::rpc {
+
+struct ResolutionCacheOptions {
+  // Entries older than this re-resolve (paper: NS audit runs every ~10 s,
+  // so a binding removed by auditing is honored within one audit of lag).
+  Duration max_age = Duration::Seconds(15);
+  size_t max_entries = 1024;
+};
+
+class ResolutionCache {
+ public:
+  using Options = ResolutionCacheOptions;
+
+  explicit ResolutionCache(Executor& executor, Metrics* metrics = nullptr,
+                           Options options = {})
+      : executor_(executor), options_(options) {
+    if (metrics != nullptr) {
+      c_hit_ = &metrics->Intern("resolve.cache.hit");
+      c_miss_ = &metrics->Intern("resolve.cache.miss");
+      c_invalidate_ = &metrics->Intern("resolve.cache.invalidate");
+    }
+  }
+
+  ResolutionCache(const ResolutionCache&) = delete;
+  ResolutionCache& operator=(const ResolutionCache&) = delete;
+
+  std::optional<wire::ObjectRef> Lookup(const std::string& path) {
+    auto it = entries_.find(path);
+    if (it != entries_.end() &&
+        executor_.Now() - it->second.inserted <= options_.max_age) {
+      Bump(c_hit_);
+      ++hits_;
+      return it->second.ref;
+    }
+    if (it != entries_.end()) {
+      entries_.erase(it);  // Expired.
+    }
+    Bump(c_miss_);
+    ++misses_;
+    return std::nullopt;
+  }
+
+  void Insert(const std::string& path, const wire::ObjectRef& ref) {
+    if (ref.is_null()) {
+      return;
+    }
+    if (entries_.size() >= options_.max_entries && entries_.count(path) == 0) {
+      // Simple overflow policy: a full cache starts over. Resolution traffic
+      // is cheap relative to tracking LRU order for a case the deployments
+      // in the paper (tens of service paths) never hit.
+      entries_.clear();
+    }
+    entries_[path] = Entry{ref, executor_.Now()};
+  }
+
+  void InvalidatePath(const std::string& path) {
+    if (entries_.erase(path) > 0) {
+      Bump(c_invalidate_);
+      ++invalidations_;
+    }
+  }
+
+  // Drops every entry resolving to `target`'s process (same endpoint). Wired
+  // to the runtime's stale-target notifications; `definitely_dead` is true
+  // for NACKs and false for timeouts — both drop, since re-resolving a
+  // healthy-but-slow service is cheap and caching a dead one is not.
+  void InvalidateTarget(const wire::ObjectRef& target, bool /*definitely_dead*/ = true) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second.ref.endpoint == target.endpoint) {
+        it = entries_.erase(it);
+        Bump(c_invalidate_);
+        ++invalidations_;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void Clear() { entries_.clear(); }
+
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t invalidations() const { return invalidations_; }
+
+ private:
+  struct Entry {
+    wire::ObjectRef ref;
+    Time inserted;
+  };
+
+  static void Bump(Metrics::Counter* counter) {
+    if (counter != nullptr) {
+      ++*counter;
+    }
+  }
+
+  Executor& executor_;
+  Options options_;
+  std::unordered_map<std::string, Entry> entries_;
+  Metrics::Counter* c_hit_ = nullptr;
+  Metrics::Counter* c_miss_ = nullptr;
+  Metrics::Counter* c_invalidate_ = nullptr;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace itv::rpc
+
+#endif  // SRC_RPC_RESOLUTION_CACHE_H_

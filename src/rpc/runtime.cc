@@ -106,10 +106,12 @@ Future<wire::Bytes> ObjectRuntime::Invoke(const wire::ObjectRef& ref,
                   static_cast<unsigned long long>(ref.object_id), method_id,
                   ref.endpoint.ToString().c_str());
   }
+  call.target = ref;
   uint64_t call_id = msg.call_id;
   if (!options.timeout.is_infinite()) {
     call.timer = executor_.ScheduleAfter(options.timeout, [this, call_id, ref] {
       Bump(c_timeout_);
+      NotifyStaleTarget(ref, /*definitely_dead=*/false);
       FailCall(call_id,
                DeadlineExceededError("rpc timeout to " + ref.endpoint.ToString()));
     });
@@ -269,6 +271,12 @@ void ObjectRuntime::HandleReply(wire::Message msg) {
 
 void ObjectRuntime::HandleNack(const wire::Message& msg) {
   Bump(c_nack_recv_);
+  auto it = pending_.find(msg.call_id);
+  if (it != pending_.end() && !it->second.target.is_null()) {
+    // A NACK is definitive: the implementor died or was restarted with a new
+    // incarnation, so any cached binding to this reference is stale.
+    NotifyStaleTarget(it->second.target, /*definitely_dead=*/true);
+  }
   FailCall(msg.call_id, UnavailableError("object implementor is gone (" +
                                          msg.source.ToString() + ")"));
 }
@@ -293,6 +301,13 @@ void ObjectRuntime::FailCall(uint64_t call_id, Status status) {
   }
   FinishCallSpan(call, status.code());
   call.promise.Set(std::move(status));
+}
+
+void ObjectRuntime::NotifyStaleTarget(const wire::ObjectRef& target,
+                                      bool definitely_dead) {
+  for (const StaleTargetObserver& observer : stale_target_observers_) {
+    observer(target, definitely_dead);
+  }
 }
 
 // Records the client-side span for a resolved call (reply, NACK, or timeout).

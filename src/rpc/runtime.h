@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/common/executor.h"
 #include "src/common/future.h"
@@ -107,6 +108,18 @@ class ObjectRuntime {
   // order: SSC starts services before tickets exist).
   void set_security_policy(SecurityPolicy* policy) { policy_ = policy; }
 
+  // Observers notified when a call to `target` fails in a way that suggests
+  // the reference is stale: a NACK (`definitely_dead` — the implementor is
+  // gone or restarted, paper Section 3.2.1) or a timeout (`!definitely_dead`
+  // — crash/partition suspicion). The resolution cache subscribes to drop
+  // entries pointing at the dead process, so the next resolve goes back to
+  // the name service instead of replaying the stale binding.
+  using StaleTargetObserver =
+      std::function<void(const wire::ObjectRef& target, bool definitely_dead)>;
+  void AddStaleTargetObserver(StaleTargetObserver observer) {
+    stale_target_observers_.push_back(std::move(observer));
+  }
+
   // Tracer for causal spans (may be null / unset: tracing off). When set,
   // Invoke() stamps outgoing requests with a child of the tracer's current
   // context, and HandleRequest() runs servant dispatch under the propagated
@@ -124,6 +137,9 @@ class ObjectRuntime {
     trace::TraceContext trace;
     Time started;
     std::string trace_detail;
+    // Where the request went; lets NACK/timeout handling tell stale-target
+    // observers which reference failed.
+    wire::ObjectRef target;
   };
 
   void OnMessage(wire::Message msg);
@@ -133,6 +149,7 @@ class ObjectRuntime {
   void SendNack(const wire::Message& request);
   void FailCall(uint64_t call_id, Status status);
   void FinishCallSpan(PendingCall& call, StatusCode status);
+  void NotifyStaleTarget(const wire::ObjectRef& target, bool definitely_dead);
 
   static void Bump(Metrics::Counter* counter) {
     if (counter != nullptr) {
@@ -161,6 +178,7 @@ class ObjectRuntime {
   uint64_t next_call_id_ = 1;
   std::map<uint64_t, Skeleton*> servants_;
   std::map<uint64_t, PendingCall> pending_;
+  std::vector<StaleTargetObserver> stale_target_observers_;
 };
 
 }  // namespace itv::rpc

@@ -31,6 +31,7 @@
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
 #include "src/common/trace.h"
+#include "src/rpc/resolution_cache.h"
 #include "src/rpc/runtime.h"
 #include "src/rpc/security.h"
 #include "src/rpc/transport.h"
@@ -142,10 +143,10 @@ class ProcessExecutor : public Executor {
 
   Time Now() const override { return scheduler_.Now(); }
 
-  TimerId ScheduleAt(Time when, std::function<void()> fn) override {
+  TimerId ScheduleAt(Time when, UniqueFn fn) override {
     auto id_slot = std::make_shared<TimerId>(kInvalidTimerId);
     TimerId id = scheduler_.ScheduleAt(
-        when, [this, id_slot, fn = std::move(fn)] {
+        when, [this, id_slot, fn = std::move(fn)]() mutable {
           live_.erase(*id_slot);
           ScopedLogIdentity scoped(identity_);
           fn();
@@ -200,6 +201,10 @@ class Process {
   rpc::ObjectRuntime& runtime() { return *runtime_; }
   rpc::Transport& transport() { return *transport_; }
   rpc::InsecurePolicy& default_policy() { return default_policy_; }
+  // Per-process resolution cache, wired to the runtime's stale-target
+  // notifications; NameClients for this process attach it via
+  // set_resolution_cache (see svc::ClusterHarness::ClientFor).
+  rpc::ResolutionCache& resolution_cache() { return *resolution_cache_; }
   trace::Tracer& tracer() { return tracer_; }
   // "node/process" — what log lines and spans are stamped with.
   const std::string& log_identity() const { return log_identity_; }
@@ -248,6 +253,9 @@ class Process {
   trace::Tracer tracer_;
   std::unique_ptr<SimTransport> transport_;
   rpc::InsecurePolicy default_policy_;
+  // Declared before runtime_: the runtime's stale-target observer points at
+  // the cache, so the cache must outlive it.
+  std::unique_ptr<rpc::ResolutionCache> resolution_cache_;
   std::unique_ptr<rpc::ObjectRuntime> runtime_;
   std::vector<std::shared_ptr<void>> owned_;  // Destroyed back-to-front.
   std::vector<ExitWatcher> exit_watchers_;

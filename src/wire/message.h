@@ -10,7 +10,9 @@
 #define SRC_WIRE_MESSAGE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
+#include <utility>
 
 #include "src/common/status.h"
 #include "src/wire/object_ref.h"
@@ -64,15 +66,73 @@ struct Message {
   // The bytes covered by the call signature: everything that determines what
   // the callee will do, so a tampered or replayed-onto-another-object message
   // fails verification.
+  //
+  // ForEachSignedSpan visits those bytes as (ptr, len) spans — fixed-width
+  // fields staged through a small stack scratch, strings and the payload
+  // passed through in place — so a streaming HMAC can sign the message
+  // without materializing a buffer. Spans are only valid during the callback
+  // (the scratch is reused); the concatenation of all spans is byte-identical
+  // to SignedPortion(), which remains as the reference implementation for
+  // tests.
+  template <typename Sink>
+  void ForEachSignedSpan(Sink&& sink) const {
+    uint8_t scratch[48];
+    size_t off = 0;
+    auto put_u8 = [&](uint8_t v) { scratch[off++] = v; };
+    auto put_u32 = [&](uint32_t v) {
+      std::memcpy(scratch + off, &v, sizeof(v));  // Little-endian hosts only,
+      off += sizeof(v);                           // matching Writer::AppendLe.
+    };
+    auto put_u64 = [&](uint64_t v) {
+      std::memcpy(scratch + off, &v, sizeof(v));
+      off += sizeof(v);
+    };
+    auto emit = [&](const void* p, size_t n) {
+      if (n > 0) {
+        sink(static_cast<const uint8_t*>(p), n);
+      }
+      off = 0;
+    };
+    put_u8(static_cast<uint8_t>(kind));
+    put_u64(call_id);
+    put_u64(object_id);
+    put_u64(type_id);
+    put_u32(method_id);
+    put_u64(target_incarnation);
+    put_u8(static_cast<uint8_t>(status));
+    put_u32(static_cast<uint32_t>(status_message.size()));
+    emit(scratch, off);
+    emit(status_message.data(), status_message.size());
+    put_u32(static_cast<uint32_t>(auth.principal.size()));
+    emit(scratch, off);
+    emit(auth.principal.data(), auth.principal.size());
+    put_u64(auth.ticket_id);
+    put_u32(static_cast<uint32_t>(payload.size()));
+    emit(scratch, off);
+    emit(payload.data(), payload.size());
+  }
+
   Bytes SignedPortion() const;
+
+  // Exact size EncodeMessage will produce (used to reserve once).
+  size_t EncodedSize() const;
 
   std::string ToString() const;
 };
 
 // Full framing used by the TCP transport: 4-byte length prefix handled by the
 // stream layer; these functions encode/decode the body.
+//
+// EncodeMessageTo appends into an existing Writer (e.g. a connection's output
+// buffer, after the frame length) so the TCP path serializes straight into
+// the socket buffer. The rvalue DecodeMessage overload consumes the wire
+// buffer: the payload — serialized last for exactly this reason — is moved
+// out of it (memmove to front + shrink) instead of copied, so a 64 KiB block
+// read costs no allocation to decode.
 Bytes EncodeMessage(const Message& m);
+void EncodeMessageTo(const Message& m, Writer& w);
 bool DecodeMessage(const Bytes& b, Message* out);
+bool DecodeMessage(Bytes&& b, Message* out);
 
 }  // namespace itv::wire
 

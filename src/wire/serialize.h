@@ -24,6 +24,14 @@ using Bytes = std::vector<uint8_t>;
 class Writer {
  public:
   Writer() = default;
+  // Reuses `recycled`'s capacity: the buffer is cleared, not reallocated.
+  // This is how replies reuse the request's buffer on the TCP path.
+  explicit Writer(Bytes&& recycled) : buf_(std::move(recycled)) {
+    buf_.clear();
+  }
+
+  // Pre-sizes for `n` further bytes (single allocation for a known payload).
+  void Reserve(size_t n) { buf_.reserve(buf_.size() + n); }
 
   void WriteU8(uint8_t v) { buf_.push_back(v); }
   void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
@@ -72,6 +80,7 @@ class Reader {
 
   bool ok() const { return ok_; }
   size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
 
   uint8_t ReadU8() {
     uint8_t v = 0;

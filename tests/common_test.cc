@@ -3,6 +3,7 @@
 #include "src/common/executor.h"
 #include "src/common/future.h"
 #include "src/common/histogram.h"
+#include "src/common/json.h"
 #include "src/common/rand.h"
 #include "src/common/result.h"
 #include "src/common/status.h"
@@ -256,6 +257,40 @@ TEST(HistogramTest, EmptyIsZero) {
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.Percentile(50), 0);
   EXPECT_EQ(h.Mean(), 0);
+}
+
+TEST(JsonSplitTest, SplitsTopLevelMembersWithRawValues) {
+  std::map<std::string, std::string> members;
+  ASSERT_TRUE(json::SplitTopLevelObject(
+      R"({"a": 1, "b": {"nested": [1, 2]}, "c": "x,y"})", &members));
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members["a"], "1");
+  EXPECT_EQ(members["b"], R"({"nested": [1, 2]})");
+  EXPECT_EQ(members["c"], R"("x,y")");
+}
+
+TEST(JsonSplitTest, EmptyObjectYieldsNoMembers) {
+  std::map<std::string, std::string> members;
+  ASSERT_TRUE(json::SplitTopLevelObject("  { }  ", &members));
+  EXPECT_TRUE(members.empty());
+}
+
+TEST(JsonSplitTest, RejectsNonObjectAndInvalidInput) {
+  std::map<std::string, std::string> members;
+  std::string error;
+  EXPECT_FALSE(json::SplitTopLevelObject("[1, 2]", &members, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(json::SplitTopLevelObject(R"({"a": )", &members));
+  EXPECT_FALSE(json::SplitTopLevelObject("", &members));
+}
+
+TEST(JsonSplitTest, SplitValuesReassembleToValidJson) {
+  std::map<std::string, std::string> members;
+  ASSERT_TRUE(json::SplitTopLevelObject(
+      R"({"x": [true, null, 1.5e3], "y": {"k": "v"}})", &members));
+  for (const auto& [key, value] : members) {
+    EXPECT_TRUE(json::ValidateSyntax(value)) << key << " => " << value;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,251 @@
+// Resolution cache tests: the client-side path->ObjectRef cache and its
+// invalidation wiring (stale-incarnation NACKs, call timeouts, local
+// bind/unbind, max-age expiry), plus end-to-end fail-over behaviour through
+// svc::ClusterHarness — a cache hit costs zero name-service messages, and a
+// NACK costs exactly one re-resolve.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/naming/name_client.h"
+#include "src/rpc/resolution_cache.h"
+#include "src/rpc/runtime.h"
+#include "src/rpc/stub_helpers.h"
+#include "src/sim/cluster.h"
+#include "src/sim/scheduler.h"
+#include "src/svc/harness.h"
+
+namespace itv::rpc {
+namespace {
+
+wire::ObjectRef RefAt(uint32_t host, uint16_t port, uint64_t object_id = 1) {
+  wire::ObjectRef ref;
+  ref.endpoint = {host, port};
+  ref.object_id = object_id;
+  ref.incarnation = 1;
+  return ref;
+}
+
+// --- Unit tests ---------------------------------------------------------------
+
+TEST(ResolutionCacheTest, MissThenInsertThenHit) {
+  sim::Scheduler clock;
+  ResolutionCache cache(clock);
+  EXPECT_FALSE(cache.Lookup("svc/db").has_value());
+  cache.Insert("svc/db", RefAt(1, 500));
+  auto hit = cache.Lookup("svc/db");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->endpoint.host, 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResolutionCacheTest, NullRefsAreNeverCached) {
+  sim::Scheduler clock;
+  ResolutionCache cache(clock);
+  cache.Insert("svc/db", wire::ObjectRef{});
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResolutionCacheTest, EntriesExpireAfterMaxAge) {
+  sim::Scheduler clock;
+  ResolutionCache::Options options;
+  options.max_age = Duration::Seconds(10);
+  ResolutionCache cache(clock, nullptr, options);
+  cache.Insert("svc/db", RefAt(1, 500));
+  clock.RunFor(Duration::Seconds(9));
+  EXPECT_TRUE(cache.Lookup("svc/db").has_value());
+  clock.RunFor(Duration::Seconds(2));
+  // The NS audit may have unbound the path since; past max_age the entry is
+  // dropped and the caller re-resolves.
+  EXPECT_FALSE(cache.Lookup("svc/db").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResolutionCacheTest, InvalidateTargetDropsAllPathsToEndpoint) {
+  sim::Scheduler clock;
+  ResolutionCache cache(clock);
+  cache.Insert("svc/a", RefAt(1, 500, 1));
+  cache.Insert("svc/b", RefAt(1, 500, 2));
+  cache.Insert("svc/c", RefAt(2, 500, 3));
+  cache.InvalidateTarget(RefAt(1, 500, 9));  // Object id is irrelevant.
+  EXPECT_FALSE(cache.Lookup("svc/a").has_value());
+  EXPECT_FALSE(cache.Lookup("svc/b").has_value());
+  EXPECT_TRUE(cache.Lookup("svc/c").has_value());
+  EXPECT_EQ(cache.invalidations(), 2u);
+}
+
+TEST(ResolutionCacheTest, InvalidatePathDropsOnlyThatPath) {
+  sim::Scheduler clock;
+  ResolutionCache cache(clock);
+  cache.Insert("svc/a", RefAt(1, 500));
+  cache.Insert("svc/b", RefAt(1, 501));
+  cache.InvalidatePath("svc/a");
+  EXPECT_FALSE(cache.Lookup("svc/a").has_value());
+  EXPECT_TRUE(cache.Lookup("svc/b").has_value());
+}
+
+TEST(ResolutionCacheTest, OverflowClearsRatherThanGrowingUnbounded) {
+  sim::Scheduler clock;
+  ResolutionCache::Options options;
+  options.max_entries = 4;
+  ResolutionCache cache(clock, nullptr, options);
+  for (int i = 0; i < 4; ++i) {
+    cache.Insert("svc/" + std::to_string(i), RefAt(1, 500));
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  cache.Insert("svc/overflow", RefAt(1, 500));
+  EXPECT_EQ(cache.size(), 1u);  // Cleared, then the new entry inserted.
+  EXPECT_TRUE(cache.Lookup("svc/overflow").has_value());
+}
+
+// --- Ping service for harness tests -------------------------------------------
+
+inline constexpr std::string_view kPingInterface = "itv.test.CachePing";
+
+class PingSkeleton : public Skeleton {
+ public:
+  std::string_view interface_name() const override { return kPingInterface; }
+  void Dispatch(uint32_t method_id, const wire::Bytes&, const CallContext&,
+                ReplyFn reply) override {
+    if (method_id != 1) {
+      return ReplyBadMethod(reply, method_id);
+    }
+    ++pings;
+    return ReplyOk(reply);
+  }
+  uint64_t pings = 0;
+};
+
+class CacheHarnessTest : public ::testing::Test {
+ protected:
+  CacheHarnessTest() {
+    svc::HarnessOptions opts;
+    opts.server_count = 2;
+    harness_ = std::make_unique<svc::ClusterHarness>(opts);
+    harness_->Boot();
+  }
+
+  sim::Cluster& cluster() { return harness_->cluster(); }
+
+  uint64_t NsResolves() { return harness_->metrics().Get("ns.resolve"); }
+
+  // Resolves `path` through `client` and runs the cluster until done.
+  Result<wire::ObjectRef> ResolveNow(const naming::NameClient& client,
+                                     const std::string& path) {
+    Future<wire::ObjectRef> f = client.Resolve(path);
+    cluster().RunFor(Duration::Seconds(1));
+    if (!f.is_ready()) {
+      return DeadlineExceededError("resolve did not complete");
+    }
+    return f.result();
+  }
+
+  std::unique_ptr<svc::ClusterHarness> harness_;
+};
+
+TEST_F(CacheHarnessTest, CacheHitSkipsNameServiceRpc) {
+  sim::Process& proc = harness_->SpawnProcessOn(0, "client");
+  naming::NameClient client = harness_->ClientFor(proc);
+
+  uint64_t before = NsResolves();
+  Result<wire::ObjectRef> first = ResolveNow(client, "svc/db");
+  ASSERT_TRUE(first.ok());
+  uint64_t after_first = NsResolves();
+  EXPECT_GT(after_first, before);
+
+  Result<wire::ObjectRef> second = ResolveNow(client, "svc/db");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->endpoint, first->endpoint);
+  EXPECT_EQ(NsResolves(), after_first);  // Hit: zero NS messages.
+  EXPECT_GE(proc.resolution_cache().hits(), 1u);
+}
+
+TEST_F(CacheHarnessTest, NackInvalidatesThenExactlyOneReResolve) {
+  // Service v1 on server 0; a settop client resolves and calls it.
+  sim::Process& service1 = harness_->SpawnProcessOn(0, "pingsvc");
+  auto* skel1 = service1.Emplace<PingSkeleton>();
+  wire::ObjectRef ref1 = service1.runtime().Export(skel1);
+
+  sim::Process& setup = harness_->SpawnProcessOn(0, "setup");
+  bool bound = false;
+  harness_->ClientFor(setup).Bind("svc/cacheping", ref1).OnReady(
+      [&bound](const Result<void>& r) { bound = r.ok(); });
+  cluster().RunFor(Duration::Seconds(1));
+  ASSERT_TRUE(bound);
+
+  sim::Node& settop = harness_->AddSettop(1);
+  sim::Process& proc = settop.Spawn("app");
+  naming::NameClient client = harness_->ClientFor(proc);
+
+  Result<wire::ObjectRef> r1 = ResolveNow(client, "svc/cacheping");
+  ASSERT_TRUE(r1.ok());
+  uint64_t resolves_after_first = NsResolves();
+
+  // Kill v1 and bind a replacement on the other server (new endpoint).
+  harness_->server(0).Kill(service1.pid());
+  cluster().RunUntilIdle();
+  sim::Process& service2 = harness_->SpawnProcessOn(1, "pingsvc2");
+  auto* skel2 = service2.Emplace<PingSkeleton>();
+  wire::ObjectRef ref2 = service2.runtime().Export(skel2);
+  bool rebound = false;
+  harness_->ClientFor(setup).Unbind("svc/cacheping").OnReady(
+      [](const Result<void>&) {});
+  harness_->ClientFor(setup).Bind("svc/cacheping", ref2).OnReady(
+      [&rebound](const Result<void>& r) { rebound = r.ok(); });
+  cluster().RunFor(Duration::Seconds(1));
+  ASSERT_TRUE(rebound);
+
+  // Calling through the stale cached ref NACKs; the cache entry must go.
+  uint64_t invalidations_before = proc.resolution_cache().invalidations();
+  auto call = proc.runtime().Invoke(*r1, 1, {});
+  cluster().RunFor(Duration::Seconds(1));
+  ASSERT_TRUE(call.is_ready());
+  EXPECT_FALSE(call.result().ok());
+  EXPECT_GT(proc.resolution_cache().invalidations(), invalidations_before);
+
+  // Exactly one NS resolve to recover; the next resolve is a hit again.
+  uint64_t resolves_before_recover = NsResolves();
+  Result<wire::ObjectRef> r2 = ResolveNow(client, "svc/cacheping");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->endpoint, ref2.endpoint);
+  EXPECT_EQ(NsResolves(), resolves_before_recover + 1);
+  EXPECT_GE(NsResolves(), resolves_after_first);
+
+  Result<wire::ObjectRef> r3 = ResolveNow(client, "svc/cacheping");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(NsResolves(), resolves_before_recover + 1);  // Cache hit.
+
+  // And the replacement actually answers.
+  auto call2 = proc.runtime().Invoke(*r3, 1, {});
+  cluster().RunFor(Duration::Seconds(1));
+  ASSERT_TRUE(call2.is_ready());
+  EXPECT_TRUE(call2.result().ok());
+  EXPECT_EQ(skel2->pings, 1u);
+}
+
+TEST_F(CacheHarnessTest, LocalBindAndUnbindInvalidateThePath) {
+  sim::Process& service = harness_->SpawnProcessOn(0, "pingsvc");
+  auto* skel = service.Emplace<PingSkeleton>();
+  wire::ObjectRef ref = service.runtime().Export(skel);
+
+  sim::Process& proc = harness_->SpawnProcessOn(1, "client");
+  naming::NameClient client = harness_->ClientFor(proc);
+  bool bound = false;
+  client.Bind("svc/localinval", ref).OnReady(
+      [&bound](const Result<void>& r) { bound = r.ok(); });
+  cluster().RunFor(Duration::Seconds(1));
+  ASSERT_TRUE(bound);
+
+  ASSERT_TRUE(ResolveNow(client, "svc/localinval").ok());
+  ASSERT_EQ(proc.resolution_cache().size(), 1u);
+
+  // Unbinding through the same client drops the local entry immediately —
+  // no window where this process trusts a binding it just removed.
+  client.Unbind("svc/localinval").OnReady([](const Result<void>&) {});
+  EXPECT_EQ(proc.resolution_cache().size(), 0u);
+}
+
+}  // namespace
+}  // namespace itv::rpc

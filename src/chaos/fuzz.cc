@@ -1,0 +1,480 @@
+#include "src/chaos/fuzz.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/common/trace.h"
+#include "src/media/factories.h"
+#include "src/naming/name_server.h"
+#include "src/ras/ras_service.h"
+#include "src/ras/types.h"
+#include "src/settop/vod_app.h"
+#include "src/svc/harness.h"
+
+namespace itv::chaos {
+namespace {
+
+// Network burst sampling gets its own stream so dropping a fault from the
+// schedule does not shift which packets a surviving burst affects more than
+// necessary (golden-ratio mix, same idea as splitmix64).
+uint64_t NetSeed(uint64_t seed) { return seed ^ 0x9e3779b97f4a7c15ULL; }
+
+sim::ChaosSpec BuildSpec(const FuzzOptions& options,
+                         svc::ClusterHarness& harness,
+                         const std::vector<uint32_t>& settop_hosts) {
+  sim::ChaosSpec spec;
+  spec.horizon = options.horizon;
+  spec.fault_count = options.fault_count;
+  for (size_t i = 0; i < harness.server_count(); ++i) {
+    spec.server_hosts.push_back(harness.HostOf(i));
+  }
+  spec.settop_hosts = settop_hosts;
+  // Everything the deployment runs, including infrastructure: the SSC
+  // restarts what it manages, the CSC replaces what it placed.
+  spec.kill_names = {"mmsd", "mdsd", "nsd", "rasd", "settopmgr", "trunkd"};
+  for (uint8_t nb = 1; nb <= options.neighborhood_count; ++nb) {
+    spec.kill_names.push_back("rdsd-" + std::to_string(nb));
+    spec.kill_names.push_back("cmgrd-" + std::to_string(nb));
+  }
+  spec.min_outage = options.min_outage;
+  spec.max_outage = options.max_outage;
+  spec.allow_node_crash = options.allow_node_crash;
+  spec.allow_partition = options.allow_partition;
+  spec.allow_isolate = options.allow_partition;
+  spec.allow_drop = options.allow_bursts;
+  spec.allow_delay = options.allow_bursts;
+  spec.allow_reorder = options.allow_bursts;
+  return spec;
+}
+
+std::string DescribeRef(const wire::ObjectRef& ref) {
+  return StrFormat("host=%u port=%u inc=%llu obj=%llu", ref.endpoint.host,
+                   ref.endpoint.port,
+                   static_cast<unsigned long long>(ref.incarnation),
+                   static_cast<unsigned long long>(ref.object_id));
+}
+
+// A bound or cached reference is coherent if its target process is alive in
+// the same incarnation. Incarnation 0 marks well-known stateless refs (RAS,
+// SSC bootstrap) that survive restarts by construction.
+bool RefPointsAtLiveProcess(sim::Cluster& cluster, const wire::ObjectRef& ref) {
+  if (ref.incarnation == 0) {
+    return true;
+  }
+  sim::Process* process = cluster.ProcessAtEndpoint(ref.endpoint);
+  return process != nullptr && process->incarnation() == ref.incarnation;
+}
+
+FuzzResult Run(uint64_t seed, const sim::ChaosPlan* replay,
+               const FuzzOptions& options) {
+  FuzzResult result;
+  result.seed = seed;
+
+  // --- Deployment: paper fail-over timings (Section 9.7) ---------------------
+  svc::HarnessOptions hopts;
+  hopts.server_count = options.server_count;
+  hopts.neighborhood_count = options.neighborhood_count;
+  hopts.ns.audit_interval = Duration::Seconds(10);
+  hopts.ras.peer_poll_interval = Duration::Seconds(5);
+  hopts.ras.peer_failures_to_dead = 1;
+  hopts.ras.rpc_timeout = Duration::Seconds(1);
+  svc::ClusterHarness harness(hopts);
+
+  media::MediaDeployment deploy;
+  deploy.movies = media::SyntheticCatalog(options.movie_count,
+                                          options.server_count, /*replicas=*/2);
+  deploy.rds_items = {{"vod", 1'000'000}};
+  media::RegisterMediaServices(harness, deploy);
+  harness.Boot();
+
+  sim::Cluster& cluster = harness.cluster();
+  cluster.RunFor(options.settle);
+
+  // --- Viewers ----------------------------------------------------------------
+  // A viewer is a settop program: VodApp handles stream fail-over itself
+  // (Section 3.5.2), and when even that gives up — the open path can fail for
+  // good under sustained packet loss — the "user" presses play again a beat
+  // later. `last_error` keeps the most recent terminal status for reports.
+  struct Viewer {
+    settop::VodApp* vod = nullptr;
+    sim::Process* process = nullptr;
+    std::string movie;
+    Status last_error;
+    uint32_t restarts = 0;
+  };
+  auto viewers = std::make_shared<std::vector<Viewer>>();
+  std::vector<uint32_t> settop_hosts;
+  auto play = std::make_shared<std::function<void(size_t)>>();
+  *play = [viewers, &harness, play](size_t i) {
+    Viewer& viewer = (*viewers)[i];
+    viewer.vod->PlayMovie(viewer.movie, [viewers, &harness, play, i](Status s) {
+      Viewer& v = (*viewers)[i];
+      v.last_error = s;
+      if (s.ok()) {
+        return;  // End of stream (movies outlast the horizon).
+      }
+      ++v.restarts;
+      harness.metrics().Add("fuzz.viewer.replay");
+      v.process->executor().ScheduleAfter(Duration::Seconds(2),
+                                          [play, i] { (*play)(i); });
+    });
+  };
+  for (size_t i = 0; i < options.viewer_count; ++i) {
+    uint8_t nb = static_cast<uint8_t>(i % options.neighborhood_count) + 1;
+    sim::Node& settop = harness.AddSettop(nb);
+    settop_hosts.push_back(settop.host());
+    sim::Process& p = settop.Spawn("viewer");
+    settop::VodApp::Options vopts;
+    vopts.mms_rebind.max_attempts = 50;
+    vopts.mms_rebind.initial_backoff = Duration::Millis(500);
+    vopts.mms_rebind.backoff_multiplier = 1.2;
+    vopts.mms_rebind.backoff_jitter = 0.25;
+    vopts.mms_rebind.jitter_seed = seed + i + 1;
+    auto* vod = p.Emplace<settop::VodApp>(p.runtime(), p.executor(),
+                                          harness.ClientFor(p), vopts,
+                                          &harness.metrics());
+    viewers->push_back(Viewer{vod, &p,
+                              "movie-" + std::to_string(i % options.movie_count),
+                              OkStatus(), 0});
+    (*play)(i);
+  }
+  cluster.RunFor(options.warmup);
+  for (size_t i = 0; i < viewers->size(); ++i) {
+    if (!(*viewers)[i].vod->playing()) {
+      // The fault-free warm-up failed: infrastructure problem, not a chaos
+      // finding. Report it as its own invariant so it is never shrunk.
+      result.first_violation = "warmup-playback";
+      result.violations.push_back(sim::InvariantMonitor::Violation{
+          cluster.Now(), "warmup-playback",
+          StrFormat("viewer %zu not playing before any fault", i)});
+      result.invariant_report =
+          StrFormat("[%s] warmup-playback: viewer %zu not playing\n",
+                    cluster.Now().ToString().c_str(), i);
+      return result;
+    }
+  }
+
+  // --- Schedule ---------------------------------------------------------------
+  sim::ChaosSpec spec = BuildSpec(options, harness, settop_hosts);
+  result.plan =
+      replay != nullptr ? *replay : sim::ChaosPlan::Generate(seed, spec);
+
+  sim::ChaosInjector::Hooks hooks;
+  hooks.ns_master_host = [&harness] { return harness.NsMasterHost(); };
+  hooks.restore_node = [&harness](uint32_t host) {
+    for (size_t i = 0; i < harness.server_count(); ++i) {
+      if (harness.HostOf(i) == host) {
+        harness.server(i).Restart();
+        harness.StartSsc(i);  // init's job: bring the base services back.
+        return;
+      }
+    }
+    sim::Node* node = harness.cluster().FindNode(host);
+    if (node != nullptr) {
+      node->Restart();
+    }
+  };
+  sim::ChaosInjector injector(cluster, hooks);
+
+  // --- Continuous invariants (sampled while faults are active) ---------------
+  sim::InvariantMonitor monitor;
+  monitor.AddContinuous("ns-epoch-split", [&harness]() -> Status {
+    // Partitions may give two masters transiently, but never in one epoch:
+    // an election always moves to a fresh epoch.
+    std::map<uint64_t, int> masters_by_epoch;
+    for (naming::NameServer* ns : harness.LiveNameServers()) {
+      if (ns->is_master()) {
+        ++masters_by_epoch[ns->epoch()];
+      }
+    }
+    for (const auto& [epoch, count] : masters_by_epoch) {
+      if (count > 1) {
+        return InternalError(
+            StrFormat("%d NS masters share epoch %llu", count,
+                      static_cast<unsigned long long>(epoch)));
+      }
+    }
+    return OkStatus();
+  });
+  monitor.AddContinuous("process-accounting", [&cluster]() -> Status {
+    size_t visited = 0;
+    cluster.ForEachProcess([&visited](sim::Process&) { ++visited; });
+    if (visited != cluster.live_process_count()) {
+      return InternalError(StrFormat(
+          "process index has %zu entries but nodes hold %zu live processes",
+          cluster.live_process_count(), visited));
+    }
+    return OkStatus();
+  });
+
+  Time chaos_start = cluster.Now();
+  monitor.StartContinuous(cluster.scheduler(), options.monitor_interval,
+                          chaos_start + options.horizon);
+  injector.Start(result.plan, NetSeed(seed));
+  cluster.RunFor(options.horizon);
+  injector.HealAll();
+
+  // Crash restores are part of the schedule, not the fault window: wait for
+  // every server to be back before starting the fail-over clock.
+  Duration waited;
+  while (waited < options.max_outage + Duration::Seconds(2)) {
+    bool any_down = false;
+    for (size_t i = 0; i < harness.server_count(); ++i) {
+      any_down = any_down || !harness.server(i).alive();
+    }
+    if (!any_down) {
+      break;
+    }
+    cluster.RunFor(Duration::Seconds(1));
+    waited = waited + Duration::Seconds(1);
+  }
+
+  std::vector<uint64_t> chunk_baseline;
+  for (const Viewer& viewer : *viewers) {
+    chunk_baseline.push_back(viewer.vod->chunks_received());
+  }
+  cluster.RunFor(options.rebind_bound + options.rebind_slack);
+
+  // Fresh client: core services must resolve from scratch after the storm.
+  bool probe_ok = false;
+  {
+    sim::Process& probe = harness.SpawnProcessOn(0, "fuzz-probe");
+    auto ref = harness.ClientFor(probe).Resolve("svc/mms");
+    cluster.RunFor(Duration::Seconds(5));
+    probe_ok = ref.is_ready() && ref.result().ok();
+  }
+
+  // --- Quiescent invariants (paper bound has elapsed) -------------------------
+  monitor.AddQuiescent("binding-convergence", [&]() -> Status {
+    for (size_t i = 0; i < viewers->size(); ++i) {
+      const Viewer& viewer = (*viewers)[i];
+      if (!viewer.vod->playing()) {
+        return UnavailableError(StrFormat(
+            "viewer %zu not playing %.0fs after faults stopped "
+            "(restarts=%u last_error=%s)",
+            i, (options.rebind_bound + options.rebind_slack).seconds(),
+            viewer.restarts, viewer.last_error.ToString().c_str()));
+      }
+      if (viewer.vod->chunks_received() <= chunk_baseline[i]) {
+        return UnavailableError(StrFormat(
+            "viewer %zu received no data since faults stopped", i));
+      }
+    }
+    if (!probe_ok) {
+      return UnavailableError("fresh client cannot resolve svc/mms");
+    }
+    return OkStatus();
+  });
+  monitor.AddQuiescent("ras-reclamation", [&harness, &cluster]() -> Status {
+    for (naming::NameServer* ns : harness.LiveNameServers()) {
+      if (!ns->is_master()) {
+        continue;
+      }
+      for (const auto& bound : ns->tree().AllBoundObjects()) {
+        if (!RefPointsAtLiveProcess(cluster, bound.ref)) {
+          return InternalError("NS binding " + JoinPath(bound.path) +
+                               " survives its dead owner (" +
+                               DescribeRef(bound.ref) + ")");
+        }
+      }
+    }
+    for (ras::RasService* ras : harness.LiveRasServices()) {
+      for (const auto& [entity, status] : ras->TrackedSnapshot()) {
+        if (status != ras::EntityStatus::kAlive ||
+            entity.kind != ras::EntityKind::kServiceObject) {
+          continue;
+        }
+        if (!RefPointsAtLiveProcess(cluster, entity.ref)) {
+          return InternalError("RAS still reports dead object alive (" +
+                               DescribeRef(entity.ref) + ")");
+        }
+      }
+      for (const wire::ObjectRef& ref : ras->LocalLiveSnapshot()) {
+        if (!RefPointsAtLiveProcess(cluster, ref)) {
+          return InternalError("RAS local-live set holds dead object (" +
+                               DescribeRef(ref) + ")");
+        }
+      }
+    }
+    return OkStatus();
+  });
+  monitor.AddQuiescent("ns-single-master", [&harness]() -> Status {
+    std::vector<naming::NameServer*> live = harness.LiveNameServers();
+    if (live.empty()) {
+      return InternalError("no live name-service replica");
+    }
+    int masters = 0;
+    uint32_t master_id = 0;
+    uint64_t epoch = 0;
+    for (naming::NameServer* ns : live) {
+      if (ns->is_master()) {
+        ++masters;
+        master_id = ns->master_id();
+        epoch = ns->epoch();
+      }
+    }
+    if (masters != 1) {
+      return InternalError(
+          StrFormat("%d live NS replicas claim mastership", masters));
+    }
+    for (naming::NameServer* ns : live) {
+      if (ns->master_id() != master_id || ns->epoch() != epoch) {
+        return InternalError(StrFormat(
+            "replica disagrees on master: sees id=%u epoch=%llu, master is "
+            "id=%u epoch=%llu",
+            ns->master_id(), static_cast<unsigned long long>(ns->epoch()),
+            master_id, static_cast<unsigned long long>(epoch)));
+      }
+    }
+    return OkStatus();
+  });
+  monitor.AddQuiescent("cache-coherence", [&cluster, viewers]() -> Status {
+    for (const Viewer& viewer : *viewers) {
+      rpc::ResolutionCache& cache = viewer.process->resolution_cache();
+      for (const auto& entry : cache.Snapshot()) {
+        if (entry.age > cache.max_age()) {
+          continue;  // A Lookup would miss; never served.
+        }
+        if (!RefPointsAtLiveProcess(cluster, entry.ref)) {
+          return InternalError("resolution cache would serve '" + entry.path +
+                               "' -> dead endpoint (" +
+                               DescribeRef(entry.ref) + ")");
+        }
+      }
+    }
+    return OkStatus();
+  });
+  for (const auto& [name, check] : options.extra_invariants) {
+    monitor.AddQuiescent(
+        name, [&harness, check = check]() -> Status { return check(harness); });
+  }
+  monitor.RunQuiescent(cluster.Now());
+
+  // --- Teardown: stop everything, then look for leaks -------------------------
+  for (const Viewer& viewer : *viewers) {
+    viewer.vod->Stop();
+  }
+  cluster.RunFor(options.drain);
+  size_t pending_before = cluster.scheduler().pending_events();
+  cluster.RunFor(Duration::Seconds(15));
+  size_t pending_after = cluster.scheduler().pending_events();
+  // Re-evaluating the convergence checks here would see stopped viewers, so
+  // the teardown invariant gets its own monitor.
+  sim::InvariantMonitor teardown;
+  teardown.AddQuiescent("no-leaks", [&]() -> Status {
+    // Periodic pollers keep the queue non-empty forever; a leak shows as
+    // growth across an idle window (every RunFor re-arms would-be leaked
+    // timers again and again).
+    if (pending_after > pending_before + pending_before / 4 + 16) {
+      return InternalError(StrFormat(
+          "event queue grew %zu -> %zu across an idle window", pending_before,
+          pending_after));
+    }
+    size_t visited = 0;
+    cluster.ForEachProcess([&visited](sim::Process&) { ++visited; });
+    if (visited != cluster.live_process_count()) {
+      return InternalError(StrFormat(
+          "process leak: index %zu vs %zu live on nodes",
+          cluster.live_process_count(), visited));
+    }
+    return OkStatus();
+  });
+  teardown.RunQuiescent(cluster.Now());
+
+  // --- Verdict + artifacts ----------------------------------------------------
+  result.violations = monitor.violations();
+  result.violations.insert(result.violations.end(),
+                           teardown.violations().begin(),
+                           teardown.violations().end());
+  result.passed = result.violations.empty();
+  if (!result.passed) {
+    result.first_violation = result.violations.front().invariant;
+  }
+  result.invariant_report = monitor.Report() + teardown.Report();
+  result.faults_applied = injector.faults_applied();
+  result.fault_log = injector.log();
+  if (!result.passed || options.capture_artifacts) {
+    result.trace_json = trace::ChromeTraceJson(cluster.trace_buffer());
+    result.metrics_json = harness.metrics().DumpJson();
+    for (const sim::Fault& fault : result.plan.faults) {
+      if (fault.kind == sim::FaultKind::kKillProcess ||
+          fault.kind == sim::FaultKind::kKillNsMaster ||
+          fault.kind == sim::FaultKind::kCrashNode) {
+        trace::FailoverTimeline timeline = trace::FailoverTimeline::Reconstruct(
+            cluster.trace_buffer().Snapshot(), chaos_start + fault.at);
+        result.timeline_report = timeline.Report();
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+FuzzResult RunSeed(uint64_t seed, const FuzzOptions& options) {
+  return Run(seed, nullptr, options);
+}
+
+FuzzResult RunSchedule(uint64_t seed, const sim::ChaosPlan& plan,
+                       const FuzzOptions& options) {
+  return Run(seed, &plan, options);
+}
+
+ShrinkResult Shrink(const FuzzResult& failing, const FuzzOptions& options,
+                    size_t max_runs,
+                    const std::function<void(const std::string&)>& progress) {
+  ShrinkResult out;
+  out.plan = failing.plan;
+  out.result = failing;
+  const std::string target = failing.first_violation;
+  if (failing.passed || target.empty() || target == "warmup-playback") {
+    return out;  // Nothing to shrink (or plan-independent setup failure).
+  }
+  auto say = [&progress](const std::string& line) {
+    if (progress) {
+      progress(line);
+    }
+  };
+
+  size_t chunk = std::max<size_t>(1, out.plan.faults.size() / 2);
+  while (true) {
+    bool removed_at_this_size = false;
+    for (size_t start = 0;
+         start < out.plan.faults.size() && out.runs < max_runs;) {
+      sim::ChaosPlan candidate = out.plan;
+      size_t end = std::min(start + chunk, candidate.faults.size());
+      candidate.faults.erase(candidate.faults.begin() + start,
+                             candidate.faults.begin() + end);
+      FuzzResult r = RunSchedule(failing.seed, candidate, options);
+      ++out.runs;
+      if (!r.passed && r.first_violation == target) {
+        say(StrFormat("shrink: %zu -> %zu faults still violate %s",
+                      out.plan.faults.size(), candidate.faults.size(),
+                      target.c_str()));
+        out.plan = std::move(candidate);
+        out.result = std::move(r);
+        removed_at_this_size = true;
+        // Same index now holds the next chunk; retry from here.
+      } else {
+        start += chunk;
+      }
+    }
+    if (out.runs >= max_runs) {
+      break;
+    }
+    if (chunk == 1) {
+      if (!removed_at_this_size) {
+        break;  // 1-minimal: every single-fault drop makes the failure vanish.
+      }
+      continue;
+    }
+    chunk = std::max<size_t>(1, chunk / 2);
+  }
+  return out;
+}
+
+}  // namespace itv::chaos

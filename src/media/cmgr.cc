@@ -1,8 +1,10 @@
 #include "src/media/cmgr.h"
 
+#include <memory>
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/media/mds.h"
 
 namespace itv::media {
 
@@ -90,6 +92,96 @@ void CmgrService::Start() {
                   << " replicated connections";
     Count("cmgr.became_primary");
   });
+  grant_audit_timer_.Start(executor_, options_.grant_audit_interval,
+                           [this] { AuditGrants(); });
+}
+
+void CmgrService::AuditGrants() {
+  if (!is_primary() || connections_.empty()) {
+    return;
+  }
+  name_client_.ListRepl("svc/mds").OnReady([this](
+                                               const Result<naming::BindingList>&
+                                                   r) {
+    if (!r.ok()) {
+      return;  // Name service unreachable: no evidence, try next sweep.
+    }
+    // Presence of a host key means that host's MDS answered; only answering
+    // hosts can testify that a grant is unclaimed.
+    auto claimed = std::make_shared<std::map<uint32_t, std::set<uint64_t>>>();
+    auto pending = std::make_shared<size_t>(0);
+    for (const naming::Binding& binding : *r) {
+      if (binding.kind != naming::BindingKind::kObject) {
+        continue;
+      }
+      ++*pending;
+      MdsProxy mds(runtime_, binding.ref);
+      rpc::CallOptions opts;
+      opts.timeout = options_.rpc_timeout;
+      uint32_t host = binding.ref.endpoint.host;
+      mds.ListSessions(opts).OnReady(
+          [this, claimed, pending,
+           host](const Result<std::vector<SessionInfo>>& sessions) {
+            if (sessions.ok()) {
+              auto& ids = (*claimed)[host];
+              for (const SessionInfo& info : *sessions) {
+                ids.insert(info.connection.connection_id);
+              }
+            }
+            if (--*pending == 0) {
+              ReclaimUnclaimed(*claimed);
+            }
+          });
+    }
+  });
+}
+
+void CmgrService::ReclaimUnclaimed(
+    const std::map<uint32_t, std::set<uint64_t>>& claimed) {
+  if (!is_primary()) {
+    return;
+  }
+  Time now = executor_.Now();
+  std::vector<ConnectionGrant> doomed;
+  for (const auto& [id, grant] : connections_) {
+    auto host = claimed.find(grant.server_host);
+    if (host == claimed.end()) {
+      // Serving MDS did not answer (or has no binding right now): no
+      // evidence either way, and restart both counters — a server coming
+      // back must testify twice afresh before we release anything.
+      grant_misses_.erase(id);
+      continue;
+    }
+    auto granted = granted_at_.find(id);
+    if (granted != granted_at_.end() &&
+        now - granted->second < options_.grant_grace) {
+      continue;  // Open may still be in flight.
+    }
+    if (host->second.count(id) > 0) {
+      grant_misses_.erase(id);
+      continue;
+    }
+    if (++grant_misses_[id] >= options_.grant_misses_to_reclaim) {
+      doomed.push_back(grant);
+    }
+  }
+  for (const ConnectionGrant& grant : doomed) {
+    ITV_LOG(Info) << "cmgr nb " << int{options_.neighborhood}
+                  << ": reclaiming orphaned connection " << grant.connection_id
+                  << " (settop " << grant.settop_host << ", server "
+                  << grant.server_host << ")";
+    Count("cmgr.grant_reclaimed");
+    grant_misses_.erase(grant.connection_id);
+    ApplyLocal(2, grant);
+    PushToStandbys(2, grant);
+    uint64_t connection_id = grant.connection_id;
+    bindings_.Bind<TrunkProxy>(TrunkName(grant.server_host))
+        .Call<void>(
+            [connection_id](const TrunkProxy& trunk) {
+              return trunk.Release(connection_id);
+            },
+            [](Result<void>) {});
+  }
 }
 
 int64_t CmgrService::SettopReservedBps(uint32_t settop_host) const {
@@ -217,6 +309,7 @@ void CmgrService::ApplyLocal(uint8_t op, const ConnectionGrant& grant) {
       granted_at_.erase(granted);
     }
     connections_.erase(grant.connection_id);
+    grant_misses_.erase(grant.connection_id);
   }
 }
 

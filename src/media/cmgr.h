@@ -17,6 +17,7 @@
 #define SRC_MEDIA_CMGR_H_
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -192,6 +193,16 @@ class CmgrService : public rpc::Skeleton {
     uint32_t max_connections_per_settop = 4;
     Duration rpc_timeout = Duration::Seconds(2);
     naming::PrimaryBinder::Options binder;
+    // Grant reclamation (paper Section 7.2): connection grants whose
+    // server-side session died without a release (server crash mid-stream,
+    // lost close) would pin the settop's downstream budget forever. The
+    // primary periodically cross-checks its grants against the sessions the
+    // MDS replicas report and releases grants nobody claims for
+    // `grant_misses_to_reclaim` consecutive audits. Fresh grants get a grace
+    // period: a grant is legitimately unclaimed while its open is in flight.
+    Duration grant_audit_interval = Duration::Seconds(10);
+    int grant_misses_to_reclaim = 2;
+    Duration grant_grace = Duration::Seconds(10);
   };
 
   CmgrService(rpc::ObjectRuntime& runtime, Executor& executor,
@@ -224,6 +235,11 @@ class CmgrService : public rpc::Skeleton {
   // Re-discovers standby replicas; newly seen standbys receive a full copy
   // of the allocation table so late joiners converge.
   void RefreshStandbys();
+  // Grant reclamation sweep: asks every live MDS replica which connection
+  // ids its sessions hold and releases grants unclaimed for
+  // `grant_misses_to_reclaim` consecutive sweeps.
+  void AuditGrants();
+  void ReclaimUnclaimed(const std::map<uint32_t, std::set<uint64_t>>& claimed);
   void Count(std::string_view name);
 
   rpc::ObjectRuntime& runtime_;
@@ -248,6 +264,9 @@ class CmgrService : public rpc::Skeleton {
   // Standby replica refs (refreshed periodically).
   std::vector<wire::ObjectRef> standbys_;
   PeriodicTimer standby_refresh_timer_;
+  // Consecutive audits each grant went unclaimed by its serving MDS.
+  std::map<uint64_t, int> grant_misses_;
+  PeriodicTimer grant_audit_timer_;
 };
 
 }  // namespace itv::media

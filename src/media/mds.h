@@ -115,9 +115,10 @@ class MdsProxy : public rpc::Proxy {
   Future<MdsLoad> GetLoad() const {
     return rpc::DecodeReply<MdsLoad>(Call(kMdsMethodGetLoad, {}));
   }
-  Future<std::vector<SessionInfo>> ListSessions() const {
+  Future<std::vector<SessionInfo>> ListSessions(
+      const rpc::CallOptions& options = {}) const {
     return rpc::DecodeReply<std::vector<SessionInfo>>(
-        Call(kMdsMethodListSessions, {}));
+        Call(kMdsMethodListSessions, {}, options));
   }
   Future<void> Close(uint64_t stream_id) const {
     return rpc::DecodeEmptyReply(Call(kMdsMethodClose, rpc::EncodeArgs(stream_id)));

@@ -91,6 +91,13 @@ void PrimaryBinder::TryBind() {
       if (on_primary_) {
         on_primary_();
       }
+      // A primary can lose its binding while alive: a transient network
+      // fault makes the RAS report it dead and the NS audit unbinds it.
+      // Keep verifying the binding and re-assert it when it disappears.
+      retry_timer_ = executor_.ScheduleAfter(options_.retry_interval, [this] {
+        retry_timer_ = kInvalidTimerId;
+        VerifyPrimary();
+      });
       return;
     }
     // ALREADY_EXISTS: a primary is alive. Anything else (no master elected,
@@ -100,9 +107,103 @@ void PrimaryBinder::TryBind() {
                    path_ + " error=" +
                        std::string(StatusCodeName(r.status().code())));
     }
+    if (IsAlreadyExists(r.status())) {
+      // The existing binding may be our own (e.g. we demoted on a stale
+      // NOT_FOUND answered by a lagging name-service replica while the
+      // master still holds our binding). Check before settling into the
+      // backup loop: if the name points at us, we never stopped being
+      // primary.
+      NamingContextProxy root(client_.runtime(), client_.root());
+      root.Resolve(SplitPath(path_))
+          .OnReady([this](const Result<wire::ObjectRef>& resolved) {
+            if (!running_ || is_primary_) {
+              return;
+            }
+            if (resolved.ok() && *resolved == my_ref_) {
+              is_primary_ = true;
+              ITV_LOG(Info) << "primary/backup: binding for " << path_
+                            << " still ours; resuming as primary";
+              retry_timer_ =
+                  executor_.ScheduleAfter(options_.retry_interval, [this] {
+                    retry_timer_ = kInvalidTimerId;
+                    VerifyPrimary();
+                  });
+              return;
+            }
+            retry_timer_ =
+                executor_.ScheduleAfter(options_.retry_interval, [this] {
+                  retry_timer_ = kInvalidTimerId;
+                  TryBind();
+                });
+          });
+      return;
+    }
     retry_timer_ = executor_.ScheduleAfter(options_.retry_interval, [this] {
       retry_timer_ = kInvalidTimerId;
       TryBind();
+    });
+  });
+}
+
+void PrimaryBinder::VerifyPrimary() {
+  if (!running_ || !is_primary_) {
+    return;
+  }
+  // Bypass the process's resolution cache: a cached entry could be our own
+  // stale binding and mask the loss this probe exists to detect.
+  NamingContextProxy root(client_.runtime(), client_.root());
+  root.Resolve(SplitPath(path_)).OnReady([this](
+                                             const Result<wire::ObjectRef>& r) {
+    if (!running_ || !is_primary_) {
+      return;
+    }
+    if (r.ok() && *r == my_ref_) {
+      // Still the registered primary.
+      retry_timer_ = executor_.ScheduleAfter(options_.retry_interval, [this] {
+        retry_timer_ = kInvalidTimerId;
+        VerifyPrimary();
+      });
+      return;
+    }
+    if (r.ok()) {
+      // Another replica holds the name: we were unbound and lost the
+      // re-election. Rejoin the backup retry loop.
+      ++demotions_;
+      is_primary_ = false;
+      ITV_LOG(Info) << "primary/backup: lost binding for " << path_
+                    << " to another replica";
+      retry_timer_ = executor_.ScheduleAfter(options_.retry_interval, [this] {
+        retry_timer_ = kInvalidTimerId;
+        TryBind();
+      });
+      return;
+    }
+    if (IsNotFound(r.status())) {
+      // The binding is gone — an audit false positive — or the answering
+      // replica is lagging and has not seen it yet. Re-assert WITHOUT
+      // demoting: if the name is genuinely free the bind restores it, and
+      // ALREADY_EXISTS just proves the NOT_FOUND was stale. Demoting here
+      // would deadlock: a false backup whose own binding survives gets
+      // ALREADY_EXISTS forever and never serves again.
+      client_.Bind(path_, my_ref_).OnReady([this](const Result<void>& bound) {
+        if (!running_ || !is_primary_) {
+          return;
+        }
+        if (bound.ok()) {
+          ITV_LOG(Info) << "primary/backup: re-asserted binding for " << path_;
+        }
+        retry_timer_ = executor_.ScheduleAfter(options_.retry_interval, [this] {
+          retry_timer_ = kInvalidTimerId;
+          VerifyPrimary();
+        });
+      });
+      return;
+    }
+    // Name service unreachable or masterless: no evidence either way, keep
+    // primaryship and probe again later.
+    retry_timer_ = executor_.ScheduleAfter(options_.retry_interval, [this] {
+      retry_timer_ = kInvalidTimerId;
+      VerifyPrimary();
     });
   });
 }

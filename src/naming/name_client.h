@@ -161,16 +161,18 @@ class PrimaryBinder {
         my_ref_(my_ref),
         options_(options) {}
 
-  // Begins attempting to bind; `on_primary` (optional) fires once when this
-  // replica wins.
+  // Begins attempting to bind; `on_primary` (optional) fires each time this
+  // replica wins (more than once if it loses the binding and re-acquires it).
   void Start(std::function<void()> on_primary = nullptr);
   void Stop();
 
   bool is_primary() const { return is_primary_; }
   uint64_t bind_attempts() const { return bind_attempts_; }
+  uint64_t demotions() const { return demotions_; }
 
  private:
   void TryBind();
+  void VerifyPrimary();
 
   Executor& executor_;
   NameClient client_;
@@ -181,6 +183,7 @@ class PrimaryBinder {
   bool running_ = false;
   bool is_primary_ = false;
   uint64_t bind_attempts_ = 0;
+  uint64_t demotions_ = 0;
   TimerId retry_timer_ = kInvalidTimerId;
 };
 

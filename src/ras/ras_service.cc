@@ -80,6 +80,20 @@ RasService::RasService(rpc::ObjectRuntime& runtime, Executor& executor,
 
 RasService::~RasService() = default;
 
+std::vector<std::pair<EntityId, EntityStatus>> RasService::TrackedSnapshot()
+    const {
+  std::vector<std::pair<EntityId, EntityStatus>> out;
+  out.reserve(tracked_.size());
+  for (const auto& [key, tracked] : tracked_) {
+    out.emplace_back(tracked.entity, tracked.status);
+  }
+  return out;
+}
+
+std::vector<wire::ObjectRef> RasService::LocalLiveSnapshot() const {
+  return {local_live_.begin(), local_live_.end()};
+}
+
 void RasService::Start() {
   skeleton_ = std::make_unique<RasSkeleton>(*this);
   ref_ = runtime_.ExportAt(skeleton_.get(), 1);
@@ -91,6 +105,8 @@ void RasService::Start() {
                          [this] { PollPeers(); });
   settop_poll_timer_.Start(executor_, options_.settop_poll_interval,
                            [this] { PollSettops(); });
+  ssc_resync_timer_.Start(executor_, options_.peer_poll_interval,
+                          [this] { ResyncWithSsc(); });
 }
 
 void RasService::RegisterWithSsc() {
@@ -102,6 +118,26 @@ void RasService::RegisterWithSsc() {
       executor_.ScheduleAfter(Duration::Seconds(5), [this] { RegisterWithSsc(); });
     }
   });
+}
+
+void RasService::ResyncWithSsc() {
+  // SSC callbacks are fire-and-forget: if the network drops an ObjectsDead
+  // notification, local_live_ keeps a dead object forever and this RAS keeps
+  // vouching for it (so the NS audit never reclaims its bindings). Poll the
+  // SSC's authoritative live set and replace ours wholesale; callbacks stay
+  // for promptness, this gives eventual correctness.
+  svc::SscProxy ssc(runtime_, svc::SscRefAt(runtime_.local_endpoint().host));
+  rpc::CallOptions opts;
+  opts.timeout = options_.rpc_timeout;
+  ssc.ListObjects(opts).OnReady(
+      [this](const Result<std::vector<wire::ObjectRef>>& r) {
+        if (!r.ok()) {
+          return;  // No SSC (bare-RAS unit tests) or transient loss.
+        }
+        Count("ras.ssc_resync");
+        local_live_ = std::set<wire::ObjectRef>(r->begin(), r->end());
+        ssc_synced_ = true;
+      });
 }
 
 void RasService::OnObjectsReady(const std::vector<wire::ObjectRef>& objects) {
@@ -148,11 +184,14 @@ std::vector<uint8_t> RasService::CheckStatus(
 }
 
 void RasService::PollPeers() {
-  // Group tracked remote objects by host and query that host's RAS.
+  // Group tracked remote objects by host and query that host's RAS. Dead
+  // entities stay in the poll: a death verdict inferred from unreachability
+  // (consecutive poll failures) can be a false positive under transient
+  // network faults, and the owner RAS's authoritative answer reverses it.
+  // A genuinely dead object just keeps being confirmed dead.
   std::map<uint32_t, std::vector<EntityId>> by_host;
   for (auto& [key, tracked] : tracked_) {
-    if (tracked.entity.kind == EntityKind::kServiceObject &&
-        tracked.status != EntityStatus::kDead) {
+    if (tracked.entity.kind == EntityKind::kServiceObject) {
       by_host[tracked.entity.ref.endpoint.host].push_back(tracked.entity);
     }
   }

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "src/common/executor.h"
@@ -66,6 +67,13 @@ class RasService {
   size_t tracked_entities() const { return tracked_.size(); }
   bool ssc_synced() const { return ssc_synced_; }
 
+  // Read-only view of everything this RAS instance is monitoring, with its
+  // current verdict (chaos invariant probe: after convergence, nothing a RAS
+  // still calls alive may point at a dead process).
+  std::vector<std::pair<EntityId, EntityStatus>> TrackedSnapshot() const;
+  // Objects the local SSC reported live (same probe, local half).
+  std::vector<wire::ObjectRef> LocalLiveSnapshot() const;
+
  private:
   class RasSkeleton;
   class CallbackSkeleton;
@@ -81,6 +89,7 @@ class RasService {
   void PollPeers();
   void PollSettops();
   void RegisterWithSsc();
+  void ResyncWithSsc();
   void Count(std::string_view name);
 
   rpc::ObjectRuntime& runtime_;
@@ -106,6 +115,7 @@ class RasService {
   rpc::BoundClient<svc::SettopManagerProxy> settopmgr_;
   PeriodicTimer peer_poll_timer_;
   PeriodicTimer settop_poll_timer_;
+  PeriodicTimer ssc_resync_timer_;
 };
 
 }  // namespace itv::ras

@@ -25,6 +25,7 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "src/common/executor.h"
 #include "src/common/metrics.h"
@@ -114,6 +115,25 @@ class ResolutionCache {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t invalidations() const { return invalidations_; }
+  Duration max_age() const { return options_.max_age; }
+
+  // Read-only view of the cached entries (chaos invariant probes: "does any
+  // entry a Lookup would still serve point at a dead endpoint?"). `age` is
+  // relative to now; entries with age > max_age would miss, not hit.
+  struct EntryView {
+    std::string path;
+    wire::ObjectRef ref;
+    Duration age;
+  };
+  std::vector<EntryView> Snapshot() const {
+    std::vector<EntryView> out;
+    out.reserve(entries_.size());
+    Time now = executor_.Now();
+    for (const auto& [path, entry] : entries_) {
+      out.push_back(EntryView{path, entry.ref, now - entry.inserted});
+    }
+    return out;
+  }
 
  private:
   struct Entry {

@@ -1,0 +1,382 @@
+#include "src/sim/chaos.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace itv::sim {
+
+// --- Fault -------------------------------------------------------------------
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kKillProcess:
+      return "kill";
+    case FaultKind::kKillNsMaster:
+      return "kill_ns_master";
+    case FaultKind::kCrashNode:
+      return "crash_node";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kIsolate:
+      return "isolate";
+    case FaultKind::kDropBurst:
+      return "drop_burst";
+    case FaultKind::kDelayBurst:
+      return "delay_burst";
+    case FaultKind::kReorderBurst:
+      return "reorder_burst";
+  }
+  return "unknown";
+}
+
+std::string Fault::ToString() const {
+  std::string out = StrFormat("t=%-8s %-14s", (Time() + at).ToString().c_str(),
+                              std::string(FaultKindName(kind)).c_str());
+  switch (kind) {
+    case FaultKind::kKillProcess:
+      out += StrFormat(" %s@host=%u", process.c_str(), host_a);
+      break;
+    case FaultKind::kKillNsMaster:
+      out += StrFormat(" %s@master(fallback host=%u)", process.c_str(), host_a);
+      break;
+    case FaultKind::kCrashNode:
+      out += StrFormat(" host=%u restore_after=%s", host_a,
+                       duration.ToString().c_str());
+      break;
+    case FaultKind::kPartition:
+      out += StrFormat(" host=%u <-> host=%u for=%s", host_a, host_b,
+                       duration.ToString().c_str());
+      break;
+    case FaultKind::kIsolate:
+      out += StrFormat(" host=%u for=%s", host_a, duration.ToString().c_str());
+      break;
+    case FaultKind::kDropBurst:
+    case FaultKind::kDelayBurst:
+    case FaultKind::kReorderBurst:
+      out += StrFormat(" rate=%.2f for=%s", rate, duration.ToString().c_str());
+      break;
+  }
+  return out;
+}
+
+std::string Fault::ToJson() const {
+  return StrFormat(
+      "{\"at_ns\":%lld,\"kind\":\"%s\",\"host_a\":%u,\"host_b\":%u,"
+      "\"process\":\"%s\",\"duration_ns\":%lld,\"rate\":%.4f}",
+      static_cast<long long>(at.nanos()),
+      std::string(FaultKindName(kind)).c_str(), host_a, host_b,
+      process.c_str(), static_cast<long long>(duration.nanos()), rate);
+}
+
+// --- ChaosPlan ---------------------------------------------------------------
+
+ChaosPlan ChaosPlan::Generate(uint64_t seed, const ChaosSpec& spec) {
+  ChaosPlan plan;
+  plan.seed = seed;
+  Rng rng(seed);
+
+  std::vector<FaultKind> menu;
+  auto offer = [&menu](bool allowed, FaultKind kind, int weight) {
+    for (int i = 0; allowed && i < weight; ++i) {
+      menu.push_back(kind);
+    }
+  };
+  // Kills dominate (the paper's most common failure); the rest share the
+  // remainder roughly evenly.
+  offer(spec.allow_kill && !spec.kill_names.empty() &&
+            !spec.server_hosts.empty(),
+        FaultKind::kKillProcess, 4);
+  offer(spec.allow_ns_master_kill && !spec.server_hosts.empty(),
+        FaultKind::kKillNsMaster, 2);
+  offer(spec.allow_node_crash && !spec.server_hosts.empty(),
+        FaultKind::kCrashNode, 2);
+  offer(spec.allow_partition &&
+            spec.server_hosts.size() + spec.settop_hosts.size() >= 2,
+        FaultKind::kPartition, 2);
+  offer(spec.allow_isolate && !spec.settop_hosts.empty(), FaultKind::kIsolate,
+        1);
+  offer(spec.allow_drop, FaultKind::kDropBurst, 1);
+  offer(spec.allow_delay, FaultKind::kDelayBurst, 1);
+  offer(spec.allow_reorder, FaultKind::kReorderBurst, 1);
+  if (menu.empty() || spec.fault_count == 0) {
+    return plan;
+  }
+
+  std::vector<uint32_t> all_hosts = spec.server_hosts;
+  all_hosts.insert(all_hosts.end(), spec.settop_hosts.begin(),
+                   spec.settop_hosts.end());
+
+  auto pick_host = [&rng](const std::vector<uint32_t>& hosts) {
+    return hosts[rng.Below(hosts.size())];
+  };
+  auto pick_outage = [&rng, &spec] {
+    if (spec.max_outage <= spec.min_outage) {
+      return spec.min_outage;
+    }
+    return Duration::Nanos(
+        rng.Range(spec.min_outage.nanos(), spec.max_outage.nanos()));
+  };
+
+  for (size_t i = 0; i < spec.fault_count; ++i) {
+    Fault fault;
+    fault.at = Duration::Nanos(
+        static_cast<int64_t>(rng.Below(spec.horizon.nanos())));
+    fault.kind = menu[rng.Below(menu.size())];
+    switch (fault.kind) {
+      case FaultKind::kKillProcess:
+        fault.host_a = pick_host(spec.server_hosts);
+        fault.process = spec.kill_names[rng.Below(spec.kill_names.size())];
+        break;
+      case FaultKind::kKillNsMaster:
+        fault.host_a = pick_host(spec.server_hosts);
+        fault.process = spec.ns_process;
+        break;
+      case FaultKind::kCrashNode:
+        fault.host_a = pick_host(spec.server_hosts);
+        fault.duration = pick_outage();
+        break;
+      case FaultKind::kPartition: {
+        fault.host_a = pick_host(all_hosts);
+        do {
+          fault.host_b = pick_host(all_hosts);
+        } while (fault.host_b == fault.host_a);
+        fault.duration = pick_outage();
+        break;
+      }
+      case FaultKind::kIsolate:
+        fault.host_a = pick_host(spec.settop_hosts);
+        fault.duration = pick_outage();
+        break;
+      case FaultKind::kDropBurst:
+        fault.rate = 0.05 + rng.NextDouble() * (spec.max_drop_rate - 0.05);
+        fault.duration = pick_outage();
+        break;
+      case FaultKind::kDelayBurst:
+        fault.rate = 0.1 + rng.NextDouble() * (spec.max_delay_rate - 0.1);
+        fault.duration = pick_outage();
+        break;
+      case FaultKind::kReorderBurst:
+        fault.rate = 0.05 + rng.NextDouble() * (spec.max_reorder_rate - 0.05);
+        fault.duration = pick_outage();
+        break;
+    }
+    plan.faults.push_back(std::move(fault));
+  }
+  std::stable_sort(
+      plan.faults.begin(), plan.faults.end(),
+      [](const Fault& a, const Fault& b) { return a.at < b.at; });
+  return plan;
+}
+
+std::string ChaosPlan::ToString() const {
+  std::string out = StrFormat("chaos plan: seed=%llu faults=%zu\n",
+                              static_cast<unsigned long long>(seed),
+                              faults.size());
+  for (const Fault& fault : faults) {
+    out += "  " + fault.ToString() + "\n";
+  }
+  return out;
+}
+
+std::string ChaosPlan::ToJson() const {
+  std::string out =
+      StrFormat("{\"seed\":%llu,\"faults\":[",
+                static_cast<unsigned long long>(seed));
+  for (size_t i = 0; i < faults.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += faults[i].ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+// --- ChaosInjector -----------------------------------------------------------
+
+void ChaosInjector::Start(const ChaosPlan& plan, uint64_t net_seed) {
+  cluster_.network().SeedFaultRng(net_seed);
+  for (const Fault& fault : plan.faults) {
+    cluster_.scheduler().ScheduleAfter(
+        fault.at, [this, fault] { Apply(fault); });
+  }
+}
+
+void ChaosInjector::Note(const Fault& fault, const std::string& outcome) {
+  ++applied_;
+  std::string kind_metric = "chaos.fault." + std::string(FaultKindName(fault.kind));
+  cluster_.metrics().Add(kind_metric, 1);
+  std::string line = StrFormat("t=%s %s -> %s",
+                               cluster_.Now().ToString().c_str(),
+                               fault.ToString().c_str(), outcome.c_str());
+  ITV_LOG(Info) << "chaos: " << line;
+  log_.push_back(std::move(line));
+}
+
+void ChaosInjector::RecomputeBursts() {
+  Time now = cluster_.Now();
+  bursts_.erase(std::remove_if(bursts_.begin(), bursts_.end(),
+                               [now](const ActiveBurst& b) {
+                                 return b.until <= now;
+                               }),
+                bursts_.end());
+  NetworkFaultOptions composed;
+  for (const ActiveBurst& burst : bursts_) {
+    double* slot = nullptr;
+    switch (burst.kind) {
+      case FaultKind::kDropBurst:
+        slot = &composed.drop_rate;
+        break;
+      case FaultKind::kDelayBurst:
+        slot = &composed.delay_rate;
+        break;
+      case FaultKind::kReorderBurst:
+        slot = &composed.reorder_rate;
+        break;
+      default:
+        continue;
+    }
+    *slot = std::min(1.0, *slot + burst.rate);
+  }
+  cluster_.network().SetFaultInjection(composed);
+}
+
+void ChaosInjector::Apply(const Fault& fault) {
+  Network& net = cluster_.network();
+  switch (fault.kind) {
+    case FaultKind::kKillProcess:
+    case FaultKind::kKillNsMaster: {
+      uint32_t host = fault.host_a;
+      if (fault.kind == FaultKind::kKillNsMaster && hooks_.ns_master_host) {
+        uint32_t master = hooks_.ns_master_host();
+        if (master != 0) {
+          host = master;
+        }
+      }
+      Node* node = cluster_.FindNode(host);
+      Process* victim =
+          (node != nullptr && node->alive())
+              ? node->FindProcessByName(fault.process)
+              : nullptr;
+      if (victim == nullptr) {
+        Note(fault, StrFormat("no live %s on host=%u", fault.process.c_str(),
+                              host));
+        return;
+      }
+      uint64_t pid = victim->pid();
+      node->Kill(pid);
+      Note(fault, StrFormat("killed pid=%llu on host=%u",
+                            static_cast<unsigned long long>(pid), host));
+      return;
+    }
+    case FaultKind::kCrashNode: {
+      Node* node = cluster_.FindNode(fault.host_a);
+      if (node == nullptr || !node->alive()) {
+        Note(fault, "node missing or already down");
+        return;
+      }
+      node->Crash();
+      cluster_.scheduler().ScheduleAfter(fault.duration, [this, fault] {
+        Node* down = cluster_.FindNode(fault.host_a);
+        if (down == nullptr || down->alive()) {
+          return;
+        }
+        if (hooks_.restore_node) {
+          hooks_.restore_node(fault.host_a);
+        } else {
+          down->Restart();
+        }
+        ITV_LOG(Info) << "chaos: restored host=" << fault.host_a;
+      });
+      Note(fault, "crashed");
+      return;
+    }
+    case FaultKind::kPartition:
+      net.Partition(fault.host_a, fault.host_b, true);
+      cluster_.scheduler().ScheduleAfter(fault.duration, [this, fault] {
+        cluster_.network().Partition(fault.host_a, fault.host_b, false);
+      });
+      Note(fault, "partitioned");
+      return;
+    case FaultKind::kIsolate:
+      net.Isolate(fault.host_a, true);
+      cluster_.scheduler().ScheduleAfter(fault.duration, [this, fault] {
+        cluster_.network().Isolate(fault.host_a, false);
+      });
+      Note(fault, "isolated");
+      return;
+    case FaultKind::kDropBurst:
+    case FaultKind::kDelayBurst:
+    case FaultKind::kReorderBurst: {
+      Time until = cluster_.Now() + fault.duration;
+      bursts_.push_back(ActiveBurst{fault.kind, fault.rate, until});
+      RecomputeBursts();
+      cluster_.scheduler().ScheduleAfter(fault.duration,
+                                         [this] { RecomputeBursts(); });
+      Note(fault, "burst armed");
+      return;
+    }
+  }
+}
+
+void ChaosInjector::HealAll() {
+  bursts_.clear();
+  cluster_.network().HealAllPartitions();
+  cluster_.network().ClearFaultInjection();
+}
+
+// --- InvariantMonitor --------------------------------------------------------
+
+void InvariantMonitor::AddContinuous(std::string name, Check check) {
+  continuous_.push_back(Named{std::move(name), std::move(check)});
+}
+
+void InvariantMonitor::AddQuiescent(std::string name, Check check) {
+  quiescent_.push_back(Named{std::move(name), std::move(check)});
+}
+
+bool InvariantMonitor::Eval(const std::vector<Named>& checks, Time now) {
+  bool all_ok = true;
+  for (const Named& named : checks) {
+    ++checks_run_;
+    Status status = named.check();
+    if (!status.ok()) {
+      all_ok = false;
+      ITV_LOG(Warn) << "invariant violated: " << named.name << ": "
+                    << status.message();
+      violations_.push_back(Violation{now, named.name, status.message()});
+    }
+  }
+  return all_ok;
+}
+
+bool InvariantMonitor::RunContinuousNow(Time now) {
+  return Eval(continuous_, now);
+}
+
+bool InvariantMonitor::RunQuiescent(Time now) { return Eval(quiescent_, now); }
+
+void InvariantMonitor::StartContinuous(Scheduler& scheduler, Duration interval,
+                                       Time until) {
+  if (scheduler.Now() > until) {
+    return;
+  }
+  RunContinuousNow(scheduler.Now());
+  scheduler.ScheduleAfter(interval, [this, &scheduler, interval, until] {
+    StartContinuous(scheduler, interval, until);
+  });
+}
+
+std::string InvariantMonitor::Report() const {
+  std::string out;
+  for (const Violation& violation : violations_) {
+    out += StrFormat("[%s] %s: %s\n", violation.at.ToString().c_str(),
+                     violation.invariant.c_str(), violation.detail.c_str());
+  }
+  return out;
+}
+
+}  // namespace itv::sim

@@ -1,0 +1,209 @@
+// Deterministic chaos fuzzing: seeded fault schedules and cluster invariant
+// monitoring (FoundationDB-style simulation testing on top of sim::Cluster).
+//
+// The paper's availability claims ("most failures... were covered with only a
+// very brief interruption", Section 9.5) are only as trustworthy as the
+// failure-schedule space they have been exercised against. Hand-written kill
+// scripts cover a handful of points in that space; this module machine-
+// generates schedules instead:
+//
+//   - ChaosPlan::Generate(seed, spec) expands a single uint64_t seed into a
+//     time-sorted schedule of faults — process kills, NS-master kills, node
+//     crashes (with restore), link partitions, host isolations, and message
+//     drop/delay/reorder bursts — over a configurable horizon. Same seed,
+//     same spec => byte-identical schedule, so every failing run reproduces
+//     from its seed alone.
+//   - ChaosInjector arms a plan against a live cluster on the shared virtual
+//     clock. Transient faults (partitions, bursts, crashes) carry durations
+//     and heal themselves; HealAll() force-clears everything at horizon end
+//     so convergence is measured from a quiet network.
+//   - InvariantMonitor evaluates named checks, either continuously (sampled
+//     on a timer while faults fly: structural properties that must never
+//     break) or at quiescent points (after faults stop and the paper's
+//     fail-over bound has elapsed: convergence properties). Violations are
+//     recorded with virtual timestamps for the shrinker and artifacts.
+//
+// The seed -> schedule -> invariant -> shrink pipeline lives in
+// src/chaos/fuzz.h (it needs the full service stack); this header is the
+// substrate and knows only about sim::Cluster.
+
+#ifndef SRC_SIM_CHAOS_H_
+#define SRC_SIM_CHAOS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/sim/cluster.h"
+
+namespace itv::sim {
+
+enum class FaultKind : uint8_t {
+  kKillProcess = 0,   // Kill the process named `process` on host_a.
+  kKillNsMaster = 1,  // Kill `process` on the current NS master's host.
+  kCrashNode = 2,     // Crash host_a; restored after `duration`.
+  kPartition = 3,     // Block host_a <-> host_b for `duration`.
+  kIsolate = 4,       // Block all traffic to/from host_a for `duration`.
+  kDropBurst = 5,     // Drop messages at `rate` for `duration`.
+  kDelayBurst = 6,    // Delay messages at `rate` for `duration` (FIFO kept).
+  kReorderBurst = 7,  // Hold messages at `rate` for `duration` (breaks FIFO).
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+struct Fault {
+  Duration at;  // Offset from ChaosInjector::Start.
+  FaultKind kind = FaultKind::kKillProcess;
+  uint32_t host_a = 0;
+  uint32_t host_b = 0;     // kPartition only.
+  std::string process;     // kKillProcess / kKillNsMaster.
+  Duration duration;       // Transient faults: how long until self-heal.
+  double rate = 0.0;       // Bursts: injection probability.
+
+  std::string ToString() const;
+  std::string ToJson() const;
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+// What the generator may draw from. Hosts and victim names come from the
+// deployment (the fuzz runner fills them from the harness topology).
+struct ChaosSpec {
+  Duration horizon = Duration::Seconds(120);
+  size_t fault_count = 10;
+  std::vector<uint32_t> server_hosts;
+  std::vector<uint32_t> settop_hosts;  // Partition/isolate targets too.
+  std::vector<std::string> kill_names;
+  std::string ns_process = "nsd";
+
+  bool allow_kill = true;
+  bool allow_ns_master_kill = true;
+  bool allow_node_crash = true;
+  bool allow_partition = true;
+  bool allow_isolate = true;
+  bool allow_drop = true;
+  bool allow_delay = true;
+  bool allow_reorder = true;
+
+  // Transient-fault durations are drawn from [min_outage, max_outage].
+  Duration min_outage = Duration::Seconds(5);
+  Duration max_outage = Duration::Seconds(25);
+  double max_drop_rate = 0.8;
+  double max_delay_rate = 1.0;
+  double max_reorder_rate = 0.5;
+};
+
+struct ChaosPlan {
+  uint64_t seed = 0;
+  std::vector<Fault> faults;  // Sorted by `at` (ties keep generation order).
+
+  // Deterministic: the schedule is a pure function of (seed, spec).
+  static ChaosPlan Generate(uint64_t seed, const ChaosSpec& spec);
+
+  std::string ToString() const;  // One fault per line.
+  std::string ToJson() const;    // {"seed": ..., "faults": [...]}
+};
+
+// Arms a plan against a live cluster. All fault events run on the cluster
+// scheduler (not on any process executor), so they survive the very kills
+// they inject. The injector must outlive the run it started.
+class ChaosInjector {
+ public:
+  struct Hooks {
+    // Current NS master's host, or 0 when unknown (kKillNsMaster falls back
+    // to the fault's host_a).
+    std::function<uint32_t()> ns_master_host;
+    // Restores a crashed node (Node::Restart plus whatever re-spawning the
+    // deployment's init story requires). Defaults to bare Restart().
+    std::function<void(uint32_t host)> restore_node;
+  };
+
+  ChaosInjector(Cluster& cluster, Hooks hooks = {})
+      : cluster_(cluster), hooks_(std::move(hooks)) {}
+
+  ChaosInjector(const ChaosInjector&) = delete;
+  ChaosInjector& operator=(const ChaosInjector&) = delete;
+
+  // Schedules every fault in `plan` relative to now. `net_seed` seeds the
+  // network's fault-injection PRNG so burst sampling replays exactly.
+  void Start(const ChaosPlan& plan, uint64_t net_seed);
+
+  // Force-heals everything transient: partitions, isolations, active bursts.
+  // Crash restores remain scheduled (a node must come back regardless).
+  void HealAll();
+
+  size_t faults_applied() const { return applied_; }
+  // Human-readable record of every applied fault ("t=12.0s kill mmsd@...").
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  struct ActiveBurst {
+    FaultKind kind;
+    double rate;
+    Time until;
+  };
+
+  void Apply(const Fault& fault);
+  void RecomputeBursts();
+  void Note(const Fault& fault, const std::string& outcome);
+
+  Cluster& cluster_;
+  Hooks hooks_;
+  std::vector<ActiveBurst> bursts_;
+  std::vector<std::string> log_;
+  size_t applied_ = 0;
+};
+
+// Named cluster invariants, recorded with virtual timestamps when violated.
+// Continuous checks run on a timer while faults are active (properties that
+// must hold at every instant); quiescent checks run once the cluster has had
+// its convergence window (properties that must hold after recovery).
+class InvariantMonitor {
+ public:
+  // OK = invariant holds; an error status carries the violation detail.
+  using Check = std::function<Status()>;
+
+  struct Violation {
+    Time at;
+    std::string invariant;
+    std::string detail;
+  };
+
+  void AddContinuous(std::string name, Check check);
+  void AddQuiescent(std::string name, Check check);
+
+  // Samples the continuous checks every `interval` until `until` (events run
+  // on the cluster scheduler; the monitor must outlive them).
+  void StartContinuous(Scheduler& scheduler, Duration interval, Time until);
+
+  // Evaluates one group now; returns true if everything held.
+  bool RunContinuousNow(Time now);
+  bool RunQuiescent(Time now);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  size_t checks_run() const { return checks_run_; }
+  std::string Report() const;  // One violation per line; "" when ok.
+
+ private:
+  struct Named {
+    std::string name;
+    Check check;
+  };
+
+  bool Eval(const std::vector<Named>& checks, Time now);
+
+  std::vector<Named> continuous_;
+  std::vector<Named> quiescent_;
+  std::vector<Violation> violations_;
+  size_t checks_run_ = 0;
+};
+
+}  // namespace itv::sim
+
+#endif  // SRC_SIM_CHAOS_H_

@@ -20,16 +20,14 @@ bool Network::IsBlocked(uint32_t a, uint32_t b) const {
   if (isolated_.count(a) > 0 || isolated_.count(b) > 0) {
     return true;
   }
-  auto key = std::minmax(a, b);
-  return partitions_.count({key.first, key.second}) > 0;
+  return partitions_.count(LinkKey(a, b)) > 0;
 }
 
 void Network::Partition(uint32_t a, uint32_t b, bool blocked) {
-  auto key = std::minmax(a, b);
   if (blocked) {
-    partitions_.insert({key.first, key.second});
+    partitions_.insert(LinkKey(a, b));
   } else {
-    partitions_.erase({key.first, key.second});
+    partitions_.erase(LinkKey(a, b));
   }
 }
 
@@ -41,6 +39,25 @@ void Network::Isolate(uint32_t host, bool isolated) {
   }
 }
 
+void Network::HealAllPartitions() {
+  partitions_.clear();
+  isolated_.clear();
+}
+
+void Network::SeedFaultRng(uint64_t seed) { fault_rng_ = Rng(seed); }
+
+void Network::SetFaultInjection(const NetworkFaultOptions& faults) {
+  faults_ = faults;
+  if (!faults_.any()) {
+    link_front_.clear();
+  }
+}
+
+void Network::ClearFaultInjection() {
+  faults_ = NetworkFaultOptions{};
+  link_front_.clear();
+}
+
 void Network::Route(wire::Endpoint src, wire::Endpoint dst, wire::Message msg) {
   msg.source = src;
   if (c_msg_total_ == nullptr) {
@@ -50,6 +67,9 @@ void Network::Route(wire::Endpoint src, wire::Endpoint dst, wire::Message msg) {
     c_msg_server_settop_ = &metrics.Intern("net.msg.server_settop");
     c_msg_server_server_ = &metrics.Intern("net.msg.server_server");
     c_msg_dropped_ = &metrics.Intern("net.msg.dropped");
+    c_msg_fault_dropped_ = &metrics.Intern("net.msg.fault_dropped");
+    c_msg_delayed_ = &metrics.Intern("net.msg.delayed");
+    c_msg_reordered_ = &metrics.Intern("net.msg.reordered");
   }
   ++*c_msg_total_;
   *c_bytes_total_ += msg.payload.size() + 64;
@@ -66,9 +86,39 @@ void Network::Route(wire::Endpoint src, wire::Endpoint dst, wire::Message msg) {
     return;
   }
 
-  Duration latency = LatencyBetween(src.host, dst.host);
-  cluster_.scheduler().ScheduleAfter(
-      latency, [this, src, dst, msg = std::move(msg)]() mutable {
+  Time arrival = cluster_.scheduler().Now() + LatencyBetween(src.host, dst.host);
+  if (faults_.any()) {
+    if (faults_.drop_rate > 0 && fault_rng_.Bernoulli(faults_.drop_rate)) {
+      ++*c_msg_dropped_;
+      ++*c_msg_fault_dropped_;
+      return;
+    }
+    auto sample = [this](Duration lo, Duration hi) {
+      if (hi <= lo) {
+        return lo;
+      }
+      return Duration::Nanos(fault_rng_.Range(lo.nanos(), hi.nanos()));
+    };
+    Time& front = link_front_[{src.host, dst.host}];
+    if (faults_.reorder_rate > 0 && fault_rng_.Bernoulli(faults_.reorder_rate)) {
+      // Held: extra hold time, exempt from the FIFO clamp and not advancing
+      // the link front, so later sends on this link overtake it.
+      arrival = arrival + sample(faults_.reorder_hold_min,
+                                 faults_.reorder_hold_max);
+      ++*c_msg_reordered_;
+    } else {
+      if (faults_.delay_rate > 0 && fault_rng_.Bernoulli(faults_.delay_rate)) {
+        arrival = arrival + sample(faults_.delay_min, faults_.delay_max);
+        ++*c_msg_delayed_;
+      }
+      if (arrival < front) {
+        arrival = front;  // Delays stretch a link but never reorder it.
+      }
+      front = arrival;
+    }
+  }
+  cluster_.scheduler().ScheduleAt(
+      arrival, [this, src, dst, msg = std::move(msg)]() mutable {
         Node* node = cluster_.FindNode(dst.host);
         if (node == nullptr || !node->alive() || IsBlocked(src.host, dst.host)) {
           ++*c_msg_dropped_;
@@ -252,6 +302,21 @@ Process* Node::FindProcessByName(const std::string& name) {
   return nullptr;
 }
 
+Process* Node::ProcessAtPort(uint16_t port) {
+  for (auto& [pid, process] : processes_) {
+    if (process->port() == port && process->alive()) {
+      return process.get();
+    }
+  }
+  return nullptr;
+}
+
+void Node::ForEachProcess(const std::function<void(Process&)>& fn) {
+  for (auto& [pid, process] : processes_) {
+    fn(*process);
+  }
+}
+
 SimTransport* Node::TransportAt(uint16_t port) {
   auto it = ports_.find(port);
   return it == ports_.end() ? nullptr : it->second;
@@ -294,6 +359,20 @@ Node* Cluster::FindNode(uint32_t host) {
 Process* Cluster::FindProcessGlobal(uint64_t pid) {
   auto it = process_index_.find(pid);
   return it == process_index_.end() ? nullptr : it->second;
+}
+
+Process* Cluster::ProcessAtEndpoint(const wire::Endpoint& endpoint) {
+  Node* node = FindNode(endpoint.host);
+  if (node == nullptr || !node->alive()) {
+    return nullptr;
+  }
+  return node->ProcessAtPort(endpoint.port);
+}
+
+void Cluster::ForEachProcess(const std::function<void(Process&)>& fn) {
+  for (auto& [host, node] : nodes_) {
+    node->ForEachProcess(fn);
+  }
 }
 
 void Cluster::RegisterProcess(Process* p) { process_index_[p->pid()] = p; }

@@ -30,6 +30,7 @@
 #include "src/common/address.h"
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
+#include "src/common/rand.h"
 #include "src/common/trace.h"
 #include "src/rpc/resolution_cache.h"
 #include "src/rpc/runtime.h"
@@ -61,6 +62,33 @@ struct NetworkOptions {
   Duration server_settop_latency = Duration::Millis(2);    // ATM.
 };
 
+// Probabilistic message-fault injection (chaos fuzzing). All sampling comes
+// from the network's dedicated PRNG, seeded explicitly, so a fault schedule
+// replays identically from its seed.
+//
+// Semantics:
+//   - drop_rate:    the message vanishes (callers see timeouts).
+//   - delay_rate:   extra latency in [delay_min, delay_max]; delayed messages
+//                   are clamped behind the link's latest scheduled arrival, so
+//                   a delay burst stretches a link but never reorders it.
+//   - reorder_rate: the message is *held* for [reorder_hold_min, _max] and
+//                   exempted from the FIFO clamp, so later sends on the same
+//                   link overtake it — genuine reordering, injected on purpose
+//                   rather than as an accident of random delays.
+struct NetworkFaultOptions {
+  double drop_rate = 0.0;
+  double delay_rate = 0.0;
+  Duration delay_min = Duration::Millis(2);
+  Duration delay_max = Duration::Millis(20);
+  double reorder_rate = 0.0;
+  Duration reorder_hold_min = Duration::Millis(1);
+  Duration reorder_hold_max = Duration::Millis(10);
+
+  bool any() const {
+    return drop_rate > 0 || delay_rate > 0 || reorder_rate > 0;
+  }
+};
+
 class Network {
  public:
   Network(Cluster& cluster, NetworkOptions options)
@@ -70,11 +98,26 @@ class Network {
   // destination node, partition) or generate a NACK (no listener on port).
   void Route(wire::Endpoint src, wire::Endpoint dst, wire::Message msg);
 
-  // Bidirectionally blocks traffic between two hosts.
+  // Bidirectionally blocks traffic between two hosts. Symmetric by
+  // construction: the pair is canonicalized through LinkKey, so
+  // Partition(a, b, ...) and Partition(b, a, ...) address the same link and a
+  // fuzz schedule can never half-heal a partition it installed.
   void Partition(uint32_t a, uint32_t b, bool blocked);
   // Blocks all traffic to/from a host.
   void Isolate(uint32_t host, bool isolated);
   bool IsBlocked(uint32_t a, uint32_t b) const;
+  // Drops every partition and isolation at once (chaos teardown).
+  void HealAllPartitions();
+  size_t partition_count() const { return partitions_.size(); }
+  size_t isolated_count() const { return isolated_.size(); }
+
+  // --- Fault injection (chaos fuzzing) ---------------------------------------
+  // Seeds the injection PRNG; call once before the first SetFaultInjection so
+  // runs are reproducible.
+  void SeedFaultRng(uint64_t seed);
+  void SetFaultInjection(const NetworkFaultOptions& faults);
+  void ClearFaultInjection();
+  const NetworkFaultOptions& fault_injection() const { return faults_; }
 
   // Observability hook for tests (called for every routed message, before
   // drop/partition filtering).
@@ -86,11 +129,23 @@ class Network {
  private:
   Duration LatencyBetween(uint32_t a, uint32_t b) const;
 
+  // Canonical (unordered) key for a host pair: every partition insert, erase
+  // and lookup goes through this, which is what makes partitions symmetric.
+  static std::pair<uint32_t, uint32_t> LinkKey(uint32_t a, uint32_t b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  }
+
   Cluster& cluster_;
   NetworkOptions options_;
   std::set<std::pair<uint32_t, uint32_t>> partitions_;
   std::unordered_set<uint32_t> isolated_;
   Tap tap_;
+
+  // Fault injection state. link_front_ tracks the latest scheduled arrival
+  // per directed link while faults are active (the FIFO clamp for delays).
+  NetworkFaultOptions faults_;
+  Rng fault_rng_;
+  std::map<std::pair<uint32_t, uint32_t>, Time> link_front_;
 
   // Hot-path counters, interned on first Route() (the cluster metrics
   // object outlives the network).
@@ -99,6 +154,9 @@ class Network {
   Metrics::Counter* c_msg_server_settop_ = nullptr;
   Metrics::Counter* c_msg_server_server_ = nullptr;
   Metrics::Counter* c_msg_dropped_ = nullptr;
+  Metrics::Counter* c_msg_fault_dropped_ = nullptr;
+  Metrics::Counter* c_msg_delayed_ = nullptr;
+  Metrics::Counter* c_msg_reordered_ = nullptr;
 };
 
 // --- Transport ---------------------------------------------------------------
@@ -290,7 +348,12 @@ class Node {
 
   Process* FindProcess(uint64_t pid);
   Process* FindProcessByName(const std::string& name);
+  // The live process listening on `port` (nullptr if none).
+  Process* ProcessAtPort(uint16_t port);
   size_t process_count() const { return processes_.size(); }
+  // Visits every process on this node (invariant probes; do not kill/spawn
+  // from inside the visitor).
+  void ForEachProcess(const std::function<void(Process&)>& fn);
 
   SimTransport* TransportAt(uint16_t port);
 
@@ -331,6 +394,13 @@ class Cluster {
 
   Node* FindNode(uint32_t host);
   Process* FindProcessGlobal(uint64_t pid);
+  // The live process serving `endpoint` (nullptr when the node is missing,
+  // crashed, or nothing listens on the port) — the liveness oracle behind the
+  // chaos invariants ("does this ObjectRef still point at anyone?").
+  Process* ProcessAtEndpoint(const wire::Endpoint& endpoint);
+  // Visits every live process in the cluster.
+  void ForEachProcess(const std::function<void(Process&)>& fn);
+  size_t live_process_count() const { return process_index_.size(); }
   const std::vector<Node*>& servers() const { return servers_; }
   const std::vector<Node*>& settops() const { return settops_; }
 

@@ -161,6 +161,38 @@ SscService* ClusterHarness::SscOn(size_t server_index) {
   return it == sscs_.end() ? nullptr : it->second;
 }
 
+std::vector<naming::NameServer*> ClusterHarness::LiveNameServers() {
+  std::vector<naming::NameServer*> out;
+  for (auto& [host, probe] : ns_probes_) {
+    sim::Process* process = cluster_.FindProcessGlobal(probe.first);
+    if (process != nullptr && process->alive()) {
+      out.push_back(probe.second);
+    }
+  }
+  return out;
+}
+
+std::vector<ras::RasService*> ClusterHarness::LiveRasServices() {
+  std::vector<ras::RasService*> out;
+  for (auto& [host, probe] : ras_probes_) {
+    sim::Process* process = cluster_.FindProcessGlobal(probe.first);
+    if (process != nullptr && process->alive()) {
+      out.push_back(probe.second);
+    }
+  }
+  return out;
+}
+
+uint32_t ClusterHarness::NsMasterHost() {
+  for (auto& [host, probe] : ns_probes_) {
+    sim::Process* process = cluster_.FindProcessGlobal(probe.first);
+    if (process != nullptr && process->alive() && probe.second->is_master()) {
+      return host;
+    }
+  }
+  return 0;
+}
+
 void ClusterHarness::StartSsc(size_t server_index) {
   sim::Node& node = *servers_[server_index];
   sim::Process& ssc_proc = node.Spawn("ssc", kSscPort);
@@ -218,6 +250,7 @@ void ClusterHarness::RegisterBaseServiceTypes() {
         ctx.process.runtime(), ras::RasRefAt(ctx.process.host()));
     ns->SetAudit(audit);
     ns->Start();
+    ns_probes_[ctx.process.host()] = {ctx.process.pid(), ns};
   });
 
   // --- Resource Audit Service -------------------------------------------------
@@ -226,6 +259,7 @@ void ClusterHarness::RegisterBaseServiceTypes() {
         ctx.process.runtime(), ctx.process.executor(), ctx.MakeNameClient(),
         options_.ras, ctx.metrics);
     rasd->Start();
+    ras_probes_[ctx.process.host()] = {ctx.process.pid(), rasd};
     ctx.NotifyReady({rasd->ref()});
     // Publish under svc/ras/<server-index> for the per-server selector.
     for (size_t i = 0; i < servers_.size(); ++i) {

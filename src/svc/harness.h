@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/db/disk.h"
@@ -118,6 +119,16 @@ class ClusterHarness {
   // Re-runs the init step after an SSC crash or a server restart.
   void StartSsc(size_t server_index);
 
+  // --- Chaos probes -----------------------------------------------------------
+  // The nsd/rasd factories record the servants they create so invariant
+  // checkers can inspect live replicas directly (NS master uniqueness, RAS
+  // reclamation). Entries whose process has since died are filtered out; a
+  // restarted daemon re-registers and replaces its host's entry.
+  std::vector<naming::NameServer*> LiveNameServers();
+  std::vector<ras::RasService*> LiveRasServices();
+  // Host of a live NS replica currently claiming mastership, or 0 if none.
+  uint32_t NsMasterHost();
+
  private:
   class NodeLauncher;
 
@@ -132,6 +143,9 @@ class ClusterHarness {
   std::map<uint32_t, std::unique_ptr<db::MemoryDisk>> disks_;
   std::map<uint32_t, std::unique_ptr<NodeLauncher>> launchers_;
   std::map<uint32_t, SscService*> sscs_;
+  // host -> (pid, servant); pid gates liveness via the cluster process index.
+  std::map<uint32_t, std::pair<uint64_t, naming::NameServer*>> ns_probes_;
+  std::map<uint32_t, std::pair<uint64_t, ras::RasService*>> ras_probes_;
   bool booted_ = false;
 };
 

@@ -237,6 +237,8 @@ void SscService::Dispatch(uint32_t method_id, const wire::Bytes& args,
     }
     case kSscMethodPing:
       return rpc::ReplyOk(reply);
+    case kSscMethodListObjects:
+      return rpc::ReplyWith(reply, AllLiveObjects());
     default:
       return rpc::ReplyBadMethod(reply, method_id);
   }

@@ -39,6 +39,7 @@ enum SscMethod : uint32_t {
   kSscMethodNotifyReady = 4,
   kSscMethodRegisterCallback = 5,
   kSscMethodPing = 6,
+  kSscMethodListObjects = 7,
 };
 
 struct ServiceRecord {
@@ -87,6 +88,14 @@ class SscProxy : public rpc::Proxy {
   }
   Future<void> Ping() const {
     return rpc::DecodeEmptyReply(Call(kSscMethodPing, {}));
+  }
+  // Authoritative snapshot of every object the SSC currently considers live.
+  // Callbacks are fire-and-forget, so a dropped ObjectsDead would otherwise
+  // poison a subscriber's view forever; polling this restores correctness.
+  Future<std::vector<wire::ObjectRef>> ListObjects(
+      const rpc::CallOptions& options = {}) const {
+    return rpc::DecodeReply<std::vector<wire::ObjectRef>>(
+        Call(kSscMethodListObjects, {}, options));
   }
 };
 

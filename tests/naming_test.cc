@@ -790,8 +790,10 @@ TEST_F(SingleReplicaTest, FirstBinderWinsSecondTakesOverAfterUnbind) {
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(*r, ref1);
 
-  // Primary "dies": the audit reports it dead, the name service unbinds it,
-  // and the backup's periodic retry binds within retry_interval (10 s).
+  // Primary dies: its binder stops (a dead process cannot re-assert), the
+  // audit reports the object dead, the name service unbinds it, and the
+  // backup's periodic retry binds within retry_interval (10 s).
+  binder1->Stop();
   audit.MarkDead(ref1);
   cluster_.RunFor(Duration::Seconds(25));
 
@@ -800,6 +802,33 @@ TEST_F(SingleReplicaTest, FirstBinderWinsSecondTakesOverAfterUnbind) {
   ASSERT_TRUE(r2.ok()) << r2.status();
   EXPECT_EQ(*r2, ref2);
   EXPECT_GT(binder2->bind_attempts(), 1u);
+}
+
+TEST_F(SingleReplicaTest, LivePrimaryReassertsAfterFalseUnbind) {
+  sim::Process& client = SpawnClient();
+  NameClient setup(client.runtime(), servers_[0]->host());
+  ASSERT_TRUE(Wait(setup.BindNewContext("svc")).ok());
+
+  sim::Process& p1 = SpawnClient("mms-1");
+  wire::ObjectRef ref1 = FakeRef(1, 1);
+  auto* binder = p1.Emplace<PrimaryBinder>(
+      p1.executor(), NameClient(p1.runtime(), servers_[0]->host()), "svc/mms",
+      ref1);
+  binder->Start();
+  cluster_.RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(binder->is_primary());
+
+  // A transient fault convinced the audit the primary was dead and its
+  // binding was removed — but the process is alive. The verify loop must
+  // notice the missing binding and re-assert it without ever demoting.
+  ASSERT_TRUE(Wait(setup.Unbind("svc/mms")).ok());
+  cluster_.RunFor(Duration::Seconds(25));
+
+  EXPECT_TRUE(binder->is_primary());
+  EXPECT_EQ(binder->demotions(), 0u);
+  auto r = Wait(setup.Resolve("svc/mms"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, ref1);
 }
 
 }  // namespace

@@ -100,6 +100,42 @@ TEST(ResolutionCacheTest, OverflowClearsRatherThanGrowingUnbounded) {
   EXPECT_TRUE(cache.Lookup("svc/overflow").has_value());
 }
 
+TEST(ResolutionCacheTest, DefaultMaxAgeBoundaryIsInclusive) {
+  sim::Scheduler clock;
+  ResolutionCache cache(clock);  // Default options: max_age = 15 s.
+  ASSERT_EQ(cache.max_age(), Duration::Seconds(15));
+  cache.Insert("svc/db", RefAt(1, 500));
+  clock.RunFor(cache.max_age());
+  // An entry exactly max_age old still serves: expiry is `age > max_age`.
+  EXPECT_TRUE(cache.Lookup("svc/db").has_value());
+  clock.RunFor(Duration::Millis(1));
+  EXPECT_FALSE(cache.Lookup("svc/db").has_value());
+  EXPECT_EQ(cache.size(), 0u);  // Expired entries are erased, not retained.
+}
+
+TEST(ResolutionCacheTest, OverflowClearThenRepopulates) {
+  sim::Scheduler clock;
+  ResolutionCache::Options options;
+  options.max_entries = 4;
+  ResolutionCache cache(clock, nullptr, options);
+  for (int i = 0; i < 4; ++i) {
+    cache.Insert("svc/" + std::to_string(i), RefAt(1, 500));
+  }
+  cache.Insert("svc/overflow", RefAt(2, 500));
+  ASSERT_EQ(cache.size(), 1u);
+
+  // Entries flushed by the overflow clear miss once, get re-inserted by the
+  // caller's re-resolve, and serve hits again — the flush is a performance
+  // blip, not a correctness event.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(cache.Lookup("svc/" + std::to_string(i)).has_value());
+    cache.Insert("svc/" + std::to_string(i), RefAt(1, 500));
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_TRUE(cache.Lookup("svc/overflow").has_value());
+  EXPECT_TRUE(cache.Lookup("svc/0").has_value());
+}
+
 // --- Ping service for harness tests -------------------------------------------
 
 inline constexpr std::string_view kPingInterface = "itv.test.CachePing";
@@ -155,10 +191,15 @@ TEST_F(CacheHarnessTest, CacheHitSkipsNameServiceRpc) {
   uint64_t after_first = NsResolves();
   EXPECT_GT(after_first, before);
 
+  // Background services (primary binders verifying their bindings) resolve
+  // through the same name service, so the global ns.resolve counter cannot
+  // be compared exactly — the client's own cache counters can: a hit means
+  // this client sent zero NS messages.
+  uint64_t misses_after_first = proc.resolution_cache().misses();
   Result<wire::ObjectRef> second = ResolveNow(client, "svc/db");
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(second->endpoint, first->endpoint);
-  EXPECT_EQ(NsResolves(), after_first);  // Hit: zero NS messages.
+  EXPECT_EQ(proc.resolution_cache().misses(), misses_after_first);
   EXPECT_GE(proc.resolution_cache().hits(), 1u);
 }
 
@@ -181,11 +222,12 @@ TEST_F(CacheHarnessTest, NackInvalidatesThenExactlyOneReResolve) {
 
   Result<wire::ObjectRef> r1 = ResolveNow(client, "svc/cacheping");
   ASSERT_TRUE(r1.ok());
-  uint64_t resolves_after_first = NsResolves();
 
   // Kill v1 and bind a replacement on the other server (new endpoint).
+  // (Bounded run, not RunUntilIdle: primary binders keep verifying their
+  // bindings forever, so a booted cluster never goes idle.)
   harness_->server(0).Kill(service1.pid());
-  cluster().RunUntilIdle();
+  cluster().RunFor(Duration::Seconds(1));
   sim::Process& service2 = harness_->SpawnProcessOn(1, "pingsvc2");
   auto* skel2 = service2.Emplace<PingSkeleton>();
   wire::ObjectRef ref2 = service2.runtime().Export(skel2);
@@ -205,17 +247,20 @@ TEST_F(CacheHarnessTest, NackInvalidatesThenExactlyOneReResolve) {
   EXPECT_FALSE(call.result().ok());
   EXPECT_GT(proc.resolution_cache().invalidations(), invalidations_before);
 
-  // Exactly one NS resolve to recover; the next resolve is a hit again.
-  uint64_t resolves_before_recover = NsResolves();
+  // Exactly one cache miss (one NS round-trip from this client) to recover;
+  // the next resolve is a hit again. Global ns.resolve counts are unusable
+  // here: background primary binders re-verify their own bindings on timers.
+  uint64_t misses_before_recover = proc.resolution_cache().misses();
+  uint64_t hits_before_recover = proc.resolution_cache().hits();
   Result<wire::ObjectRef> r2 = ResolveNow(client, "svc/cacheping");
   ASSERT_TRUE(r2.ok());
   EXPECT_EQ(r2->endpoint, ref2.endpoint);
-  EXPECT_EQ(NsResolves(), resolves_before_recover + 1);
-  EXPECT_GE(NsResolves(), resolves_after_first);
+  EXPECT_EQ(proc.resolution_cache().misses(), misses_before_recover + 1);
 
   Result<wire::ObjectRef> r3 = ResolveNow(client, "svc/cacheping");
   ASSERT_TRUE(r3.ok());
-  EXPECT_EQ(NsResolves(), resolves_before_recover + 1);  // Cache hit.
+  EXPECT_EQ(proc.resolution_cache().misses(), misses_before_recover + 1);
+  EXPECT_EQ(proc.resolution_cache().hits(), hits_before_recover + 1);
 
   // And the replacement actually answers.
   auto call2 = proc.runtime().Invoke(*r3, 1, {});

@@ -235,6 +235,37 @@ TEST(FailoverTimelineTest, OutOfOrderMarkersLeaveTimelineIncomplete) {
   EXPECT_EQ(t.total(), Duration());
 }
 
+TEST(FailoverTimelineTest, OverlappingFailoversReconstructIndependently) {
+  // Two services fail over in the same window (a chaos schedule routinely
+  // kills several victims back to back). One shared event stream; each
+  // timeline must be reconstructed from its own kill time and binding path,
+  // ignoring the other fail-over's markers.
+  std::vector<TraceEvent> events;
+  events.push_back(Marker(std::string(trace::kEventPeerDead), 12, "host=2"));
+  events.push_back(Marker(std::string(trace::kEventPeerDead), 15, "host=3"));
+  events.push_back(Marker(std::string(trace::kEventAuditUnbind), 18, "svc/alpha"));
+  events.push_back(Marker(std::string(trace::kEventAuditUnbind), 20, "svc/beta"));
+  events.push_back(Marker(std::string(trace::kEventBindPrimary), 24, "svc/alpha"));
+  events.push_back(Marker(std::string(trace::kEventBindPrimary), 28, "svc/beta"));
+
+  trace::FailoverTimeline alpha = trace::FailoverTimeline::Reconstruct(
+      events, Time() + Duration::Seconds(10), "svc/alpha");
+  ASSERT_TRUE(alpha.complete()) << alpha.Report();
+  EXPECT_EQ(alpha.detect_delay(), Duration::Seconds(2));
+  EXPECT_EQ(alpha.unbind_delay(), Duration::Seconds(6));
+  EXPECT_EQ(alpha.rebind_delay(), Duration::Seconds(6));
+  EXPECT_EQ(alpha.total(), Duration::Seconds(14));
+
+  trace::FailoverTimeline beta = trace::FailoverTimeline::Reconstruct(
+      events, Time() + Duration::Seconds(14), "svc/beta");
+  ASSERT_TRUE(beta.complete()) << beta.Report();
+  // Alpha's earlier detection marker predates beta's kill and is skipped.
+  EXPECT_EQ(beta.detect_delay(), Duration::Seconds(1));
+  EXPECT_EQ(beta.unbind_delay(), Duration::Seconds(5));
+  EXPECT_EQ(beta.rebind_delay(), Duration::Seconds(8));
+  EXPECT_EQ(beta.total(), Duration::Seconds(14));
+}
+
 // --- End-to-end propagation through the binding layer -------------------------
 
 inline constexpr std::string_view kEchoInterface = "itv.test.TraceEcho";

@@ -1,0 +1,179 @@
+// Chaos-fuzz driver: runs N seeded fault schedules against a full simulated
+// ITV deployment and checks the cluster invariants after each one (see
+// src/chaos/fuzz.h). On a failing seed it greedily shrinks the schedule to a
+// 1-minimal fault list, then dumps the artifacts a human needs to reproduce:
+//
+//   chaos_seed_<seed>.schedule.json   the minimized fault schedule
+//   chaos_seed_<seed>.trace.json      Chrome trace of the minimized replay
+//   chaos_seed_<seed>.metrics.json    metrics dump of the minimized replay
+//   chaos_seed_<seed>.report.txt      violations, fault log, fail-over timeline
+//
+// Every run is a pure function of its seed: `chaos_fuzz --seed S` replays a
+// CI failure exactly.
+//
+// Usage:
+//   chaos_fuzz --seeds N [--seed-base B] [--out DIR] [--faults K]
+//              [--horizon SECONDS] [--no-shrink] [--quiet]
+//   chaos_fuzz --seed S [--out DIR] ...
+//
+// Exit status: 0 if every seed passed, 1 otherwise.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/chaos/fuzz.h"
+#include "src/common/strings.h"
+
+using namespace itv;
+
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+  out.close();
+  return out.good();
+}
+
+void DumpFailure(const std::string& out_dir, const chaos::FuzzResult& result,
+                 const sim::ChaosPlan& minimized, size_t shrink_runs) {
+  std::string base = out_dir + "/chaos_seed_" + std::to_string(result.seed);
+  std::string report = StrFormat(
+      "seed=%llu first_violation=%s faults_in_plan=%zu faults_applied=%zu "
+      "shrink_runs=%zu\n\n",
+      static_cast<unsigned long long>(result.seed),
+      result.first_violation.c_str(), minimized.faults.size(),
+      result.faults_applied, shrink_runs);
+  report += "=== violations ===\n" + result.invariant_report;
+  report += "\n=== minimized schedule ===\n" + minimized.ToString();
+  report += "\n=== fault log (minimized replay) ===\n";
+  for (const std::string& line : result.fault_log) {
+    report += "  " + line + "\n";
+  }
+  if (!result.timeline_report.empty()) {
+    report += "\n=== fail-over timeline (first kill) ===\n" +
+              result.timeline_report;
+  }
+  bool ok = WriteFile(base + ".schedule.json", minimized.ToJson()) &&
+            WriteFile(base + ".report.txt", report);
+  if (!result.trace_json.empty()) {
+    ok = WriteFile(base + ".trace.json", result.trace_json) && ok;
+  }
+  if (!result.metrics_json.empty()) {
+    ok = WriteFile(base + ".metrics.json", result.metrics_json) && ok;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "warning: could not write artifacts under %s\n",
+                 out_dir.c_str());
+  }
+  std::fprintf(stderr, "%s", report.c_str());
+  std::fprintf(stderr, "artifacts: %s.{schedule.json,report.txt,...}\n",
+               base.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t seeds = 20;
+  uint64_t seed_base = 1;
+  bool single_seed = false;
+  uint64_t the_seed = 0;
+  std::string out_dir = ".";
+  bool shrink = true;
+  bool quiet = false;
+  chaos::FuzzOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      seeds = static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--seed-base") {
+      seed_base = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      single_seed = true;
+      the_seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--out") {
+      out_dir = next();
+    } else if (arg == "--faults") {
+      options.fault_count =
+          static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--horizon") {
+      options.horizon =
+          Duration::Seconds(std::strtoll(next(), nullptr, 10));
+    } else if (arg == "--no-shrink") {
+      shrink = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::error_code mkdir_error;
+  std::filesystem::create_directories(out_dir, mkdir_error);
+  if (mkdir_error) {
+    std::fprintf(stderr, "cannot create --out %s: %s\n", out_dir.c_str(),
+                 mkdir_error.message().c_str());
+    return 2;
+  }
+
+  std::vector<uint64_t> corpus;
+  if (single_seed) {
+    corpus.push_back(the_seed);
+  } else {
+    for (size_t i = 0; i < seeds; ++i) {
+      corpus.push_back(seed_base + i);
+    }
+  }
+
+  size_t failed = 0;
+  for (uint64_t seed : corpus) {
+    chaos::FuzzResult result = chaos::RunSeed(seed, options);
+    if (result.passed) {
+      if (!quiet) {
+        std::printf("seed %" PRIu64 ": PASS (%zu faults applied)\n", seed,
+                    result.faults_applied);
+      }
+      continue;
+    }
+    ++failed;
+    std::printf("seed %" PRIu64 ": FAIL (%s)\n", seed,
+                result.first_violation.c_str());
+    sim::ChaosPlan minimized = result.plan;
+    size_t shrink_runs = 0;
+    chaos::FuzzResult final_result = result;
+    if (shrink) {
+      chaos::ShrinkResult shrunk = chaos::Shrink(
+          result, options, /*max_runs=*/64, [quiet](const std::string& line) {
+            if (!quiet) {
+              std::printf("  %s\n", line.c_str());
+            }
+          });
+      minimized = shrunk.plan;
+      shrink_runs = shrunk.runs;
+      final_result = shrunk.result;
+      std::printf("  minimized: %zu -> %zu faults in %zu replays\n",
+                  result.plan.faults.size(), minimized.faults.size(),
+                  shrink_runs);
+    }
+    DumpFailure(out_dir, final_result, minimized, shrink_runs);
+  }
+
+  std::printf("chaos_fuzz: %zu/%zu seeds passed\n", corpus.size() - failed,
+              corpus.size());
+  return failed == 0 ? 0 : 1;
+}

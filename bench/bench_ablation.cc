@@ -39,17 +39,18 @@ RecoveryMeasurement MeasureRecoveryLatency(bool crash_whole_server) {
   harness.Boot();
   sim::Cluster& cluster = harness.cluster();
 
-  naming::PrimaryBinder::Options fast_binder;
-  fast_binder.retry_interval = Duration::Seconds(2);
+  svc::ServiceLifecycle::Options lc_opts;
+  lc_opts.binder.retry_interval = Duration::Seconds(2);
   auto spawn_replica = [&](size_t index) {
     sim::Process& p = harness.SpawnProcessOn(index, "target");
     auto* skeleton = p.Emplace<svc::SettopManagerService>(p.executor());
     wire::ObjectRef ref = p.runtime().Export(skeleton);
-    svc::SscProxy ssc(p.runtime(), svc::SscRefAt(p.host()));
-    ssc.NotifyReady(p.pid(), {ref}).OnReady([](const Result<void>&) {});
-    auto* binder = p.Emplace<naming::PrimaryBinder>(
-        p.executor(), harness.ClientFor(p), "svc/target", ref, fast_binder);
-    binder->Start();
+    auto* lifecycle = p.Emplace<svc::ServiceLifecycle>(
+        p, harness.ClientFor(p), "svc/target", ref, lc_opts,
+        &harness.metrics());
+    svc::ServiceLifecycle::Hooks hooks;
+    hooks.ready_objects = {ref};
+    lifecycle->Start(std::move(hooks));
   };
   spawn_replica(1);
   cluster.RunFor(Duration::Seconds(2));

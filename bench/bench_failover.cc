@@ -69,19 +69,20 @@ TrialResult RunTrials(const Params& params, int trials, uint64_t seed) {
     svc::ClusterHarness harness(opts);
     harness.Boot();
 
-    naming::PrimaryBinder::Options binder_opts;
-    binder_opts.retry_interval = Duration::Seconds(params.bind_retry_s);
+    svc::ServiceLifecycle::Options lc_opts;
+    lc_opts.binder.retry_interval = Duration::Seconds(params.bind_retry_s);
 
     // Primary on server 2 (bound first), backup on server 3.
     auto spawn_replica = [&](size_t server_index) -> sim::Process& {
       sim::Process& p = harness.SpawnProcessOn(server_index, "target");
       auto* skeleton = p.Emplace<svc::SettopManagerService>(p.executor());
       wire::ObjectRef ref = p.runtime().Export(skeleton);
-      svc::SscProxy ssc(p.runtime(), svc::SscRefAt(p.host()));
-      ssc.NotifyReady(p.pid(), {ref}).OnReady([](const Result<void>&) {});
-      auto* binder = p.Emplace<naming::PrimaryBinder>(
-          p.executor(), harness.ClientFor(p), "svc/target", ref, binder_opts);
-      binder->Start();
+      auto* lifecycle = p.Emplace<svc::ServiceLifecycle>(
+          p, harness.ClientFor(p), "svc/target", ref, lc_opts,
+          &harness.metrics());
+      svc::ServiceLifecycle::Hooks hooks;
+      hooks.ready_objects = {ref};
+      lifecycle->Start(std::move(hooks));
       return p;
     };
     spawn_replica(1);
@@ -195,6 +196,110 @@ TrialResult RunTrials(const Params& params, int trials, uint64_t seed) {
   return out;
 }
 
+// --- E1b: warm vs cold standby recovery --------------------------------------
+//
+// A replica whose promotion must rebuild state before it may serve: recovery
+// replays kRecoveryRecords at kRecoveryRecordMs apply cost each (the MMS
+// pattern — "the MMS can be reconstructed by querying each MDS", Section
+// 10.1.1). The cold standby replays everything at promotion; the warm standby
+// pre-applies records every 10 s while Backup, so promotion only replays the
+// (empty) delta. The decomposition comes from trace::FailoverTimeline, whose
+// fourth stage (bind.primary -> role.promote) is exactly the RecoverState
+// component the lifecycle adds.
+
+constexpr int kRecoveryRecords = 400;
+constexpr int64_t kRecoveryRecordMs = 25;  // 400 x 25 ms = 10 s cold replay.
+
+struct RecoveryTrialResult {
+  Histogram detect_s;
+  Histogram unbind_s;
+  Histogram rebind_s;
+  Histogram recover_s;
+  Histogram total_s;  // Crash -> role.promote (backup serves as primary).
+  int failures = 0;
+  std::string sample_report;
+};
+
+RecoveryTrialResult RunRecoveryTrials(bool warm, int trials, uint64_t seed) {
+  RecoveryTrialResult out;
+  Rng rng(seed);
+  for (int trial = 0; trial < trials; ++trial) {
+    svc::HarnessOptions opts;
+    opts.server_count = 3;
+    opts.ns.audit_interval = Duration::Seconds(10);
+    opts.ras.peer_poll_interval = Duration::Seconds(5);
+    opts.ras.peer_failures_to_dead = 1;
+    opts.ras.rpc_timeout = Duration::Seconds(1);
+    opts.start_csc = false;
+    svc::ClusterHarness harness(opts);
+    harness.Boot();
+
+    auto spawn_replica = [&](size_t server_index) {
+      sim::Process& p = harness.SpawnProcessOn(server_index, "target");
+      auto* skeleton = p.Emplace<svc::SettopManagerService>(p.executor());
+      wire::ObjectRef ref = p.runtime().Export(skeleton);
+      svc::ServiceLifecycle::Options lc_opts;
+      lc_opts.binder.retry_interval = Duration::Seconds(10);
+      lc_opts.warm_standby_interval = Duration::Seconds(10);
+      auto* lifecycle = p.Emplace<svc::ServiceLifecycle>(
+          p, harness.ClientFor(p), "svc/target", ref, lc_opts,
+          &harness.metrics());
+      // Records already applied on this replica, by a warm pass or an earlier
+      // promotion; recovery replays only the remainder.
+      auto applied = std::make_shared<int>(0);
+      svc::ServiceLifecycle::Hooks hooks;
+      hooks.ready_objects = {ref};
+      hooks.recover = [&p, applied](std::function<void(Status)> done) {
+        int todo = kRecoveryRecords - *applied;
+        *applied = kRecoveryRecords;
+        p.executor().ScheduleAfter(Duration::Millis(kRecoveryRecordMs * todo),
+                                   [done] { done(OkStatus()); });
+      };
+      if (warm) {
+        hooks.warm_standby = [&p, applied](std::function<void(Status)> done) {
+          int todo = kRecoveryRecords - *applied;
+          p.executor().ScheduleAfter(
+              Duration::Millis(kRecoveryRecordMs * todo), [applied, done] {
+                *applied = kRecoveryRecords;
+                done(OkStatus());
+              });
+        };
+      }
+      lifecycle->Start(std::move(hooks));
+    };
+
+    // Primary binds and runs its own (cold) recovery before serving.
+    spawn_replica(1);
+    harness.cluster().RunFor(Duration::Seconds(16));
+    // Backup: its first warm pass starts one interval in and replays the full
+    // state, so give it time to finish before the crash window opens.
+    spawn_replica(2);
+    harness.cluster().RunFor(Duration::Seconds(22));
+
+    // Crash at a pseudo-random phase of the polling clocks.
+    harness.cluster().RunFor(Duration::Seconds(rng.NextDouble() * 30.0));
+    Time crash_at = harness.cluster().Now();
+    harness.server(1).Crash();
+    harness.cluster().RunFor(Duration::Seconds(45));
+
+    trace::FailoverTimeline timeline = trace::FailoverTimeline::Reconstruct(
+        harness.cluster().trace_buffer().Snapshot(), crash_at, "svc/target");
+    if (!timeline.complete() || !timeline.promoted_at.has_value()) {
+      ++out.failures;
+      continue;
+    }
+    out.detect_s.Record(timeline.detect_delay().seconds());
+    out.unbind_s.Record(timeline.unbind_delay().seconds());
+    out.rebind_s.Record(timeline.rebind_delay().seconds());
+    out.recover_s.Record(timeline.recover_delay().seconds());
+    out.total_s.Record((*timeline.promoted_at - crash_at).seconds());
+    if (out.sample_report.empty()) {
+      out.sample_report = timeline.Report();
+    }
+  }
+  return out;
+}
+
 }  // namespace
 }  // namespace itv
 
@@ -276,6 +381,48 @@ int main() {
       "fail-over seen through the binding layer (a call primed to the\ndead "
       "primary, retried with jittered backoff); rebinds counts its "
       "name-service lookups.\n");
+
+  bench::PrintHeader(
+      "E1b: warm vs cold standby recovery (ServiceLifecycle, paper defaults)");
+  std::printf(
+      "promotion must replay %d records at %lld ms each (%.0f s cold); the "
+      "warm standby\npre-applies them every 10 s while Backup. total = crash "
+      "-> role.promote, decomposed\nby trace::FailoverTimeline into detect / "
+      "audit-unbind / rebind / state-recovery:\n\n",
+      kRecoveryRecords, static_cast<long long>(kRecoveryRecordMs),
+      kRecoveryRecords * kRecoveryRecordMs / 1000.0);
+  bench::PrintRow({"standby", "detect_mean", "unbind_mean", "rebind_mean",
+                   "recover_mean", "recover_max", "total_p50", "total_max",
+                   "paper_bound_s", "trials_ok"});
+  constexpr int kRecoveryTrials = 12;
+  for (bool warm : {false, true}) {
+    RecoveryTrialResult r = RunRecoveryTrials(warm, kRecoveryTrials,
+                                              /*seed=*/7);
+    const char* label = warm ? "warm" : "cold";
+    bench::PrintRow(
+        {label, bench::Fmt("%.1f", r.detect_s.Mean()),
+         bench::Fmt("%.1f", r.unbind_s.Mean()),
+         bench::Fmt("%.1f", r.rebind_s.Mean()),
+         bench::Fmt("%.1f", r.recover_s.Mean()),
+         bench::Fmt("%.1f", r.recover_s.Max()),
+         bench::Fmt("%.1f", r.total_s.Percentile(50)),
+         bench::Fmt("%.1f", r.total_s.Max()), bench::Fmt("%.0f", 25.0),
+         bench::FmtInt(static_cast<uint64_t>(r.total_s.count()))});
+    std::string prefix = warm ? "warm_" : "cold_";
+    report.Set(prefix + "recover_mean_s", r.recover_s.Mean());
+    report.Set(prefix + "total_max_s", r.total_s.Max());
+    if (warm && !r.sample_report.empty()) {
+      std::printf("\nsample warm-standby timeline (one trial):\n%s",
+                  r.sample_report.c_str());
+    }
+  }
+  std::printf(
+      "\nexpect: the warm standby's recovery component is ~0, keeping the "
+      "whole 25 s bound as\nheadroom; the cold standby pays the full replay "
+      "on top of re-binding, so a worst-case\nphase alignment (bind + audit "
+      "+ poll near their maxima) plus the replay overruns the\nbound. The "
+      "paper's arithmetic only covers re-binding — keeping it honest for "
+      "stateful\nservices is exactly what the warm_standby hook is for.\n");
   report.WriteMerged();
   return 0;
 }

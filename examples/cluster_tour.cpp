@@ -43,11 +43,9 @@ int main() {
     auto* fs = ctx.process.Emplace<files::FileService>(
         ctx.process.runtime(), &harness.DiskFor(ctx.process.host()));
     (void)fs->CreateFile("fonts/helvetica", {'f', 'o', 'n', 't'});
-    ctx.NotifyReady({fs->root_ref()});
-    auto* binder = ctx.process.Emplace<naming::PrimaryBinder>(
-        ctx.process.executor(), ctx.MakeNameClient(), "files", fs->root_ref(),
-        ctx.harness.options().binder);
-    binder->Start();
+    svc::ServiceLifecycle::Hooks hooks;
+    hooks.ready_objects = {fs->root_ref()};
+    ctx.StartLifecycle("files", fs->root_ref(), std::move(hooks));
   });
   harness.AssignService("filesd", harness.HostOf(0));
   harness.Boot();

@@ -29,11 +29,9 @@ void RegisterDrillService(svc::ClusterHarness& harness) {
     auto* impl = ctx.process.Emplace<svc::SettopManagerService>(
         ctx.process.executor());
     wire::ObjectRef ref = ctx.process.runtime().Export(impl);
-    ctx.NotifyReady({ref});
-    auto* binder = ctx.process.Emplace<naming::PrimaryBinder>(
-        ctx.process.executor(), ctx.MakeNameClient(), "svc/drill", ref,
-        ctx.harness.options().binder);
-    binder->Start();
+    svc::ServiceLifecycle::Hooks hooks;
+    hooks.ready_objects = {ref};
+    ctx.StartLifecycle("svc/drill", ref, std::move(hooks));
   });
 }
 

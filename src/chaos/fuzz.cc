@@ -331,6 +331,23 @@ FuzzResult Run(uint64_t seed, const sim::ChaosPlan* replay,
     }
     return OkStatus();
   });
+  if (options.check_single_primary) {
+    sim::AddSinglePrimaryQuiescent(
+        monitor, "svc-single-primary", [&harness] {
+          std::vector<sim::PrimaryClaim> claims;
+          for (auto& [path, lifecycles] : harness.LiveLifecycles()) {
+            for (svc::ServiceLifecycle* lifecycle : lifecycles) {
+              sim::PrimaryClaim claim;
+              claim.service = path;
+              claim.claimant =
+                  path + "@" + std::to_string(lifecycle->process().host());
+              claim.is_primary = lifecycle->is_primary();
+              claims.push_back(std::move(claim));
+            }
+          }
+          return claims;
+        });
+  }
   monitor.AddQuiescent("cache-coherence", [&cluster, viewers]() -> Status {
     for (const Viewer& viewer : *viewers) {
       rpc::ResolutionCache& cache = viewer.process->resolution_cache();

@@ -79,6 +79,13 @@ struct FuzzOptions {
   // (artifacts are big; the driver enables this for dumps and replays).
   bool capture_artifacts = false;
 
+  // Evaluate the generic per-service single-primary invariant over every
+  // ServiceLifecycle the harness registered (svc-single-primary): at the
+  // quiescent point each service with a live claimant has exactly one
+  // primary. Subsumes nothing — ns-single-master checks the replication
+  // protocol's own state; this checks the role machine every service runs.
+  bool check_single_primary = false;
+
   // Test hook: extra quiescent invariants evaluated with the convergence
   // group. Used by the shrinker tests to plant a deliberate "bug" whose
   // trigger is a specific fault kind.

@@ -152,6 +152,12 @@ FailoverTimeline FailoverTimeline::Reconstruct(
       }
       continue;
     }
+    if (!timeline.promoted_at.has_value()) {
+      if (e.name == kEventRolePromote && matches_path(e)) {
+        timeline.promoted_at = e.begin;
+      }
+      continue;
+    }
     break;
   }
   return timeline;
@@ -174,6 +180,9 @@ std::string FailoverTimeline::Report() const {
   line("ras-poll detect ", "ras.peer_dead", detected_at, detect_delay());
   line("ns-audit unbind ", "ns.audit.unbind", unbound_at, unbind_delay());
   line("bind-retry rebind", "bind.primary", rebound_at, rebind_delay());
+  if (promoted_at.has_value()) {
+    line("state recovery  ", "role.promote", promoted_at, recover_delay());
+  }
   if (rebound_at.has_value()) {
     os << "  total kill->primary: " << total().ToString() << "\n";
   }

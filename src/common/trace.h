@@ -76,6 +76,11 @@ struct TraceEvent {
 inline constexpr std::string_view kEventPeerDead = "ras.peer_dead";
 inline constexpr std::string_view kEventAuditUnbind = "ns.audit.unbind";
 inline constexpr std::string_view kEventBindPrimary = "bind.primary";
+// Service-lifecycle role changes (svc::ServiceLifecycle): promotion fires
+// after the service's RecoverState hook completes, so rebound -> promoted
+// measures the recovery component of a fail-over.
+inline constexpr std::string_view kEventRolePromote = "role.promote";
+inline constexpr std::string_view kEventRoleDemote = "role.demote";
 
 // Bounded ring of trace events plus the cluster-wide span id allocator.
 // Single-threaded, like every other OCS component.
@@ -300,6 +305,9 @@ struct FailoverTimeline {
   std::optional<Time> detected_at;
   std::optional<Time> unbound_at;
   std::optional<Time> rebound_at;
+  // Lifecycle services only: when the promoted replica finished RecoverState
+  // (role.promote). Absent for bare PrimaryBinder users.
+  std::optional<Time> promoted_at;
   std::optional<Time> client_ok_at;
 
   static FailoverTimeline Reconstruct(const std::vector<TraceEvent>& events,
@@ -322,6 +330,11 @@ struct FailoverTimeline {
   }
   Duration rebind_delay() const {
     return (unbound_at && rebound_at) ? *rebound_at - *unbound_at : Duration();
+  }
+  // Winning the binding to serving as primary: the RecoverState component.
+  Duration recover_delay() const {
+    return (rebound_at && promoted_at) ? *promoted_at - *rebound_at
+                                       : Duration();
   }
   // Kill to the backup becoming primary (the paper's fail-over interval).
   Duration total() const {

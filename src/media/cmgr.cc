@@ -72,28 +72,17 @@ CmgrService::CmgrService(rpc::ObjectRuntime& runtime, Executor& executor,
 
 void CmgrService::Start() {
   ref_ = runtime_.Export(this);
-  // Every replica (primary or standby) registers under the standby context
-  // so the primary can find push targets.
-  standby_binder_ = std::make_unique<naming::PrimaryBinder>(
-      executor_, name_client_,
-      CmgrStandbyContext(options_.neighborhood) + "/" +
-          std::to_string(runtime_.local_endpoint().host),
-      ref_, options_.binder);
-  standby_binder_->Start();
   RefreshStandbys();
   standby_refresh_timer_.Start(executor_, Duration::Seconds(10),
                                [this] { RefreshStandbys(); });
-  primary_binder_ = std::make_unique<naming::PrimaryBinder>(
-      executor_, name_client_, CmgrName(options_.neighborhood), ref_,
-      options_.binder);
-  primary_binder_->Start([this] {
-    ITV_LOG(Info) << "cmgr nb " << int{options_.neighborhood}
-                  << ": primary with " << connections_.size()
-                  << " replicated connections";
-    Count("cmgr.became_primary");
-  });
   grant_audit_timer_.Start(executor_, options_.grant_audit_interval,
                            [this] { AuditGrants(); });
+}
+
+void CmgrService::OnPromoted() {
+  ITV_LOG(Info) << "cmgr nb " << int{options_.neighborhood} << ": primary with "
+                << connections_.size() << " replicated connections";
+  Count("cmgr.became_primary");
 }
 
 void CmgrService::AuditGrants() {

@@ -26,6 +26,7 @@
 #include "src/media/types.h"
 #include "src/naming/name_client.h"
 #include "src/rpc/binding_table.h"
+#include "src/svc/lifecycle.h"
 
 namespace itv::media {
 
@@ -192,7 +193,6 @@ class CmgrService : public rpc::Skeleton {
     // to open a certain number of network connections".
     uint32_t max_connections_per_settop = 4;
     Duration rpc_timeout = Duration::Seconds(2);
-    naming::PrimaryBinder::Options binder;
     // Grant reclamation (paper Section 7.2): connection grants whose
     // server-side session died without a release (server crash mid-stream,
     // lost close) would pin the settop's downstream budget forever. The
@@ -209,12 +209,21 @@ class CmgrService : public rpc::Skeleton {
               naming::NameClient name_client, Options options,
               Metrics* metrics = nullptr);
 
-  // Exports the object, registers under the standby context, and starts
-  // competing for the neighborhood's primary binding.
+  // Exports the object and starts the standby-refresh and grant-audit loops.
+  // Election (both the always-won standby registration and the contested
+  // neighborhood primary binding) is owned by the launcher's
+  // ServiceLifecycles, which drive the hooks below.
   void Start();
 
+  // Promotion hook: the allocation table was kept hot by the primary's state
+  // pushes, so there is nothing to recover — just log and count.
+  void OnPromoted();
+  void AttachLifecycle(const svc::ServiceLifecycle* lifecycle) {
+    lifecycle_ = lifecycle;
+  }
+
   bool is_primary() const {
-    return primary_binder_ != nullptr && primary_binder_->is_primary();
+    return lifecycle_ != nullptr && lifecycle_->is_primary();
   }
   wire::ObjectRef ref() const { return ref_; }
   size_t active_connections() const { return connections_.size(); }
@@ -249,8 +258,7 @@ class CmgrService : public rpc::Skeleton {
   Metrics* metrics_;
 
   wire::ObjectRef ref_;
-  std::unique_ptr<naming::PrimaryBinder> primary_binder_;
-  std::unique_ptr<naming::PrimaryBinder> standby_binder_;
+  const svc::ServiceLifecycle* lifecycle_ = nullptr;
 
   uint64_t next_connection_id_;
   std::map<uint64_t, ConnectionGrant> connections_;

@@ -9,38 +9,15 @@ namespace itv::media {
 
 namespace {
 
-// Starts a PrimaryBinder after making sure the parent contexts exist.
-void BindAfterEnsure(const svc::ServiceContext& ctx, const std::string& path,
-                     const wire::ObjectRef& ref) {
-  std::string parent;
-  auto components = SplitPath(path);
-  for (size_t i = 0; i + 1 < components.size(); ++i) {
-    if (i > 0) {
-      parent += '/';
-    }
-    parent += components[i];
-  }
-  // `ctx` is copied: the factory's context argument dies when the launcher
-  // returns, but these continuations run later on the process executor.
-  auto start_binder = [ctx, path, ref] {
-    auto* binder = ctx.process.Emplace<naming::PrimaryBinder>(
-        ctx.process.executor(), ctx.MakeNameClient(), path, ref,
-        ctx.harness.options().binder);
-    binder->Start();
-  };
-  if (parent.empty()) {
-    start_binder();
-    return;
-  }
-  naming::EnsureContextPath(ctx.process.executor(), ctx.MakeNameClient(), parent,
-                            [start_binder](Status s) {
-                              if (s.ok()) {
-                                start_binder();
-                              } else {
-                                ITV_LOG(Error)
-                                    << "media: context creation failed: " << s;
-                              }
-                            });
+// Publishes `ref` under `path` through a ServiceLifecycle: the lifecycle
+// announces the object to the SSC, ensures the parent contexts, and runs the
+// primary/backup election.
+svc::ServiceLifecycle* PublishService(const svc::ServiceContext& ctx,
+                                      const std::string& path,
+                                      const wire::ObjectRef& ref) {
+  svc::ServiceLifecycle::Hooks hooks;
+  hooks.ready_objects = {ref};
+  return ctx.StartLifecycle(path, ref, std::move(hooks));
 }
 
 size_t ServerIndexOf(svc::ClusterHarness& harness, uint32_t host) {
@@ -99,8 +76,7 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
         ctx.process.runtime(), ctx.process.executor(), std::move(library), opts,
         ctx.metrics);
     wire::ObjectRef ref = mds->Export();
-    ctx.NotifyReady({ref});
-    BindAfterEnsure(ctx, "svc/mds/" + std::to_string(index + 1), ref);
+    PublishService(ctx, "svc/mds/" + std::to_string(index + 1), ref);
   });
 
   // --- Trunk replicas -----------------------------------------------------------
@@ -109,8 +85,7 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
     auto* trunk = ctx.process.Emplace<TrunkService>(
         deployment.trunk_capacity_bps, ctx.metrics);
     wire::ObjectRef ref = ctx.process.runtime().Export(trunk);
-    ctx.NotifyReady({ref});
-    BindAfterEnsure(ctx, TrunkName(ctx.process.host()), ref);
+    PublishService(ctx, TrunkName(ctx.process.host()), ref);
   });
 
   // --- Connection managers per neighborhood --------------------------------------
@@ -120,20 +95,24 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
         [nb](const svc::ServiceContext& ctx) {
           CmgrService::Options opts;
           opts.neighborhood = nb;
-          opts.binder = ctx.harness.options().binder;
           auto* cmgr = ctx.process.Emplace<CmgrService>(
               ctx.process.runtime(), ctx.process.executor(),
               ctx.MakeNameClient(), opts, ctx.metrics);
-          naming::EnsureContextPath(
-              ctx.process.executor(), ctx.MakeNameClient(),
-              CmgrStandbyContext(nb), [cmgr, ctx](Status s) {
-                if (!s.ok()) {
-                  ITV_LOG(Error) << "cmgr: context creation failed: " << s;
-                  return;
-                }
-                cmgr->Start();
-                ctx.NotifyReady({cmgr->ref()});
-              });
+          cmgr->Start();
+          // Every replica registers under the standby context (a single-
+          // claimant binding the replica always wins) so the primary can find
+          // push targets...
+          PublishService(ctx,
+                         CmgrStandbyContext(nb) + "/" +
+                             std::to_string(ctx.process.host()),
+                         cmgr->ref());
+          // ...and contests the neighborhood's primary binding. No recover
+          // hook: the primary's state pushes keep every standby's allocation
+          // table hot (Section 10.1.1).
+          svc::ServiceLifecycle::Hooks hooks;
+          hooks.on_promoted = [cmgr] { cmgr->OnPromoted(); };
+          cmgr->AttachLifecycle(
+              ctx.StartLifecycle(CmgrName(nb), cmgr->ref(), std::move(hooks)));
         });
   }
 
@@ -148,21 +127,32 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
               ctx.process.runtime(), ctx.process.executor(),
               ctx.MakeNameClient(), deployment.rds_items, opts, ctx.metrics);
           wire::ObjectRef ref = rds->Export();
-          ctx.NotifyReady({ref});
-          BindAfterEnsure(ctx, "svc/rds/" + std::to_string(nb), ref);
+          PublishService(ctx, "svc/rds/" + std::to_string(nb), ref);
         });
   }
 
   // --- MMS --------------------------------------------------------------------------
   harness.RegisterServiceType("mmsd", [deployment](
                                           const svc::ServiceContext& ctx) {
-    MmsService::Options opts = deployment.mms;
-    opts.binder = ctx.harness.options().binder;
     auto* mms = ctx.process.Emplace<MmsService>(
         ctx.process.runtime(), ctx.process.executor(), ctx.MakeNameClient(),
-        opts, ctx.metrics);
+        deployment.mms, ctx.metrics);
     mms->Start();
-    ctx.NotifyReady({mms->ref()});
+    // The MMS is the showcase warm-standby service: backups pre-adopt
+    // sessions passively on a timer, and promotion's recover hook registers
+    // the RAS watches before the role turns primary.
+    svc::ServiceLifecycle::Hooks hooks;
+    hooks.ready_objects = {mms->ref()};
+    hooks.recover = [mms](std::function<void(Status)> done) {
+      mms->RecoverState(std::move(done));
+    };
+    hooks.warm_standby = [mms](std::function<void(Status)> done) {
+      mms->WarmStandby(std::move(done));
+    };
+    hooks.on_promoted = [mms] { mms->OnPromoted(); };
+    hooks.on_demoted = [mms] { mms->OnDemotedRole(); };
+    mms->AttachLifecycle(ctx.StartLifecycle(std::string(kMmsName), mms->ref(),
+                                            std::move(hooks)));
   });
 
   // --- Kernel broadcast (primary/backup source of the settop kernel) -------------
@@ -173,11 +163,7 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
     info.size_bytes = deployment.kernel_size_bytes;
     auto* kernelcast = ctx.process.Emplace<KernelBroadcastService>(info);
     wire::ObjectRef ref = ctx.process.runtime().Export(kernelcast);
-    ctx.NotifyReady({ref});
-    auto* binder = ctx.process.Emplace<naming::PrimaryBinder>(
-        ctx.process.executor(), ctx.MakeNameClient(),
-        std::string(kKernelCastName), ref, ctx.harness.options().binder);
-    binder->Start();
+    PublishService(ctx, std::string(kKernelCastName), ref);
   });
 
   // --- Boot broadcast ------------------------------------------------------------------

@@ -33,15 +33,32 @@ void MmsService::Start() {
   RefreshMdsDirectory();
   refresh_timer_.Start(executor_, options_.mds_refresh_interval,
                        [this] { RefreshMdsDirectory(); });
+}
 
-  binder_ = std::make_unique<naming::PrimaryBinder>(
-      executor_, name_client_, std::string(kMmsName), ref_, options_.binder);
-  binder_->Start([this] {
-    ITV_LOG(Info) << "mms@" << runtime_.local_endpoint().ToString()
-                  << ": became primary";
-    Count("mms.became_primary");
-    RebuildStateFromMds();
-  });
+void MmsService::RecoverState(std::function<void(Status)> done) {
+  RebuildStateFromMds(/*register_watches=*/true, std::move(done));
+}
+
+void MmsService::WarmStandby(std::function<void(Status)> done) {
+  RebuildStateFromMds(/*register_watches=*/false, std::move(done));
+}
+
+void MmsService::OnPromoted() {
+  ITV_LOG(Info) << "mms@" << runtime_.local_endpoint().ToString()
+                << ": became primary with " << sessions_.size() << " sessions";
+  Count("mms.became_primary");
+}
+
+void MmsService::OnDemotedRole() {
+  // Keep the session table — it is exactly the warm-standby state — but drop
+  // every RAS watch: a demoted replica observing a settop death must not race
+  // the new primary to reclaim the session's resources.
+  for (auto& [id, session] : sessions_) {
+    if (session.watch != 0) {
+      audit_->Unwatch(session.watch);
+      session.watch = 0;
+    }
+  }
 }
 
 // --- MDS directory -------------------------------------------------------------
@@ -286,7 +303,9 @@ void MmsService::ReclaimSession(uint64_t session_id, bool tell_mds) {
   }
   Session session = std::move(it->second);
   sessions_.erase(it);
-  audit_->Unwatch(session.watch);
+  if (session.watch != 0) {
+    audit_->Unwatch(session.watch);
+  }
 
   if (tell_mds) {
     // "it tells the MDS to deallocate movie resources" (Section 3.4.5).
@@ -334,41 +353,92 @@ void MmsService::OnSettopDead(uint32_t settop_host) {
 
 // --- Fail-over state rebuild ----------------------------------------------------
 
-void MmsService::RebuildStateFromMds() {
-  name_client_.ListRepl("svc/mds").OnReady(
-      [this](const Result<naming::BindingList>& r) {
-        if (!r.ok()) {
-          return;
-        }
-        for (const naming::Binding& binding : *r) {
-          if (binding.kind != naming::BindingKind::kObject) {
-            continue;
-          }
-          MdsProxy mds(runtime_, binding.ref);
-          std::string name = binding.name;
-          wire::ObjectRef ref = binding.ref;
-          mds.ListSessions().OnReady(
-              [this, name, ref](const Result<std::vector<SessionInfo>>& sessions) {
-                if (sessions.ok()) {
-                  AdoptSessions(name, ref, *sessions);
-                }
-              });
-        }
-      });
+void MmsService::RebuildStateFromMds(bool register_watches,
+                                     std::function<void(Status)> done) {
+  name_client_.ListRepl("svc/mds").OnReady([this, register_watches, done](
+                                               const Result<naming::BindingList>&
+                                                   r) {
+    if (!r.ok()) {
+      if (done) {
+        done(r.status());
+      }
+      return;
+    }
+    std::vector<naming::Binding> replicas;
+    for (const naming::Binding& binding : *r) {
+      if (binding.kind == naming::BindingKind::kObject) {
+        replicas.push_back(binding);
+      }
+    }
+    if (replicas.empty()) {
+      if (done) {
+        done(OkStatus());
+      }
+      return;
+    }
+    // Completion fires once every replica has answered or timed out; an
+    // unreachable MDS contributes no sessions (its streams died with it).
+    auto pending = std::make_shared<size_t>(replicas.size());
+    for (const naming::Binding& binding : replicas) {
+      MdsProxy mds(runtime_, binding.ref);
+      rpc::CallOptions opts;
+      opts.timeout = options_.rpc_timeout;
+      std::string name = binding.name;
+      wire::ObjectRef ref = binding.ref;
+      mds.ListSessions(opts).OnReady(
+          [this, name, ref, register_watches, pending,
+           done](const Result<std::vector<SessionInfo>>& sessions) {
+            if (sessions.ok()) {
+              AdoptSessions(name, ref, *sessions, register_watches);
+            }
+            if (--*pending == 0 && done) {
+              done(OkStatus());
+            }
+          });
+    }
+  });
 }
 
 void MmsService::AdoptSessions(const std::string& mds_name,
                                const wire::ObjectRef& mds_ref,
-                               const std::vector<SessionInfo>& sessions) {
+                               const std::vector<SessionInfo>& sessions,
+                               bool register_watches) {
+  std::set<uint64_t> reported;
   for (const SessionInfo& info : sessions) {
-    bool known = false;
-    for (const auto& [id, session] : sessions_) {
+    reported.insert(info.stream_id);
+  }
+  // Drop passive (pre-warmed) records this MDS no longer reports — the
+  // session closed while we were a backup. Watched sessions are never dropped
+  // here; the primary's own close/reclaim paths own those.
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second.mds_name == mds_name && it->second.watch == 0 &&
+        reported.count(it->second.stream_id) == 0) {
+      it = sessions_.erase(it);
+      Count("mms.session_stale_pruned");
+    } else {
+      ++it;
+    }
+  }
+  for (const SessionInfo& info : sessions) {
+    Session* existing = nullptr;
+    for (auto& [id, session] : sessions_) {
       if (session.stream_id == info.stream_id && session.mds_name == mds_name) {
-        known = true;
+        existing = &session;
         break;
       }
     }
-    if (known) {
+    if (existing != nullptr) {
+      existing->mds_ref = mds_ref;  // Track MDS restarts across refreshes.
+      if (register_watches && existing->watch == 0) {
+        // Pre-warmed passively; promotion upgrades it to a watched session,
+        // which is this replica's adoption of it.
+        existing->watch = audit_->Watch(
+            ras::EntityId::Settop(existing->settop_host),
+            [this, host = existing->settop_host](const ras::EntityId&) {
+              OnSettopDead(host);
+            });
+        Count("mms.session_adopted");
+      }
       continue;
     }
     Session session;
@@ -380,13 +450,15 @@ void MmsService::AdoptSessions(const std::string& mds_name,
     session.stream_id = info.stream_id;
     session.movie = info.movie;
     session.connection = info.connection;
-    session.watch = audit_->Watch(
-        ras::EntityId::Settop(info.settop_host),
-        [this, host = info.settop_host](const ras::EntityId&) {
-          OnSettopDead(host);
-        });
+    if (register_watches) {
+      session.watch = audit_->Watch(
+          ras::EntityId::Settop(info.settop_host),
+          [this, host = info.settop_host](const ras::EntityId&) {
+            OnSettopDead(host);
+          });
+    }
     sessions_[session.session_id] = std::move(session);
-    Count("mms.session_adopted");
+    Count(register_watches ? "mms.session_adopted" : "mms.session_prewarmed");
   }
 }
 

@@ -9,8 +9,12 @@
 //
 // Replication: primary/backup (Section 5.2) with NO replicated state — "the
 // volatile state of the MMS can be reconstructed by querying each MDS in the
-// cluster and by querying the Connection Manager" (Section 10.1.1); a newly
-// promoted primary does exactly that.
+// cluster and by querying the Connection Manager" (Section 10.1.1). The
+// launcher's ServiceLifecycle drives this: RecoverState runs on winning the
+// binding (before the role turns primary) and registers RAS watches;
+// WarmStandby periodically pre-adopts sessions passively (no watches) while
+// backup, so promotion only has to diff against a warm table instead of
+// rebuilding from scratch.
 //
 // MDS replica health (Section 3.5.2): "Once an attempt to open a movie from
 // an MDS replica fails, the MMS assumes that the replica is dead. The MMS
@@ -32,6 +36,7 @@
 #include "src/media/types.h"
 #include "src/naming/name_client.h"
 #include "src/ras/audit_client.h"
+#include "src/svc/lifecycle.h"
 
 namespace itv::media {
 
@@ -97,7 +102,6 @@ class MmsService : public rpc::Skeleton {
     Duration rpc_timeout = Duration::Seconds(2);
     // Re-probe an MDS replica marked dead (Section 3.5.2).
     Duration mds_retry_interval = Duration::Seconds(10);
-    naming::PrimaryBinder::Options binder;
   };
 
   MmsService(rpc::ObjectRuntime& runtime, Executor& executor,
@@ -105,12 +109,28 @@ class MmsService : public rpc::Skeleton {
              Metrics* metrics = nullptr);
   ~MmsService();
 
-  // Exports the MMS object, starts the MDS directory refresh, and competes
-  // for the primary binding; on promotion, rebuilds session state from the
-  // MDS replicas.
+  // Exports the MMS object and starts the MDS directory refresh. Election is
+  // owned by the launcher's ServiceLifecycle, which drives the hooks below.
   void Start();
 
-  bool is_primary() const { return binder_ && binder_->is_primary(); }
+  // Lifecycle hooks. RecoverState rebuilds the session table from every MDS
+  // replica and registers RAS watches; `done` fires when all replicas have
+  // answered (or failed). WarmStandby does the same adoption passively — no
+  // watches, and sessions an MDS no longer reports are dropped — keeping the
+  // backup's table fresh. OnDemotedRole cancels every watch but keeps the
+  // table as warm state (a demoted replica must not reclaim sessions the new
+  // primary owns).
+  void RecoverState(std::function<void(Status)> done);
+  void WarmStandby(std::function<void(Status)> done);
+  void OnPromoted();
+  void OnDemotedRole();
+  void AttachLifecycle(const svc::ServiceLifecycle* lifecycle) {
+    lifecycle_ = lifecycle;
+  }
+
+  bool is_primary() const {
+    return lifecycle_ != nullptr && lifecycle_->is_primary();
+  }
   wire::ObjectRef ref() const { return ref_; }
   size_t session_count() const { return sessions_.size(); }
   size_t known_mds_count() const { return mds_.size(); }
@@ -161,9 +181,11 @@ class MmsService : public rpc::Skeleton {
   void HandleClose(const wire::ObjectRef& movie, rpc::ReplyFn reply);
   void ReclaimSession(uint64_t session_id, bool tell_mds);
   void OnSettopDead(uint32_t settop_host);
-  void RebuildStateFromMds();
+  void RebuildStateFromMds(bool register_watches,
+                           std::function<void(Status)> done);
   void AdoptSessions(const std::string& mds_name, const wire::ObjectRef& mds_ref,
-                     const std::vector<SessionInfo>& sessions);
+                     const std::vector<SessionInfo>& sessions,
+                     bool register_watches);
 
   rpc::BoundClient<CmgrProxy> CmgrFor(uint8_t neighborhood);
   void Count(std::string_view name);
@@ -175,7 +197,7 @@ class MmsService : public rpc::Skeleton {
   Metrics* metrics_;
 
   wire::ObjectRef ref_;
-  std::unique_ptr<naming::PrimaryBinder> binder_;
+  const svc::ServiceLifecycle* lifecycle_ = nullptr;
   std::unique_ptr<ras::AuditClient> audit_;
   std::map<std::string, MdsReplica> mds_;
   std::map<uint64_t, Session> sessions_;

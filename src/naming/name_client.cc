@@ -44,18 +44,46 @@ void EnsureContextPath(Executor& executor, NameClient client,
              max_attempts);
 }
 
-void PrimaryBinder::Start(std::function<void()> on_primary) {
+void PrimaryBinder::Start(std::function<void()> on_primary,
+                          std::function<void()> on_demoted) {
   ITV_CHECK(!running_);
   running_ = true;
   on_primary_ = std::move(on_primary);
+  on_demoted_ = std::move(on_demoted);
   TryBind();
 }
 
 void PrimaryBinder::Stop() {
+  if (!running_) {
+    return;
+  }
   running_ = false;
   if (retry_timer_ != kInvalidTimerId) {
     executor_.Cancel(retry_timer_);
     retry_timer_ = kInvalidTimerId;
+  }
+  if (!is_primary_) {
+    return;
+  }
+  is_primary_ = false;
+  // Release the name so a backup can win on its next retry instead of
+  // stalling until the audit removes the binding. Best-effort, and only
+  // after confirming the binding is still ours: between losing the name and
+  // the verify loop noticing, an unconditional unbind would evict the new
+  // primary.
+  NamingContextProxy root(client_.runtime(), client_.root());
+  root.Resolve(SplitPath(path_))
+      .OnReady([client = client_, path = path_,
+                my_ref = my_ref_](const Result<wire::ObjectRef>& r) {
+        if (r.ok() && *r == my_ref) {
+          client.Unbind(path).OnReady([](const Result<void>&) {});
+        }
+      });
+}
+
+void PrimaryBinder::Count(std::string_view counter) {
+  if (options_.metrics != nullptr) {
+    options_.metrics->Add(counter);
   }
 }
 
@@ -64,6 +92,7 @@ void PrimaryBinder::TryBind() {
     return;
   }
   ++bind_attempts_;
+  Count("binder.bind_attempts");
   // Each bind attempt roots a trace: when a backup finally wins after the
   // audit removes the dead primary's binding, the winning attempt's
   // bind.primary instant is the fail-over timeline's recovery marker.
@@ -123,6 +152,12 @@ void PrimaryBinder::TryBind() {
               is_primary_ = true;
               ITV_LOG(Info) << "primary/backup: binding for " << path_
                             << " still ours; resuming as primary";
+              // Reaching here means is_primary_ was false — either we demoted
+              // (on_demoted fired) or we never won — so the owner needs the
+              // promotion notification to leave its backup role.
+              if (on_primary_) {
+                on_primary_();
+              }
               retry_timer_ =
                   executor_.ScheduleAfter(options_.retry_interval, [this] {
                     retry_timer_ = kInvalidTimerId;
@@ -169,9 +204,13 @@ void PrimaryBinder::VerifyPrimary() {
       // Another replica holds the name: we were unbound and lost the
       // re-election. Rejoin the backup retry loop.
       ++demotions_;
+      Count("binder.demotions");
       is_primary_ = false;
       ITV_LOG(Info) << "primary/backup: lost binding for " << path_
                     << " to another replica";
+      if (on_demoted_) {
+        on_demoted_();
+      }
       retry_timer_ = executor_.ScheduleAfter(options_.retry_interval, [this] {
         retry_timer_ = kInvalidTimerId;
         TryBind();

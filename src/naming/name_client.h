@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "src/common/executor.h"
+#include "src/common/metrics.h"
 #include "src/naming/stubs.h"
 #include "src/rpc/binding_table.h"
 #include "src/rpc/rebinder.h"
@@ -147,6 +148,10 @@ class PrimaryBinder {
   struct Options {
     // "Backup retries bind every 10 seconds" (paper Section 9.7).
     Duration retry_interval = Duration::Seconds(10);
+    // When set, bind attempts and demotions are exported as binder.* counters
+    // (in addition to the accessors) so chaos artifacts and benches report
+    // them uniformly.
+    Metrics* metrics = nullptr;
   };
 
   PrimaryBinder(Executor& executor, NameClient client, std::string path,
@@ -162,10 +167,17 @@ class PrimaryBinder {
         options_(options) {}
 
   // Begins attempting to bind; `on_primary` (optional) fires each time this
-  // replica wins (more than once if it loses the binding and re-acquires it).
-  void Start(std::function<void()> on_primary = nullptr);
+  // replica wins (more than once if it loses the binding and re-acquires it);
+  // `on_demoted` (optional) fires each time a verify finds another replica
+  // holding the name.
+  void Start(std::function<void()> on_primary = nullptr,
+             std::function<void()> on_demoted = nullptr);
+  // Stops the retry/verify loop. A stopped primary releases its binding
+  // (best-effort, after re-checking it still owns the name) so fail-over to a
+  // backup does not have to wait for the name-service audit.
   void Stop();
 
+  bool running() const { return running_; }
   bool is_primary() const { return is_primary_; }
   uint64_t bind_attempts() const { return bind_attempts_; }
   uint64_t demotions() const { return demotions_; }
@@ -173,6 +185,7 @@ class PrimaryBinder {
  private:
   void TryBind();
   void VerifyPrimary();
+  void Count(std::string_view counter);
 
   Executor& executor_;
   NameClient client_;
@@ -180,6 +193,7 @@ class PrimaryBinder {
   wire::ObjectRef my_ref_;
   Options options_;
   std::function<void()> on_primary_;
+  std::function<void()> on_demoted_;
   bool running_ = false;
   bool is_primary_ = false;
   uint64_t bind_attempts_ = 0;

@@ -1,6 +1,7 @@
 #include "src/sim/chaos.h"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -377,6 +378,46 @@ std::string InvariantMonitor::Report() const {
                      violation.invariant.c_str(), violation.detail.c_str());
   }
   return out;
+}
+
+void AddSinglePrimaryQuiescent(
+    InvariantMonitor& monitor, std::string name,
+    std::function<std::vector<PrimaryClaim>()> claims) {
+  monitor.AddQuiescent(
+      std::move(name), [claims = std::move(claims)]() -> Status {
+        std::vector<PrimaryClaim> all = claims();
+        std::map<std::string, std::vector<const PrimaryClaim*>> primaries;
+        std::map<std::string, size_t> claimants;
+        for (const PrimaryClaim& claim : all) {
+          ++claimants[claim.service];
+          if (claim.is_primary) {
+            primaries[claim.service].push_back(&claim);
+          }
+        }
+        std::string detail;
+        for (const auto& [service, count] : claimants) {
+          size_t primary_count = primaries[service].size();
+          if (primary_count == 1) {
+            continue;
+          }
+          if (!detail.empty()) {
+            detail += "; ";
+          }
+          if (primary_count == 0) {
+            detail += service + ": " + std::to_string(count) +
+                      " live claimant(s), no primary";
+          } else {
+            detail += service + ": split-brain across";
+            for (const PrimaryClaim* claim : primaries[service]) {
+              detail += " " + claim->claimant;
+            }
+          }
+        }
+        if (!detail.empty()) {
+          return InternalError(detail);
+        }
+        return OkStatus();
+      });
 }
 
 }  // namespace itv::sim

@@ -204,6 +204,22 @@ class InvariantMonitor {
   size_t checks_run_ = 0;
 };
 
+// One replica's view of a primary/backup election, snapshotted by a claims
+// function. The monitor stays deployment-agnostic: whoever owns the service
+// registry (the harness) adapts it to this shape.
+struct PrimaryClaim {
+  std::string service;   // Election group, e.g. the service path.
+  std::string claimant;  // Replica identity, used in violation detail.
+  bool is_primary = false;
+};
+
+// Registers a quiescent check on `monitor`: for every service with at least
+// one live claimant, exactly one claimant must hold the primary role. Zero
+// primaries is the permanent-backup deadlock; two or more is split-brain.
+void AddSinglePrimaryQuiescent(
+    InvariantMonitor& monitor, std::string name,
+    std::function<std::vector<PrimaryClaim>()> claims);
+
 }  // namespace itv::sim
 
 #endif  // SRC_SIM_CHAOS_H_

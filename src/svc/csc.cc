@@ -39,20 +39,25 @@ CscService::CscService(rpc::ObjectRuntime& runtime, Executor& executor,
       bindings_(runtime, name_client_.PathResolverFn()),
       db_(bindings_.Bind<db::DatabaseProxy>("svc/db")) {}
 
-void CscService::Start() {
-  ref_ = runtime_.Export(this);
-  binder_ = std::make_unique<naming::PrimaryBinder>(
-      executor_, name_client_, std::string(kCscName), ref_, options_.binder);
-  binder_->Start([this] {
-    ITV_LOG(Info) << "csc@" << runtime_.local_endpoint().ToString()
-                  << ": became primary";
-    Count("csc.became_primary");
-    // "This backup discovers the cluster state by querying each SSC" — the
-    // reconcile loop does exactly that on every tick.
-    Reconcile();
-    reconcile_timer_.Start(executor_, options_.ping_interval,
-                           [this] { Reconcile(); });
-  });
+void CscService::Start() { ref_ = runtime_.Export(this); }
+
+void CscService::OnPromoted() {
+  ITV_LOG(Info) << "csc@" << runtime_.local_endpoint().ToString()
+                << ": became primary";
+  Count("csc.became_primary");
+  // "This backup discovers the cluster state by querying each SSC" — the
+  // reconcile loop does exactly that on every tick.
+  Reconcile();
+  reconcile_timer_.Start(executor_, options_.ping_interval,
+                         [this] { Reconcile(); });
+}
+
+void CscService::OnDemotedRole() {
+  reconcile_timer_.Stop();
+  // Forget failure bookkeeping: if this replica is re-promoted later, it must
+  // re-observe the cluster instead of migrating on stale ping counts.
+  ping_failures_.clear();
+  migrated_hosts_.clear();
 }
 
 void CscService::LoadConfig(

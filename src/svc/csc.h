@@ -10,8 +10,10 @@
 // reconciles by pinging every SSC (Section 6.3) and issuing start/stop; the
 // operator interface mutates the database and lets reconciliation act.
 //
-// Fail-over: replicas race to bind kCscName through a PrimaryBinder; the
-// backup that wins "discovers the cluster state by querying each SSC".
+// Fail-over: replicas race to bind kCscName through a ServiceLifecycle (see
+// lifecycle.h); the backup that wins "discovers the cluster state by querying
+// each SSC" — its reconcile loop, started by the promotion hook, does exactly
+// that on every tick, so the CSC needs no separate recovery step.
 
 #ifndef SRC_SVC_CSC_H_
 #define SRC_SVC_CSC_H_
@@ -26,6 +28,7 @@
 #include "src/db/database_service.h"
 #include "src/naming/name_client.h"
 #include "src/rpc/binding_table.h"
+#include "src/svc/lifecycle.h"
 #include "src/svc/ssc.h"
 
 namespace itv::svc {
@@ -90,7 +93,6 @@ class CscService : public rpc::Skeleton {
     // or recoveries."
     Duration ping_interval = Duration::Seconds(2);
     Duration rpc_timeout = Duration::Seconds(2);
-    naming::PrimaryBinder::Options binder;
 
     // The paper's future work (Sections 6.3, 8.1): "In the future, we intend
     // to handle server failure by having the CSC distribute services among
@@ -112,10 +114,21 @@ class CscService : public rpc::Skeleton {
              naming::NameClient name_client, Options options,
              Metrics* metrics = nullptr);
 
-  // Exports the CSC object and starts competing for the primary binding.
+  // Exports the CSC object. Election is owned by the launcher's
+  // ServiceLifecycle, which drives the hooks below.
   void Start();
 
-  bool is_primary() const { return binder_ && binder_->is_primary(); }
+  // Role-edge hooks for the lifecycle: promotion starts the reconcile loop,
+  // demotion stops it (a demoted CSC must not keep issuing start/stop).
+  void OnPromoted();
+  void OnDemotedRole();
+  void AttachLifecycle(const ServiceLifecycle* lifecycle) {
+    lifecycle_ = lifecycle;
+  }
+
+  bool is_primary() const {
+    return lifecycle_ != nullptr && lifecycle_->is_primary();
+  }
   wire::ObjectRef ref() const { return ref_; }
 
   std::string_view interface_name() const override { return kCscInterface; }
@@ -145,7 +158,7 @@ class CscService : public rpc::Skeleton {
   Metrics* metrics_;
 
   wire::ObjectRef ref_;
-  std::unique_ptr<naming::PrimaryBinder> binder_;
+  const ServiceLifecycle* lifecycle_ = nullptr;
   rpc::BindingTable bindings_;
   rpc::BoundClient<db::DatabaseProxy> db_;
   PeriodicTimer reconcile_timer_;

@@ -16,6 +16,19 @@ void ServiceContext::NotifyReady(
   ssc.NotifyReady(process.pid(), objects).OnReady([](const Result<void>&) {});
 }
 
+ServiceLifecycle* ServiceContext::StartLifecycle(
+    const std::string& path, const wire::ObjectRef& ref,
+    ServiceLifecycle::Hooks hooks, ServiceLifecycle::Options options) const {
+  options.binder = harness.options().binder;
+  auto* lifecycle = process.Emplace<ServiceLifecycle>(
+      process, harness.ClientFor(process), path, ref, options, metrics);
+  // Register before Start so the single-primary invariant never misses a
+  // claimant that wins its first bind attempt.
+  harness.RegisterLifecycle(process.pid(), lifecycle);
+  lifecycle->Start(std::move(hooks));
+  return lifecycle;
+}
+
 // exec(2) analog: looks the service type up in the harness registry, spawns
 // a process (well-known port if the type has one), runs the factory.
 class ClusterHarness::NodeLauncher : public ServiceLauncher {
@@ -193,6 +206,28 @@ uint32_t ClusterHarness::NsMasterHost() {
   return 0;
 }
 
+void ClusterHarness::RegisterLifecycle(uint64_t pid,
+                                       ServiceLifecycle* lifecycle) {
+  lifecycles_[lifecycle->path()][pid] = lifecycle;
+}
+
+std::map<std::string, std::vector<ServiceLifecycle*>>
+ClusterHarness::LiveLifecycles() {
+  std::map<std::string, std::vector<ServiceLifecycle*>> out;
+  for (auto& [path, by_pid] : lifecycles_) {
+    for (auto it = by_pid.begin(); it != by_pid.end();) {
+      sim::Process* process = cluster_.FindProcessGlobal(it->first);
+      if (process == nullptr || !process->alive()) {
+        it = by_pid.erase(it);  // pids are never reused; safe to prune.
+        continue;
+      }
+      out[path].push_back(it->second);
+      ++it;
+    }
+  }
+  return out;
+}
+
 void ClusterHarness::StartSsc(size_t server_index) {
   sim::Node& node = *servers_[server_index];
   sim::Process& ssc_proc = node.Spawn("ssc", kSscPort);
@@ -251,6 +286,16 @@ void ClusterHarness::RegisterBaseServiceTypes() {
     ns->SetAudit(audit);
     ns->Start();
     ns_probes_[ctx.process.host()] = {ctx.process.pid(), ns};
+    // The NS elects its master through its own replication protocol, not a
+    // binding; mirror that election into the role machine so NS mastership
+    // shows up in the same metrics, traces, and single-primary invariant as
+    // every other service.
+    ServiceLifecycle::Hooks hooks;
+    hooks.external_role = [ns] { return ns->is_master(); };
+    ctx.StartLifecycle("svc/ns-master", naming::BootstrapRootRef(
+                                            ctx.process.host(),
+                                            naming::kNameServicePort),
+                       std::move(hooks));
   });
 
   // --- Resource Audit Service -------------------------------------------------
@@ -260,14 +305,13 @@ void ClusterHarness::RegisterBaseServiceTypes() {
         options_.ras, ctx.metrics);
     rasd->Start();
     ras_probes_[ctx.process.host()] = {ctx.process.pid(), rasd};
-    ctx.NotifyReady({rasd->ref()});
     // Publish under svc/ras/<server-index> for the per-server selector.
     for (size_t i = 0; i < servers_.size(); ++i) {
       if (servers_[i]->host() == ctx.process.host()) {
-        auto* binder = ctx.process.Emplace<naming::PrimaryBinder>(
-            ctx.process.executor(), ctx.MakeNameClient(),
-            "svc/ras/" + std::to_string(i + 1), rasd->ref(), options_.binder);
-        binder->Start();
+        ServiceLifecycle::Hooks hooks;
+        hooks.ready_objects = {rasd->ref()};
+        ctx.StartLifecycle("svc/ras/" + std::to_string(i + 1), rasd->ref(),
+                           std::move(hooks));
       }
     }
   });
@@ -277,22 +321,23 @@ void ClusterHarness::RegisterBaseServiceTypes() {
     auto* store = ctx.process.Emplace<db::Store>(DiskFor(ctx.process.host()));
     auto* skeleton = ctx.process.Emplace<db::DatabaseSkeleton>(*store);
     wire::ObjectRef ref = ctx.process.runtime().ExportAt(skeleton, 1);
-    ctx.NotifyReady({ref});
-    auto* binder = ctx.process.Emplace<naming::PrimaryBinder>(
-        ctx.process.executor(), ctx.MakeNameClient(), "svc/db", ref,
-        options_.binder);
-    binder->Start();
+    ServiceLifecycle::Hooks hooks;
+    hooks.ready_objects = {ref};
+    ctx.StartLifecycle("svc/db", ref, std::move(hooks));
   });
 
   // --- Cluster Service Controller ------------------------------------------------
   RegisterServiceType("cscd", [this](const ServiceContext& ctx) {
-    CscService::Options opts = options_.csc;
-    opts.binder = options_.binder;
     auto* csc = ctx.process.Emplace<CscService>(
         ctx.process.runtime(), ctx.process.executor(), ctx.MakeNameClient(),
-        opts, ctx.metrics);
+        options_.csc, ctx.metrics);
     csc->Start();
-    ctx.NotifyReady({csc->ref()});
+    ServiceLifecycle::Hooks hooks;
+    hooks.ready_objects = {csc->ref()};
+    hooks.on_promoted = [csc] { csc->OnPromoted(); };
+    hooks.on_demoted = [csc] { csc->OnDemotedRole(); };
+    csc->AttachLifecycle(
+        ctx.StartLifecycle(std::string(kCscName), csc->ref(), std::move(hooks)));
   });
 
   // --- Settop Manager (primary/backup, CSC-assigned) ----------------------------
@@ -300,11 +345,9 @@ void ClusterHarness::RegisterBaseServiceTypes() {
     auto* mgr =
         ctx.process.Emplace<SettopManagerService>(ctx.process.executor());
     wire::ObjectRef ref = ctx.process.runtime().Export(mgr);
-    ctx.NotifyReady({ref});
-    auto* binder = ctx.process.Emplace<naming::PrimaryBinder>(
-        ctx.process.executor(), ctx.MakeNameClient(),
-        std::string(kSettopManagerName), ref, options_.binder);
-    binder->Start();
+    ServiceLifecycle::Hooks hooks;
+    hooks.ready_objects = {ref};
+    ctx.StartLifecycle(std::string(kSettopManagerName), ref, std::move(hooks));
   });
 
   // Default placement: settop manager replicas on the first two servers.

@@ -31,6 +31,7 @@
 #include "src/ras/ras_service.h"
 #include "src/sim/cluster.h"
 #include "src/svc/csc.h"
+#include "src/svc/lifecycle.h"
 #include "src/svc/ssc.h"
 
 namespace itv::svc {
@@ -50,6 +51,15 @@ struct ServiceContext {
   // Registers exported objects with the local SSC (required before binding
   // them into the name space, or auditing will consider them dead).
   void NotifyReady(const std::vector<wire::ObjectRef>& objects) const;
+  // Spawns a ServiceLifecycle in this process, starts it with `hooks`, and
+  // registers it with the cluster-wide role registry (chaos invariants check
+  // per-service single-primary through it). `options.binder` is overwritten
+  // with the harness-wide binder options (HarnessOptions::binder), so every
+  // service elects on the deployment's retry cadence.
+  ServiceLifecycle* StartLifecycle(
+      const std::string& path, const wire::ObjectRef& ref,
+      ServiceLifecycle::Hooks hooks,
+      ServiceLifecycle::Options options = ServiceLifecycle::Options()) const;
 };
 
 using ServiceFactory = std::function<void(const ServiceContext&)>;
@@ -129,6 +139,14 @@ class ClusterHarness {
   // Host of a live NS replica currently claiming mastership, or 0 if none.
   uint32_t NsMasterHost();
 
+  // --- Service-role registry ---------------------------------------------------
+  // Every lifecycle started through ServiceContext::StartLifecycle registers
+  // here; entries are pruned when their process dies. LiveLifecycles groups
+  // the survivors by service path, which is exactly the shape the generic
+  // single-primary invariant needs (all live claimants of one name).
+  void RegisterLifecycle(uint64_t pid, ServiceLifecycle* lifecycle);
+  std::map<std::string, std::vector<ServiceLifecycle*>> LiveLifecycles();
+
  private:
   class NodeLauncher;
 
@@ -146,6 +164,8 @@ class ClusterHarness {
   // host -> (pid, servant); pid gates liveness via the cluster process index.
   std::map<uint32_t, std::pair<uint64_t, naming::NameServer*>> ns_probes_;
   std::map<uint32_t, std::pair<uint64_t, ras::RasService*>> ras_probes_;
+  // path -> pid -> lifecycle; liveness gated by the cluster process index.
+  std::map<std::string, std::map<uint64_t, ServiceLifecycle*>> lifecycles_;
   bool booted_ = false;
 };
 

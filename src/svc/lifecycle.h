@@ -1,0 +1,166 @@
+// ServiceLifecycle: the uniform replicated-service runtime (paper Sections
+// 5.2 and 6.3). Every server-side service used to hand-roll the same
+// start-up sequence — announce objects to the SSC, ensure parent naming
+// contexts, race a PrimaryBinder for the service name, run bespoke recovery
+// on promotion — and the copies drifted (that drift is where the
+// permanent-backup deadlock and the leaked-grant bugs hid). This class owns
+// the whole role state machine once:
+//
+//     Starting -> EnsuringContexts -> Backup <-> Primary
+//                                        ^          |
+//                                        +- Demoted-+        (any) -> Stopped
+//
+// and services plug in hooks:
+//
+//   ready_objects   announced to the local SSC before the first bind
+//                   (required, or the naming audit kills the binding)
+//   recover         runs after winning the binding, BEFORE the role turns
+//                   Primary ("the backup discovers the cluster state by
+//                   querying each SSC", Section 6.2; the MMS "can be
+//                   reconstructed by querying each MDS", Section 10.1.1).
+//                   Failure steps back out of the election: the binding is
+//                   released and re-contested after a back-off, so a replica
+//                   that cannot recover never claims primaryship.
+//   warm_standby    optional periodic pre-recovery while Backup, so the
+//                   state a promotion must rebuild stays small and fresh
+//   on_promoted / on_demoted
+//                   role-edge notifications (start/stop primary-only timers)
+//   external_role   services whose election is internal (the NS master
+//                   replication protocol) mirror it into the same role
+//                   machine, metrics, and invariants instead of binding.
+//
+// Uniform observability: svc.role.* metrics, binder.* counters, and
+// role.recover spans / role.promote+role.demote instants that feed
+// trace::FailoverTimeline's recovery decomposition.
+
+#ifndef SRC_SVC_LIFECYCLE_H_
+#define SRC_SVC_LIFECYCLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/executor.h"
+#include "src/common/metrics.h"
+#include "src/naming/name_client.h"
+#include "src/sim/cluster.h"
+
+namespace itv::svc {
+
+enum class ServiceRole : uint8_t {
+  kStarting = 0,
+  kEnsuringContexts = 1,
+  kBackup = 2,
+  kPrimary = 3,
+  kDemoted = 4,  // Transient: hooks observe it, the role settles to Backup.
+  kStopped = 5,
+};
+
+std::string_view ServiceRoleName(ServiceRole role);
+
+class ServiceLifecycle {
+ public:
+  struct Options {
+    naming::PrimaryBinder::Options binder;
+    // Parent-context creation (naming::EnsureContextPath).
+    Duration ensure_retry = Duration::Seconds(2);
+    int ensure_max_attempts = 100;
+    // Cadence of the warm_standby hook while Backup; zero disables it even
+    // when the hook is set.
+    Duration warm_standby_interval = Duration::Seconds(10);
+    // Back-off before re-contesting the binding after a failed recovery.
+    Duration recover_retry = Duration::Seconds(2);
+    // Poll cadence of the external_role probe.
+    Duration probe_interval = Duration::Seconds(1);
+  };
+
+  struct Hooks {
+    // Objects this service exports, registered with the local SSC via
+    // notifyReady before the first bind attempt.
+    std::vector<wire::ObjectRef> ready_objects;
+    // State recovery, run on winning the binding; the role stays Backup (and
+    // is_primary() false) until `done` reports OK.
+    std::function<void(std::function<void(Status)> done)> recover;
+    // Optional periodic pre-recovery while Backup (never runs as Primary or
+    // while a promotion is in flight).
+    std::function<void(std::function<void(Status)> done)> warm_standby;
+    std::function<void()> on_promoted;
+    std::function<void()> on_demoted;
+    // When set, no binder runs: the role mirrors this probe instead
+    // (services with their own election, e.g. the NS master).
+    std::function<bool()> external_role;
+  };
+
+  // `path` is the service name to contest (or, in external_role mode, the
+  // label used for metrics, traces, and invariants). `ref` is the object
+  // bound under the name.
+  ServiceLifecycle(sim::Process& process, naming::NameClient client,
+                   std::string path, wire::ObjectRef ref);
+  ServiceLifecycle(sim::Process& process, naming::NameClient client,
+                   std::string path, wire::ObjectRef ref, Options options,
+                   Metrics* metrics = nullptr);
+  ~ServiceLifecycle();
+
+  ServiceLifecycle(const ServiceLifecycle&) = delete;
+  ServiceLifecycle& operator=(const ServiceLifecycle&) = delete;
+
+  void Start(Hooks hooks);
+  // Leaves the election: cancels timers, releases the binding if held
+  // (graceful unbind, so fail-over needn't wait for the audit), and
+  // invalidates any in-flight recovery.
+  void Stop();
+
+  ServiceRole role() const { return role_; }
+  bool is_primary() const { return role_ == ServiceRole::kPrimary; }
+  const std::string& path() const { return path_; }
+  const wire::ObjectRef& ref() const { return ref_; }
+  sim::Process& process() { return process_; }
+
+  uint64_t promotions() const { return promotions_; }
+  uint64_t demotions() const { return demotions_; }
+  uint64_t recover_failures() const { return recover_failures_; }
+  uint64_t warm_standby_runs() const { return warm_standby_runs_; }
+  naming::PrimaryBinder* binder() { return binder_.get(); }
+
+ private:
+  Executor& executor() { return process_.executor(); }
+
+  void EnsureContexts();
+  void BeginElection();
+  void RestartElection();
+  void OnWonBinding();
+  void FinishPromotion(Time recover_begin);
+  void DemoteRole();
+  void WarmTick();
+  void ProbeExternalRole();
+  void SetRole(ServiceRole role);
+  void Count(std::string_view counter);
+
+  sim::Process& process_;
+  naming::NameClient client_;
+  std::string path_;
+  wire::ObjectRef ref_;
+  Options options_;
+  Metrics* metrics_;
+  Hooks hooks_;
+
+  ServiceRole role_ = ServiceRole::kStopped;
+  std::unique_ptr<naming::PrimaryBinder> binder_;
+  PeriodicTimer warm_timer_;
+  PeriodicTimer probe_timer_;
+  bool warm_in_flight_ = false;
+  bool recover_in_flight_ = false;
+  // Bumped on demotion and stop: in-flight recover/ensure callbacks from an
+  // older epoch are void (stop-during-recovery must not promote).
+  uint64_t epoch_ = 0;
+
+  uint64_t promotions_ = 0;
+  uint64_t demotions_ = 0;
+  uint64_t recover_failures_ = 0;
+  uint64_t warm_standby_runs_ = 0;
+};
+
+}  // namespace itv::svc
+
+#endif  // SRC_SVC_LIFECYCLE_H_

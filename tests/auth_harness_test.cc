@@ -49,11 +49,9 @@ class AuthHarnessTest : public ::testing::Test {
                     PrincipalForEndpoint(ctx.process.endpoint())));
       policy->set_master_key_registry(&registry_);
       ctx.process.runtime().set_security_policy(policy);
-      ctx.NotifyReady({ref});
-      auto* binder = ctx.process.Emplace<naming::PrimaryBinder>(
-          ctx.process.executor(), ctx.MakeNameClient(), "svc/auth", ref,
-          ctx.harness.options().binder);
-      binder->Start();
+      svc::ServiceLifecycle::Hooks hooks;
+      hooks.ready_objects = {ref};
+      ctx.StartLifecycle("svc/auth", ref, std::move(hooks));
     });
 
     // A strict third-party service on server 2: unsigned calls rejected.
@@ -68,11 +66,9 @@ class AuthHarnessTest : public ::testing::Test {
                     PrincipalForEndpoint(ctx.process.endpoint())),
           strict);
       ctx.process.runtime().set_security_policy(policy);
-      ctx.NotifyReady({ref});
-      auto* binder = ctx.process.Emplace<naming::PrimaryBinder>(
-          ctx.process.executor(), ctx.MakeNameClient(), "svc/vault", ref,
-          ctx.harness.options().binder);
-      binder->Start();
+      svc::ServiceLifecycle::Hooks hooks;
+      hooks.ready_objects = {ref};
+      ctx.StartLifecycle("svc/vault", ref, std::move(hooks));
     });
 
     harness_.AssignService("authd", harness_.HostOf(0));

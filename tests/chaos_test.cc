@@ -223,17 +223,18 @@ TEST(FailoverTraceTest, TimelineMatchesPaperWorstCaseBound) {
   svc::ClusterHarness harness(opts);
   harness.Boot();
 
-  naming::PrimaryBinder::Options binder_opts;
-  binder_opts.retry_interval = Duration::Seconds(10);
+  svc::ServiceLifecycle::Options lc_opts;
+  lc_opts.binder.retry_interval = Duration::Seconds(10);
   auto spawn_replica = [&](size_t server_index) {
     sim::Process& p = harness.SpawnProcessOn(server_index, "target");
     auto* skeleton = p.Emplace<svc::SettopManagerService>(p.executor());
     wire::ObjectRef ref = p.runtime().Export(skeleton);
-    svc::SscProxy ssc(p.runtime(), svc::SscRefAt(p.host()));
-    ssc.NotifyReady(p.pid(), {ref}).OnReady([](const Result<void>&) {});
-    auto* binder = p.Emplace<naming::PrimaryBinder>(
-        p.executor(), harness.ClientFor(p), "svc/target", ref, binder_opts);
-    binder->Start();
+    auto* lifecycle = p.Emplace<svc::ServiceLifecycle>(
+        p, harness.ClientFor(p), "svc/target", ref, lc_opts,
+        &harness.metrics());
+    svc::ServiceLifecycle::Hooks hooks;
+    hooks.ready_objects = {ref};
+    lifecycle->Start(std::move(hooks));
   };
   spawn_replica(1);  // Primary binds first.
   harness.cluster().RunFor(Duration::Seconds(2));

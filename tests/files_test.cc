@@ -25,11 +25,9 @@ class FilesTest : public ::testing::Test {
       (void)fs->MakeDirectory("fonts");
       (void)fs->CreateFile("fonts/helvetica", {'a', 'b', 'c'});
       (void)fs->CreateFile("motd", {'h', 'i'});
-      ctx.NotifyReady({fs->root_ref()});
-      auto* binder = ctx.process.Emplace<naming::PrimaryBinder>(
-          ctx.process.executor(), ctx.MakeNameClient(), "files",
-          fs->root_ref(), ctx.harness.options().binder);
-      binder->Start();
+      svc::ServiceLifecycle::Hooks hooks;
+      hooks.ready_objects = {fs->root_ref()};
+      ctx.StartLifecycle("files", fs->root_ref(), std::move(hooks));
     });
     harness_.AssignService("filesd", harness_.HostOf(0));
     harness_.Boot();

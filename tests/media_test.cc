@@ -454,6 +454,26 @@ TEST_F(MediaTest, MmsFailoverAdoptsRunningSessions) {
   EXPECT_EQ(load1->active_streams + load2->active_streams, 0u);
 }
 
+TEST_F(MediaTest, MmsWarmStandbyPrewarmsThenPrunesClosedSessions) {
+  // The backup MMS's periodic WarmStandby pass copies running sessions
+  // passively (no watches, no resource ownership), so a later promotion has
+  // almost nothing to rebuild.
+  TestSettop s = MakeSettop(1);
+  s.vod->PlayMovie("T2", [](Status) {});
+  cluster().RunFor(Duration::Seconds(10));
+  ASSERT_TRUE(s.vod->playing());
+
+  cluster().RunFor(Duration::Seconds(15));  // At least one warm pass (10 s).
+  EXPECT_GE(metrics().Get("mms.session_prewarmed"), 1u);
+
+  // The session closes while the backup holds its passive copy. The next warm
+  // pass finds the MDS no longer reports the stream and prunes the stale
+  // record — without touching the (already released) resources.
+  s.vod->Stop();
+  cluster().RunFor(Duration::Seconds(15));
+  EXPECT_GE(metrics().Get("mms.session_stale_pruned"), 1u);
+}
+
 TEST_F(MediaTest, CmgrFailoverKeepsAllocationTable) {
   // Open a movie to create connection state, then fail the primary cmgr for
   // neighborhood 1; the promoted standby must still know the allocation so a

@@ -804,6 +804,70 @@ TEST_F(SingleReplicaTest, FirstBinderWinsSecondTakesOverAfterUnbind) {
   EXPECT_GT(binder2->bind_attempts(), 1u);
 }
 
+TEST_F(SingleReplicaTest, StopUnbindsSoBackupWinsWithoutAudit) {
+  sim::Process& client = SpawnClient();
+  NameClient setup(client.runtime(), servers_[0]->host());
+  ASSERT_TRUE(Wait(setup.BindNewContext("svc")).ok());
+
+  sim::Process& p1 = SpawnClient("mms-1");
+  sim::Process& p2 = SpawnClient("mms-2");
+  wire::ObjectRef ref1 = FakeRef(1, 1);
+  wire::ObjectRef ref2 = FakeRef(2, 2);
+  auto* binder1 = p1.Emplace<PrimaryBinder>(
+      p1.executor(), NameClient(p1.runtime(), servers_[0]->host()), "svc/mms",
+      ref1);
+  auto* binder2 = p2.Emplace<PrimaryBinder>(
+      p2.executor(), NameClient(p2.runtime(), servers_[0]->host()), "svc/mms",
+      ref2);
+  binder1->Start();
+  cluster_.RunFor(Duration::Seconds(1));
+  binder2->Start();
+  cluster_.RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(binder1->is_primary());
+
+  // A graceful stop (service shutting down in an orderly way) releases the
+  // binding itself: no audit needed, so the name is free briefly and the
+  // backup's next retry — not a 25 s fail-over — wins it.
+  binder1->Stop();
+  EXPECT_FALSE(binder1->running());
+  cluster_.RunFor(Duration::Seconds(1));
+  EXPECT_TRUE(IsNotFound(Wait(setup.Resolve("svc/mms")).status()));
+
+  cluster_.RunFor(Duration::Seconds(12));  // One backup retry (10 s default).
+  EXPECT_TRUE(binder2->is_primary());
+  auto r = Wait(setup.Resolve("svc/mms"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, ref2);
+}
+
+TEST_F(SingleReplicaTest, StopDoesNotUnbindAnotherPrimarysBinding) {
+  sim::Process& client = SpawnClient();
+  NameClient setup(client.runtime(), servers_[0]->host());
+  ASSERT_TRUE(Wait(setup.BindNewContext("svc")).ok());
+
+  sim::Process& p1 = SpawnClient("mms-1");
+  wire::ObjectRef ref1 = FakeRef(1, 1);
+  wire::ObjectRef ref2 = FakeRef(2, 2);
+  auto* binder = p1.Emplace<PrimaryBinder>(
+      p1.executor(), NameClient(p1.runtime(), servers_[0]->host()), "svc/mms",
+      ref1);
+  binder->Start();
+  cluster_.RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(binder->is_primary());
+
+  // Between this replica losing the name and its stop, another replica bound
+  // itself. The stop's unbind is conditional on the binding still being ours
+  // — it must not evict the new primary.
+  ASSERT_TRUE(Wait(setup.Unbind("svc/mms")).ok());
+  ASSERT_TRUE(Wait(setup.Bind("svc/mms", ref2)).ok());
+  binder->Stop();
+  cluster_.RunFor(Duration::Seconds(2));
+
+  auto r = Wait(setup.Resolve("svc/mms"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, ref2);
+}
+
 TEST_F(SingleReplicaTest, LivePrimaryReassertsAfterFalseUnbind) {
   sim::Process& client = SpawnClient();
   NameClient setup(client.runtime(), servers_[0]->host());

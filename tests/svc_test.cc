@@ -43,11 +43,9 @@ void RegisterCounterType(ClusterHarness& harness) {
   harness.RegisterServiceType("counterd", [](const ServiceContext& ctx) {
     auto* skel = ctx.process.Emplace<CounterSkeleton>();
     wire::ObjectRef ref = ctx.process.runtime().Export(skel);
-    ctx.NotifyReady({ref});
-    auto* binder = ctx.process.Emplace<naming::PrimaryBinder>(
-        ctx.process.executor(), ctx.MakeNameClient(), "svc/counter", ref,
-        ctx.harness.options().binder);
-    binder->Start();
+    ServiceLifecycle::Hooks hooks;
+    hooks.ready_objects = {ref};
+    ctx.StartLifecycle("svc/counter", ref, std::move(hooks));
   });
 }
 

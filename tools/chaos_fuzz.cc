@@ -13,7 +13,7 @@
 //
 // Usage:
 //   chaos_fuzz --seeds N [--seed-base B] [--out DIR] [--faults K]
-//              [--horizon SECONDS] [--no-shrink] [--quiet]
+//              [--horizon SECONDS] [--no-shrink] [--single-primary] [--quiet]
 //   chaos_fuzz --seed S [--out DIR] ...
 //
 // Exit status: 0 if every seed passed, 1 otherwise.
@@ -115,6 +115,8 @@ int main(int argc, char** argv) {
           Duration::Seconds(std::strtoll(next(), nullptr, 10));
     } else if (arg == "--no-shrink") {
       shrink = false;
+    } else if (arg == "--single-primary") {
+      options.check_single_primary = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {

@@ -212,8 +212,9 @@ void BM_SimRpcRoundTrip(benchmark::State& state) {
 BENCHMARK(BM_SimRpcRoundTrip);
 
 // --- Report section ----------------------------------------------------------
-// Hand-timed numbers for BENCH_PR3.json; the google-benchmark table above is
-// for humans, these are for the perf baseline and CI artifact.
+// Hand-timed numbers for the merged bench report (bench_report.h); the
+// google-benchmark table above is for humans, these are for the perf
+// baseline and CI artifact.
 
 void WriteReport() {
   using itv::bench::MeasureNsPerOp;

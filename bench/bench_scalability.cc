@@ -21,15 +21,19 @@
 // cache detached, then cache attached — on identical workloads, and the
 // surf-phase msgs/open and NS resolve counts are reported for both.
 
+#include <algorithm>
 #include <cstdio>
+#include <set>
 
 #include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "src/common/rand.h"
 #include "src/media/factories.h"
+#include "src/rpc/shard_router.h"
 #include "src/settop/app_manager.h"
 #include "src/settop/vod_app.h"
 #include "src/svc/harness.h"
+#include "src/wire/shard_map.h"
 
 namespace itv {
 namespace {
@@ -219,6 +223,119 @@ RunResult RunCluster(size_t servers, size_t settops_per_server,
   return result;
 }
 
+// --- E2b: sharded MMS — per-primary session load divides by the shard count.
+//
+// Fixed cluster (4 servers), fixed settop population; only the MMS shard
+// count varies. Every settop opens through the shard router, so its sessions
+// land on the shard its host hashes to. With 1 shard the single primary
+// carries every session; with N shards the worst-loaded primary should carry
+// ~1/N of them, and placement staggering should spread the shard primaries
+// across distinct hosts.
+
+struct ShardRunResult {
+  uint32_t shards = 0;
+  size_t settops = 0;
+  size_t admitted = 0;
+  double p50_open_s = 0;
+  double p99_open_s = 0;
+  uint32_t max_primary_sessions = 0;
+  uint32_t total_sessions = 0;
+  size_t primary_hosts = 0;  // Distinct hosts holding a shard primary.
+};
+
+ShardRunResult RunShardCluster(uint32_t shards, size_t settop_count) {
+  constexpr size_t kServers = 4;
+  svc::HarnessOptions opts;
+  opts.server_count = kServers;
+  opts.neighborhood_count = static_cast<uint8_t>(kServers);
+  svc::ClusterHarness harness(opts);
+
+  media::MediaDeployment deploy;
+  deploy.movies = media::SyntheticCatalog(/*count=*/40, kServers,
+                                          /*replicas=*/2);
+  // Generous capacity: this phase measures broker load distribution, not
+  // admission control, so every open should be admitted.
+  deploy.mds_capacity_bps = 96'000'000;
+  deploy.trunk_capacity_bps = 400'000'000;
+  deploy.mms_shards = shards;
+  deploy.mms_replicas = kServers;  // Every server hosts every shard's lifecycle.
+  media::RegisterMediaServices(harness, deploy);
+  harness.Boot();
+  // Settle and let the placement stagger window elapse so each shard's
+  // preferred replica wins its opening election.
+  harness.cluster().RunFor(Duration::Seconds(16));
+
+  ShardRunResult result;
+  result.shards = shards;
+  result.settops = settop_count;
+
+  Rng rng(99);  // Same titles at every shard count.
+  std::vector<Future<media::MmsTicket>> opens(settop_count);
+  Histogram open_latency;
+  for (size_t i = 0; i < settop_count; ++i) {
+    uint8_t nb = static_cast<uint8_t>(1 + (i % kServers));
+    sim::Node& settop = harness.AddSettop(nb);
+    sim::Process& p = settop.Spawn("viewer");
+    naming::NameClient nc = harness.ClientFor(p);
+    auto* table =
+        p.Emplace<rpc::BindingTable>(p.runtime(), nc.PathResolverFn());
+    auto* router = p.Emplace<rpc::ShardRouter>(*table);
+    rpc::ShardedClient<media::MmsProxy> mms(
+        *router, std::string(media::kMmsName), rpc::BindingOptions{});
+    std::string title = "movie-" + std::to_string(rng.Below(40));
+    Promise<media::MmsTicket> done;
+    opens[i] = done.future();
+    sim::Cluster* cluster = &harness.cluster();
+    Time started = cluster->Now();
+    mms.Call<media::MmsTicket>(
+        settop.host(),
+        [title, settop_host = settop.host()](const media::MmsProxy& proxy) {
+          return proxy.Open(title, settop_host, wire::ObjectRef{});
+        },
+        [done, cluster, started,
+         &open_latency](Result<media::MmsTicket> t) mutable {
+          if (t.ok()) {
+            open_latency.Record((cluster->Now() - started).seconds());
+          }
+          done.Set(std::move(t));
+        });
+    harness.cluster().RunFor(Duration::Millis(200));
+  }
+  harness.cluster().RunFor(Duration::Seconds(10));
+  for (const Future<media::MmsTicket>& open : opens) {
+    if (open.is_ready() && open.result().ok()) {
+      ++result.admitted;
+    }
+  }
+  result.p50_open_s = open_latency.Percentile(50);
+  result.p99_open_s = open_latency.Percentile(99);
+
+  // Per-primary load: ask every shard primary for its session count.
+  sim::Process& probe = harness.SpawnProcessOn(0, "probe");
+  naming::NameClient nc = harness.ClientFor(probe);
+  wire::ShardMap map{shards, deploy.shard_salt};
+  std::set<uint32_t> hosts;
+  for (uint32_t s = 0; s < std::max<uint32_t>(shards, 1); ++s) {
+    auto ref = bench::WaitOn(
+        harness.cluster(), nc.Resolve(wire::ShardPath(media::kMmsName, s, map)),
+        Duration::Seconds(5));
+    if (!ref.ok()) {
+      continue;
+    }
+    hosts.insert(ref->endpoint.host);
+    media::MmsProxy proxy(probe.runtime(), *ref);
+    auto count = bench::WaitOn(harness.cluster(), proxy.ListSessions(),
+                               Duration::Seconds(5));
+    if (count.ok()) {
+      result.total_sessions += *count;
+      result.max_primary_sessions =
+          std::max(result.max_primary_sessions, *count);
+    }
+  }
+  result.primary_hosts = hosts.size();
+  return result;
+}
+
 }  // namespace
 }  // namespace itv
 
@@ -257,6 +374,45 @@ int main() {
     report.SetInt(prefix + "surf_ns_resolves_cache", on.surf_ns_resolves);
     report.SetInt(prefix + "resolve_cache_hits", on.cache_hits);
   }
+  bench::PrintHeader(
+      "E2b: sharded MMS — per-primary session load divides by shard count");
+  std::printf(
+      "4 servers, 64 settops opening through the shard router; only "
+      "mms_shards varies.\nmax_primary = worst-loaded shard primary's session "
+      "count; hosts = distinct servers\nholding a shard primary (placement "
+      "staggering should spread them).\n\n");
+  bench::PrintRow({"shards", "admitted", "sessions", "max_primary", "hosts",
+                   "open_p50_s", "open_p99_s"});
+  uint32_t single_shard_max = 0;
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    ShardRunResult r = RunShardCluster(shards, /*settop_count=*/64);
+    if (shards == 1) {
+      single_shard_max = r.max_primary_sessions;
+    }
+    bench::PrintRow({bench::FmtInt(r.shards), bench::FmtInt(r.admitted),
+                     bench::FmtInt(r.total_sessions),
+                     bench::FmtInt(r.max_primary_sessions),
+                     bench::FmtInt(r.primary_hosts),
+                     bench::Fmt("%.4f", r.p50_open_s),
+                     bench::Fmt("%.4f", r.p99_open_s)});
+    std::string prefix = "shards_" + std::to_string(shards) + "_";
+    report.SetInt(prefix + "admitted", r.admitted);
+    report.SetInt(prefix + "sessions", r.total_sessions);
+    report.SetInt(prefix + "max_primary_sessions", r.max_primary_sessions);
+    report.SetInt(prefix + "primary_hosts", r.primary_hosts);
+    report.Set(prefix + "open_p50_s", r.p50_open_s);
+    report.Set(prefix + "open_p99_s", r.p99_open_s);
+    if (shards == 4 && single_shard_max > 0 && r.max_primary_sessions > 0) {
+      report.Set("shards_4_load_reduction",
+                 static_cast<double>(single_shard_max) /
+                     static_cast<double>(r.max_primary_sessions));
+    }
+  }
+  std::printf(
+      "\nexpect: max_primary ~ 64/shards (>=2x reduction at 4 shards vs 1) "
+      "and hosts ~\nmin(shards, servers); open latency flat — the router adds "
+      "one cached map lookup.\n");
+
   report.WriteMerged();
   std::printf(
       "\nexpect: admitted ~= 16 x servers; open latency and cold per-open "

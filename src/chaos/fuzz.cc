@@ -13,6 +13,7 @@
 #include "src/ras/types.h"
 #include "src/settop/vod_app.h"
 #include "src/svc/harness.h"
+#include "src/wire/shard_map.h"
 
 namespace itv::chaos {
 namespace {
@@ -64,6 +65,9 @@ bool RefPointsAtLiveProcess(sim::Cluster& cluster, const wire::ObjectRef& ref) {
   if (ref.incarnation == 0) {
     return true;
   }
+  if (wire::IsShardMapRef(ref)) {
+    return true;  // Routing policy, not a servant: null endpoint, salt != 0.
+  }
   sim::Process* process = cluster.ProcessAtEndpoint(ref.endpoint);
   return process != nullptr && process->incarnation() == ref.incarnation;
 }
@@ -87,6 +91,17 @@ FuzzResult Run(uint64_t seed, const sim::ChaosPlan* replay,
   deploy.movies = media::SyntheticCatalog(options.movie_count,
                                           options.server_count, /*replicas=*/2);
   deploy.rds_items = {{"vod", 1'000'000}};
+  // Viewers Play within one RPC round trip of the ticket, so any stream
+  // still unplayed after 20s is an orphan of a fault-window open (lost
+  // ticket reply / lost compensating close). Reclaiming it server-side lets
+  // the cmgr grant audit free the settop's downstream budget, which would
+  // otherwise stay exhausted past the convergence horizon.
+  deploy.mds_unplayed_grace = Duration::Seconds(20);
+  deploy.mms_shards = options.mms_shards;
+  deploy.cmgr_shards = options.cmgr_shards;
+  if (options.mms_shards > 1) {
+    deploy.mms_replicas = options.server_count;
+  }
   media::RegisterMediaServices(harness, deploy);
   harness.Boot();
 
@@ -242,7 +257,10 @@ FuzzResult Run(uint64_t seed, const sim::ChaosPlan* replay,
   bool probe_ok = false;
   {
     sim::Process& probe = harness.SpawnProcessOn(0, "fuzz-probe");
-    auto ref = harness.ClientFor(probe).Resolve("svc/mms");
+    // When sharded, probe a shard primary's path — the base is a context.
+    wire::ShardMap map{options.mms_shards, wire::kDefaultShardSalt};
+    auto ref = harness.ClientFor(probe).Resolve(
+        wire::ShardPath("svc/mms", 0, map));
     cluster.RunFor(Duration::Seconds(5));
     probe_ok = ref.is_ready() && ref.result().ok();
   }

@@ -55,6 +55,13 @@ struct FuzzOptions {
   size_t viewer_count = 3;
   size_t movie_count = 8;
 
+  // Shard the hot services (mms_shards > 1 also runs an mmsd replica on
+  // every server so shard primaries can spread). With sharding on, the
+  // svc-single-primary invariant checks exactly-one-primary-PER-SHARD — the
+  // lifecycle paths are per-shard, and the monitor groups by full path.
+  uint32_t mms_shards = 1;
+  uint32_t cmgr_shards = 1;
+
   // Schedule shape (feeds sim::ChaosSpec; hosts and victim names are filled
   // from the booted topology).
   size_t fault_count = 8;

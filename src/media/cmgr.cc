@@ -303,7 +303,9 @@ void CmgrService::ApplyLocal(uint8_t op, const ConnectionGrant& grant) {
 }
 
 void CmgrService::RefreshStandbys() {
-  name_client_.ListRepl(CmgrStandbyContext(options_.neighborhood))
+  name_client_
+      .ListRepl(CmgrStandbyContext(options_.neighborhood, options_.shard_index,
+                                   options_.shard_map))
       .OnReady([this](const Result<naming::BindingList>& r) {
         if (!r.ok()) {
           return;

@@ -27,6 +27,7 @@
 #include "src/naming/name_client.h"
 #include "src/rpc/binding_table.h"
 #include "src/svc/lifecycle.h"
+#include "src/wire/shard_map.h"
 
 namespace itv::media {
 
@@ -35,14 +36,27 @@ inline constexpr std::string_view kTrunkInterface = "itv.TrunkManager";
 
 // Name-space layout:
 //   svc/cmgr/<neighborhood>      primary binding of the neighborhood replica
+//                                (sharded: svc/cmgr/<nb>/<shard> plus a
+//                                shard map at svc/cmgr/<nb>/.shards)
 //   svc/cmgrbk/<nb>/<host>       every replica (incl. backups) registers here
 //                                so the primary can find standbys to push to
+//                                (sharded: svc/cmgrbk/<nb>/<shard>/<host> —
+//                                each shard's primary pushes only to its own
+//                                shard's standbys)
 //   svc/cmgrtrunk/<host>         the per-server trunk replica
 inline std::string CmgrName(uint8_t neighborhood) {
   return "svc/cmgr/" + std::to_string(neighborhood);
 }
+inline std::string CmgrName(uint8_t neighborhood, uint32_t shard,
+                            const wire::ShardMap& map) {
+  return wire::ShardPath(CmgrName(neighborhood), shard, map);
+}
 inline std::string CmgrStandbyContext(uint8_t neighborhood) {
   return "svc/cmgrbk/" + std::to_string(neighborhood);
+}
+inline std::string CmgrStandbyContext(uint8_t neighborhood, uint32_t shard,
+                                      const wire::ShardMap& map) {
+  return wire::ShardPath(CmgrStandbyContext(neighborhood), shard, map);
 }
 inline std::string TrunkName(uint32_t server_host) {
   return "svc/cmgrtrunk/" + std::to_string(server_host);
@@ -203,6 +217,12 @@ class CmgrService : public rpc::Skeleton {
     Duration grant_audit_interval = Duration::Seconds(10);
     int grant_misses_to_reclaim = 2;
     Duration grant_grace = Duration::Seconds(10);
+    // Shard this instance serves within the neighborhood. Settop budgets are
+    // consistent across shards because the router keys by settop host: all
+    // of one settop's connections land on one shard. The standby push stays
+    // within the shard's own standby context.
+    uint32_t shard_index = 0;
+    wire::ShardMap shard_map;
   };
 
   CmgrService(rpc::ObjectRuntime& runtime, Executor& executor,

@@ -1,5 +1,6 @@
 #include "src/media/factories.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -28,6 +29,23 @@ size_t ServerIndexOf(svc::ClusterHarness& harness, uint32_t host) {
   }
   ITV_LOG(Fatal) << "not a server host: " << host;
   return 0;
+}
+
+std::string ShardLabel(uint32_t shard, const wire::ShardMap& map) {
+  return "shard=" + std::to_string(shard + 1) + "/" +
+         std::to_string(map.shard_count);
+}
+
+// Election stagger for one shard's lifecycle on the replica with rank
+// `rank` out of `replicas`: the preferred replica (round-robin by shard)
+// contests immediately, everyone else waits, so the opening elections place
+// one primary per replica instead of all N shards on the fastest booter.
+Duration StaggerFor(uint32_t shard, size_t rank, size_t replicas,
+                    const wire::ShardMap& map, Duration stagger) {
+  if (!map.sharded() || replicas <= 1) {
+    return Duration();
+  }
+  return rank == shard % replicas ? Duration() : stagger;
 }
 
 }  // namespace
@@ -72,6 +90,7 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
     MdsService::Options opts;
     opts.capacity_bps = deployment.mds_capacity_bps;
     opts.chunk_period = deployment.mds_chunk_period;
+    opts.unplayed_grace = deployment.mds_unplayed_grace;
     auto* mds = ctx.process.Emplace<MdsService>(
         ctx.process.runtime(), ctx.process.executor(), std::move(library), opts,
         ctx.metrics);
@@ -92,27 +111,49 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
   for (uint8_t nb = 1; nb <= neighborhoods; ++nb) {
     harness.RegisterServiceType(
         "cmgrd-" + std::to_string(nb),
-        [nb](const svc::ServiceContext& ctx) {
-          CmgrService::Options opts;
-          opts.neighborhood = nb;
-          auto* cmgr = ctx.process.Emplace<CmgrService>(
-              ctx.process.runtime(), ctx.process.executor(),
-              ctx.MakeNameClient(), opts, ctx.metrics);
-          cmgr->Start();
-          // Every replica registers under the standby context (a single-
-          // claimant binding the replica always wins) so the primary can find
-          // push targets...
-          PublishService(ctx,
-                         CmgrStandbyContext(nb) + "/" +
-                             std::to_string(ctx.process.host()),
-                         cmgr->ref());
-          // ...and contests the neighborhood's primary binding. No recover
-          // hook: the primary's state pushes keep every standby's allocation
-          // table hot (Section 10.1.1).
-          svc::ServiceLifecycle::Hooks hooks;
-          hooks.on_promoted = [cmgr] { cmgr->OnPromoted(); };
-          cmgr->AttachLifecycle(
-              ctx.StartLifecycle(CmgrName(nb), cmgr->ref(), std::move(hooks)));
+        [nb, deployment, servers](const svc::ServiceContext& ctx) {
+          wire::ShardMap map{deployment.cmgr_shards, deployment.shard_salt};
+          // cmgrd replicas sit on the neighborhood's home server (rank 0)
+          // and the next one (rank 1); see the placement block below.
+          uint32_t home = ctx.harness.ServerHostForNeighborhood(nb);
+          size_t rank = ctx.process.host() == home ? 0 : 1;
+          size_t replicas = servers > 1 ? 2 : 1;
+          if (map.sharded()) {
+            naming::PublishShardMap(ctx.process.executor(),
+                                    ctx.MakeNameClient(), CmgrName(nb), map,
+                                    [](Status) {});
+          }
+          for (uint32_t shard = 0; shard < map.shard_count; ++shard) {
+            CmgrService::Options opts;
+            opts.neighborhood = nb;
+            opts.shard_index = shard;
+            opts.shard_map = map;
+            auto* cmgr = ctx.process.Emplace<CmgrService>(
+                ctx.process.runtime(), ctx.process.executor(),
+                ctx.MakeNameClient(), opts, ctx.metrics);
+            cmgr->Start();
+            // Every replica registers under the (per-shard) standby context
+            // — a single-claimant binding the replica always wins — so the
+            // shard's primary can find push targets...
+            PublishService(ctx,
+                           CmgrStandbyContext(nb, shard, map) + "/" +
+                               std::to_string(ctx.process.host()),
+                           cmgr->ref());
+            // ...and contests the shard's primary binding. No recover hook:
+            // the primary's state pushes keep every standby's allocation
+            // table hot (Section 10.1.1).
+            svc::ServiceLifecycle::Hooks hooks;
+            hooks.on_promoted = [cmgr] { cmgr->OnPromoted(); };
+            svc::ServiceLifecycle::Options lifecycle_opts;
+            if (map.sharded()) {
+              lifecycle_opts.shard_label = ShardLabel(shard, map);
+              lifecycle_opts.binder.first_bind_delay = StaggerFor(
+                  shard, rank, replicas, map, deployment.shard_stagger);
+            }
+            cmgr->AttachLifecycle(
+                ctx.StartLifecycle(CmgrName(nb, shard, map), cmgr->ref(),
+                                   std::move(hooks), lifecycle_opts));
+          }
         });
   }
 
@@ -132,27 +173,49 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
   }
 
   // --- MMS --------------------------------------------------------------------------
-  harness.RegisterServiceType("mmsd", [deployment](
+  const size_t mms_replica_count =
+      std::min(servers, std::max<size_t>(deployment.mms_replicas, 1));
+  harness.RegisterServiceType("mmsd", [deployment, mms_replica_count](
                                           const svc::ServiceContext& ctx) {
-    auto* mms = ctx.process.Emplace<MmsService>(
-        ctx.process.runtime(), ctx.process.executor(), ctx.MakeNameClient(),
-        deployment.mms, ctx.metrics);
-    mms->Start();
-    // The MMS is the showcase warm-standby service: backups pre-adopt
-    // sessions passively on a timer, and promotion's recover hook registers
-    // the RAS watches before the role turns primary.
-    svc::ServiceLifecycle::Hooks hooks;
-    hooks.ready_objects = {mms->ref()};
-    hooks.recover = [mms](std::function<void(Status)> done) {
-      mms->RecoverState(std::move(done));
-    };
-    hooks.warm_standby = [mms](std::function<void(Status)> done) {
-      mms->WarmStandby(std::move(done));
-    };
-    hooks.on_promoted = [mms] { mms->OnPromoted(); };
-    hooks.on_demoted = [mms] { mms->OnDemotedRole(); };
-    mms->AttachLifecycle(ctx.StartLifecycle(std::string(kMmsName), mms->ref(),
-                                            std::move(hooks)));
+    wire::ShardMap map{deployment.mms_shards, deployment.shard_salt};
+    size_t rank = ServerIndexOf(ctx.harness, ctx.process.host());
+    if (map.sharded()) {
+      // Every replica publishes the same immutable map; first-bind-wins
+      // makes this idempotent across replicas and restarts.
+      naming::PublishShardMap(ctx.process.executor(), ctx.MakeNameClient(),
+                              std::string(kMmsName), map, [](Status) {});
+    }
+    for (uint32_t shard = 0; shard < map.shard_count; ++shard) {
+      MmsService::Options mms_opts = deployment.mms;
+      mms_opts.shard_index = shard;
+      mms_opts.shard_map = map;
+      auto* mms = ctx.process.Emplace<MmsService>(
+          ctx.process.runtime(), ctx.process.executor(), ctx.MakeNameClient(),
+          mms_opts, ctx.metrics);
+      mms->Start();
+      // The MMS is the showcase warm-standby service: backups pre-adopt
+      // sessions passively on a timer, and promotion's recover hook registers
+      // the RAS watches before the role turns primary.
+      svc::ServiceLifecycle::Hooks hooks;
+      hooks.ready_objects = {mms->ref()};
+      hooks.recover = [mms](std::function<void(Status)> done) {
+        mms->RecoverState(std::move(done));
+      };
+      hooks.warm_standby = [mms](std::function<void(Status)> done) {
+        mms->WarmStandby(std::move(done));
+      };
+      hooks.on_promoted = [mms] { mms->OnPromoted(); };
+      hooks.on_demoted = [mms] { mms->OnDemotedRole(); };
+      svc::ServiceLifecycle::Options lifecycle_opts;
+      if (map.sharded()) {
+        lifecycle_opts.shard_label = ShardLabel(shard, map);
+        lifecycle_opts.binder.first_bind_delay = StaggerFor(
+            shard, rank, mms_replica_count, map, deployment.shard_stagger);
+      }
+      mms->AttachLifecycle(
+          ctx.StartLifecycle(wire::ShardPath(kMmsName, shard, map), mms->ref(),
+                             std::move(hooks), lifecycle_opts));
+    }
   });
 
   // --- Kernel broadcast (primary/backup source of the settop kernel) -------------
@@ -221,10 +284,11 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
                             harness.HostOf((home_index + 1) % servers));
     }
   }
-  harness.AssignService("mmsd", harness.HostOf(0));
+  for (size_t i = 0; i < mms_replica_count; ++i) {
+    harness.AssignService("mmsd", harness.HostOf(i));
+  }
   harness.AssignService("kernelcastd", harness.HostOf(0));
   if (servers > 1) {
-    harness.AssignService("mmsd", harness.HostOf(1));
     harness.AssignService("kernelcastd", harness.HostOf(1));
   }
 }

@@ -23,6 +23,7 @@
 #include "src/media/mms.h"
 #include "src/media/rds.h"
 #include "src/svc/harness.h"
+#include "src/wire/shard_map.h"
 
 namespace itv::media {
 
@@ -43,6 +44,30 @@ struct MediaDeployment {
 
   MmsService::Options mms;
   Duration mds_chunk_period = Duration::Millis(500);
+  // MDS ghost reclamation (MdsService::Options::unplayed_grace): close
+  // streams that were opened but never Played within this grace. Off by
+  // default — tests and benches legitimately hold null-sink sessions open;
+  // fault-injecting deployments (chaos) enable it to clean up opens whose
+  // ticket reply was lost.
+  Duration mds_unplayed_grace{};
+
+  // --- Sharding (ROADMAP "Service resharding") --------------------------------
+  // With mms_shards > 1 the MMS path space becomes svc/mms/<shard> plus a
+  // shard map at svc/mms/.shards, every mmsd replica runs one lifecycle per
+  // shard, and the N shard primaries spread round-robin across replicas.
+  // cmgr_shards does the same per neighborhood (svc/cmgr/<nb>/<shard>).
+  // Defaults keep the classic single-primary layout.
+  uint32_t mms_shards = 1;
+  uint32_t cmgr_shards = 1;
+  uint64_t shard_salt = wire::kDefaultShardSalt;
+  // How many servers run an mmsd replica (each hosting every shard's
+  // lifecycle). More replicas than shards just means deeper backup chains.
+  size_t mms_replicas = 2;
+  // First-bind delay for replicas that are NOT a shard's preferred primary:
+  // the preferred replica (rank == shard % replicas) contests immediately
+  // and wins the opening election, so shard primaries start spread instead
+  // of piling onto whichever process booted first.
+  Duration shard_stagger = Duration::Seconds(3);
 };
 
 // Must be called before harness.Boot().

@@ -19,7 +19,8 @@ class MdsService::MovieObject : public rpc::Skeleton {
         info_(std::move(info)),
         settop_host_(settop_host),
         connection_(connection),
-        sink_(sink) {
+        sink_(sink),
+        opened_at_(mds_.executor_.Now()) {
     ref_ = mds_.runtime_.Export(this);
   }
 
@@ -43,6 +44,8 @@ class MdsService::MovieObject : public rpc::Skeleton {
   }
 
   const MovieInfo& info() const { return info_; }
+  bool played() const { return played_; }
+  Time opened_at() const { return opened_at_; }
 
   void Dispatch(uint32_t method_id, const wire::Bytes& args,
                 const rpc::CallContext& ctx, rpc::ReplyFn reply) override {
@@ -71,6 +74,7 @@ class MdsService::MovieObject : public rpc::Skeleton {
     if (from_position >= 0 && from_position <= info_.size_bytes) {
       position_bytes_ = from_position;
     }
+    played_ = true;
     mds_.Count("mds.play");
     ticker_.Stop();
     ticker_.Start(mds_.executor_, mds_.options_.chunk_period, [this] { Tick(); });
@@ -99,6 +103,8 @@ class MdsService::MovieObject : public rpc::Skeleton {
   uint32_t settop_host_;
   ConnectionGrant connection_;
   wire::ObjectRef sink_;
+  Time opened_at_;
+  bool played_ = false;
   wire::ObjectRef ref_;
   int64_t position_bytes_ = 0;
   PeriodicTimer ticker_;
@@ -112,7 +118,12 @@ MdsService::MdsService(rpc::ObjectRuntime& runtime, Executor& executor,
       library_(std::move(library)),
       options_(options),
       metrics_(metrics),
-      next_stream_id_(runtime.incarnation() << 20) {}
+      next_stream_id_(runtime.incarnation() << 20) {
+  if (!options_.unplayed_grace.is_zero()) {
+    reclaim_timer_.Start(executor_, options_.unplayed_grace / 2,
+                         [this] { ReclaimUnplayed(); });
+  }
+}
 
 MdsService::~MdsService() = default;
 
@@ -157,6 +168,24 @@ void MdsService::HandleClose(uint64_t stream_id) {
   reserved_bps_ -= it->second->info().bitrate_bps;
   sessions_.erase(it);
   Count("mds.close");
+}
+
+void MdsService::ReclaimUnplayed() {
+  Time now = executor_.Now();
+  std::vector<uint64_t> ghosts;
+  for (const auto& [id, session] : sessions_) {
+    if (!session->played() &&
+        now - session->opened_at() >= options_.unplayed_grace) {
+      ghosts.push_back(id);
+    }
+  }
+  for (uint64_t id : ghosts) {
+    ITV_LOG(Info) << "mds: reclaiming never-played stream " << id
+                  << " (title '" << sessions_[id]->info().title << "', opened "
+                  << (now - sessions_[id]->opened_at()).ToString() << " ago)";
+    Count("mds.unplayed_reclaimed");
+    HandleClose(id);
+  }
 }
 
 void MdsService::Dispatch(uint32_t method_id, const wire::Bytes& args,

@@ -148,6 +148,15 @@ class MdsService : public rpc::Skeleton {
     int64_t capacity_bps = 48'000'000;
     // OnData cadence while a movie plays.
     Duration chunk_period = Duration::Millis(500);
+    // Ghost reclamation: a stream that was opened but never Played within
+    // this grace is presumed orphaned (its MovieTicket — or the MMS's
+    // compensating Close — was lost in flight) and is closed server-side,
+    // which lets the connection manager's grant audit free the settop's
+    // bandwidth. The legitimate flow plays within one RPC round trip of the
+    // ticket, so the grace only needs to clear transient open latency.
+    // Zero (the default) disables the sweep: synthetic harnesses open
+    // null-sink sessions that are intentionally never played.
+    Duration unplayed_grace{};
   };
 
   MdsService(rpc::ObjectRuntime& runtime, Executor& executor,
@@ -173,6 +182,7 @@ class MdsService : public rpc::Skeleton {
                                  const ConnectionGrant& connection,
                                  const wire::ObjectRef& sink);
   void HandleClose(uint64_t stream_id);
+  void ReclaimUnplayed();
   const MovieInfo* FindMovie(const std::string& title) const;
   void Count(std::string_view name);
 
@@ -186,6 +196,7 @@ class MdsService : public rpc::Skeleton {
   uint64_t next_stream_id_;
   int64_t reserved_bps_ = 0;
   std::map<uint64_t, std::unique_ptr<MovieObject>> sessions_;
+  PeriodicTimer reclaim_timer_;
 };
 
 }  // namespace itv::media

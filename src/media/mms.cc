@@ -17,6 +17,7 @@ MmsService::MmsService(rpc::ObjectRuntime& runtime, Executor& executor,
       options_(options),
       metrics_(metrics),
       bindings_(runtime, name_client_.PathResolverFn()),
+      cmgr_router_(bindings_),
       next_session_id_(runtime.incarnation() << 20) {}
 
 MmsService::~MmsService() = default;
@@ -31,8 +32,18 @@ void MmsService::Start() {
       audit_opts);
 
   RefreshMdsDirectory();
-  refresh_timer_.Start(executor_, options_.mds_refresh_interval,
-                       [this] { RefreshMdsDirectory(); });
+  refresh_timer_.Start(executor_, options_.mds_refresh_interval, [this] {
+    RefreshMdsDirectory();
+    if (is_primary()) {
+      // Re-adopt sessions the MDSes hold that this primary does not know
+      // about — opens whose ticket reply was lost mid-flight. Promotion-time
+      // recovery only covers orphans created before THIS tenure; these are
+      // created during it. Adoption registers the settop watch so a later
+      // settop death releases them; a live settop's never-played orphans are
+      // reclaimed by the MDS itself (MdsService::Options::unplayed_grace).
+      RebuildStateFromMds(/*register_watches=*/true, nullptr);
+    }
+  });
 }
 
 void MmsService::RecoverState(std::function<void(Status)> done) {
@@ -150,10 +161,11 @@ std::vector<MmsService::MdsReplica*> MmsService::CandidatesFor(
 
 // --- Open ------------------------------------------------------------------------
 
-rpc::BoundClient<CmgrProxy> MmsService::CmgrFor(uint8_t neighborhood) {
+rpc::ShardedClient<CmgrProxy> MmsService::CmgrFor(uint8_t neighborhood) {
   rpc::BindingOptions opts = bindings_.default_options();
   opts.max_attempts = 2;
-  return bindings_.Bind<CmgrProxy>(CmgrName(neighborhood), opts);
+  return rpc::ShardedClient<CmgrProxy>(cmgr_router_, CmgrName(neighborhood),
+                                       opts);
 }
 
 void MmsService::HandleOpen(const std::string& title, uint32_t settop_host,
@@ -162,6 +174,12 @@ void MmsService::HandleOpen(const std::string& title, uint32_t settop_host,
   if (!IsSettopHost(settop_host)) {
     return rpc::ReplyError(reply,
                            InvalidArgumentError("open requires a settop host"));
+  }
+  if (!OwnsSettop(settop_host)) {
+    // Served anyway (the map is immutable, so this only happens to clients
+    // bypassing the shard router), but counted: a nonzero rate means some
+    // client routes with the wrong map or salt.
+    Count("mms.open_wrong_shard");
   }
   bool saw_title = false;
   std::vector<MdsReplica*> candidates = CandidatesFor(title, &saw_title);
@@ -195,6 +213,7 @@ void MmsService::TryOpenOn(std::vector<MdsReplica*> candidates, size_t index,
   // Step 4: allocate the high-bandwidth connection for the chosen server.
   CmgrFor(neighborhood)
       .Call<ConnectionGrant>(
+          settop_host,
           [mds_host, settop_host, bitrate_bps](const CmgrProxy& cmgr) {
             return cmgr.Allocate(settop_host, mds_host, bitrate_bps,
                                  /*allow_partial=*/false);
@@ -232,6 +251,7 @@ void MmsService::FinishOpen(MdsReplica* replica, const std::string& title,
           uint8_t neighborhood = NeighborhoodOfHost(settop_host);
           CmgrFor(neighborhood)
               .Call<void>(
+                  settop_host,
                   [grant](const CmgrProxy& cmgr) {
                     return cmgr.Release(grant.connection_id);
                   },
@@ -317,6 +337,7 @@ void MmsService::ReclaimSession(uint64_t session_id, bool tell_mds) {
   uint64_t connection_id = session.connection.connection_id;
   CmgrFor(neighborhood)
       .Call<void>(
+          session.settop_host,
           [connection_id](const CmgrProxy& cmgr) {
             return cmgr.Release(connection_id);
           },
@@ -420,6 +441,11 @@ void MmsService::AdoptSessions(const std::string& mds_name,
     }
   }
   for (const SessionInfo& info : sessions) {
+    if (!OwnsSettop(info.settop_host)) {
+      // Another shard's primary owns this settop's sessions; adopting it
+      // here would double-watch (and double-reclaim) across shards.
+      continue;
+    }
     Session* existing = nullptr;
     for (auto& [id, session] : sessions_) {
       if (session.stream_id == info.stream_id && session.mds_name == mds_name) {

@@ -36,7 +36,9 @@
 #include "src/media/types.h"
 #include "src/naming/name_client.h"
 #include "src/ras/audit_client.h"
+#include "src/rpc/shard_router.h"
 #include "src/svc/lifecycle.h"
+#include "src/wire/shard_map.h"
 
 namespace itv::media {
 
@@ -102,6 +104,12 @@ class MmsService : public rpc::Skeleton {
     Duration rpc_timeout = Duration::Seconds(2);
     // Re-probe an MDS replica marked dead (Section 3.5.2).
     Duration mds_retry_interval = Duration::Seconds(10);
+    // Shard this instance serves. With a sharded map, fail-over adoption
+    // only claims sessions whose settop hashes to this shard — the other
+    // shards' primaries own the rest (ROADMAP "Service resharding"). The
+    // default (1 shard) is the classic whole-service MMS.
+    uint32_t shard_index = 0;
+    wire::ShardMap shard_map;
   };
 
   MmsService(rpc::ObjectRuntime& runtime, Executor& executor,
@@ -187,7 +195,11 @@ class MmsService : public rpc::Skeleton {
                      const std::vector<SessionInfo>& sessions,
                      bool register_watches);
 
-  rpc::BoundClient<CmgrProxy> CmgrFor(uint8_t neighborhood);
+  rpc::ShardedClient<CmgrProxy> CmgrFor(uint8_t neighborhood);
+  bool OwnsSettop(uint32_t settop_host) const {
+    return wire::ShardOf(settop_host, options_.shard_map) ==
+           options_.shard_index;
+  }
   void Count(std::string_view name);
 
   rpc::ObjectRuntime& runtime_;
@@ -202,6 +214,10 @@ class MmsService : public rpc::Skeleton {
   std::map<std::string, MdsReplica> mds_;
   std::map<uint64_t, Session> sessions_;
   rpc::BindingTable bindings_;  // Per-neighborhood connection managers.
+  // Routes connection-manager calls by settop host: with sharded CMgrs the
+  // settop's budget lives on exactly one shard, so every Allocate/Release
+  // for a settop must land there.
+  rpc::ShardRouter cmgr_router_;
   uint64_t next_session_id_;
   PeriodicTimer refresh_timer_;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/wire/shard_map.h"
+
 namespace itv::naming {
 
 namespace {
@@ -133,7 +135,10 @@ void ContextTree::CollectObjects(const Node& node, Name* prefix,
     prefix->push_back(name);
     if (entry.is_local_context()) {
       CollectObjects(*entry.child, prefix, out);
-    } else if (!IsBuiltinSelectorRef(entry.ref) && !entry.ref.is_null()) {
+    } else if (!IsBuiltinSelectorRef(entry.ref) &&
+               !wire::IsShardMapRef(entry.ref) && !entry.ref.is_null()) {
+      // Selector and shard-map pseudo-refs describe routing policy, not live
+      // servants; auditing must never treat them as dead objects to unbind.
       out->push_back(BoundObject{*prefix, entry.ref});
     }
     prefix->pop_back();

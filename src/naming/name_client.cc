@@ -44,12 +44,64 @@ void EnsureContextPath(Executor& executor, NameClient client,
              max_attempts);
 }
 
+namespace {
+
+void PublishShardMapStep(Executor& executor, NameClient client,
+                         std::string base, wire::ShardMap map,
+                         std::function<void(Status)> done, Duration retry,
+                         int attempts_left) {
+  EnsureContextPath(
+      executor, client, base,
+      [&executor, client, base, map, done, retry,
+       attempts_left](Status ensured) {
+        if (!ensured.ok()) {
+          done(ensured);
+          return;
+        }
+        client.Bind(wire::ShardMapPath(base), wire::EncodeShardMapRef(map))
+            .OnReady([&executor, client, base, map, done, retry,
+                      attempts_left](const Result<void>& r) {
+              if (r.ok() || IsAlreadyExists(r.status())) {
+                done(OkStatus());
+                return;
+              }
+              if (attempts_left <= 1) {
+                done(r.status());
+                return;
+              }
+              executor.ScheduleAfter(retry, [&executor, client, base, map,
+                                             done, retry, attempts_left] {
+                PublishShardMapStep(executor, client, base, map, done, retry,
+                                    attempts_left - 1);
+              });
+            });
+      },
+      retry, attempts_left);
+}
+
+}  // namespace
+
+void PublishShardMap(Executor& executor, NameClient client,
+                     const std::string& base, const wire::ShardMap& map,
+                     std::function<void(Status)> done, Duration retry,
+                     int max_attempts) {
+  PublishShardMapStep(executor, std::move(client), base, map, std::move(done),
+                      retry, max_attempts);
+}
+
 void PrimaryBinder::Start(std::function<void()> on_primary,
                           std::function<void()> on_demoted) {
   ITV_CHECK(!running_);
   running_ = true;
   on_primary_ = std::move(on_primary);
   on_demoted_ = std::move(on_demoted);
+  if (!options_.first_bind_delay.is_zero()) {
+    retry_timer_ = executor_.ScheduleAfter(options_.first_bind_delay, [this] {
+      retry_timer_ = kInvalidTimerId;
+      TryBind();
+    });
+    return;
+  }
   TryBind();
 }
 

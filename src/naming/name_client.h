@@ -22,6 +22,7 @@
 #include "src/rpc/binding_table.h"
 #include "src/rpc/rebinder.h"
 #include "src/rpc/resolution_cache.h"
+#include "src/wire/shard_map.h"
 
 namespace itv::naming {
 
@@ -143,11 +144,29 @@ void EnsureContextPath(Executor& executor, NameClient client,
                        Duration retry = Duration::Seconds(2),
                        int max_attempts = 100);
 
+// Publishes a shard map for the sharded service rooted at `base`: ensures
+// `base` exists as a context, then binds wire::EncodeShardMapRef(map) at
+// "<base>/.shards". ALREADY_EXISTS is success — the map is immutable and
+// every replica publishes the same value, so first-bind-wins makes the
+// publication idempotent across replicas and restarts. Retries on transient
+// errors like EnsureContextPath.
+void PublishShardMap(Executor& executor, NameClient client,
+                     const std::string& base, const wire::ShardMap& map,
+                     std::function<void(Status)> done,
+                     Duration retry = Duration::Seconds(2),
+                     int max_attempts = 100);
+
 class PrimaryBinder {
  public:
   struct Options {
     // "Backup retries bind every 10 seconds" (paper Section 9.7).
     Duration retry_interval = Duration::Seconds(10);
+    // Delay before the FIRST bind attempt. Zero contests immediately (the
+    // classic race). Sharded placement staggers non-preferred replicas so
+    // each shard's intended host wins the opening election and primaries
+    // spread round-robin instead of piling onto whoever boots first; after
+    // a fail-over the delay no longer matters — any survivor may win.
+    Duration first_bind_delay{};
     // When set, bind attempts and demotions are exported as binder.* counters
     // (in addition to the accessors) so chaos artifacts and benches report
     // them uniformly.

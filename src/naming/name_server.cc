@@ -478,6 +478,14 @@ void NameServer::SlaveApply(uint64_t seq, uint64_t epoch,
   if (epoch < epoch_) {
     return;  // Stale master.
   }
+  if (epoch > epoch_ && applied_seq_ > 0) {
+    // First contact from a newer-epoch master: our history may diverge from
+    // its (a voted-for candidate only proved its seq *count* was not behind),
+    // so applying incrementally on top is unsafe. Skip the update and wait
+    // for its heartbeat to adopt it and drive the snapshot resync.
+    resync_pending_ = true;
+    return;
+  }
   if (seq <= applied_seq_) {
     return;  // Duplicate.
   }
@@ -556,6 +564,9 @@ void NameServer::ReconcileContextExports() {
 }
 
 void NameServer::InstallSnapshot(const SnapshotReply& snapshot) {
+  if (snapshot.epoch < epoch_) {
+    return;  // Stale master's snapshot; installing it would regress the tree.
+  }
   Result<ContextTree> tree = ContextTree::DecodeSnapshot(snapshot.data);
   if (!tree.ok()) {
     ITV_LOG(Error) << "ns replica " << options_.replica_id
@@ -580,6 +591,7 @@ void NameServer::InstallSnapshot(const SnapshotReply& snapshot) {
   }
   ReconcileContextExports();
   root_ref_ = RefForNode(&tree_.root());
+  resync_pending_ = false;
   Count("ns.snapshot.installed");
 }
 
@@ -594,7 +606,10 @@ void NameServer::FetchSnapshotFromMaster() {
         if (!r.ok()) {
           return;  // Heartbeat repair will retry.
         }
-        if (r->seq > applied_seq_) {
+        // On a divergence resync the master's seq may be EQUAL or BEHIND
+        // ours (our solo updates inflated the counter with content it never
+        // saw) — its tree still wins, so install regardless of seq.
+        if (r->seq > applied_seq_ || resync_pending_) {
           InstallSnapshot(*r);
         }
       });
@@ -662,6 +677,9 @@ void NameServer::StartElection() {
 void NameServer::BecomeMaster() {
   role_ = Role::kMaster;
   master_id_ = options_.replica_id;
+  // A majority voted our sequence not-behind: our tree is now the
+  // authoritative one, divergent or not.
+  resync_pending_ = false;
   // Grace period: every peer counts as recently-acked at election time.
   peer_last_ack_.clear();
   for (uint32_t id = 1; id <= options_.peers.size(); ++id) {
@@ -703,6 +721,13 @@ void NameServer::BecomeMaster() {
 }
 
 void NameServer::BecomeSlave(uint64_t epoch, uint32_t master_id) {
+  // Crossing into a newer epoch means another election happened; anything we
+  // applied under the old epoch (as its master, or fed by it during the
+  // lease overlap) may be unknown to the new master, at a sequence number it
+  // has reused for different updates. Flag for a full resync.
+  if (epoch > epoch_ && applied_seq_ > 0) {
+    resync_pending_ = true;
+  }
   role_ = Role::kSlave;
   epoch_ = epoch;
   master_id_ = master_id;
@@ -785,6 +810,12 @@ uint64_t NameServer::HandleHeartbeat(uint64_t epoch, uint32_t master_id,
     // Same-epoch duelling masters cannot happen under one-vote-per-epoch.
   } else {
     bool changed = master_id_ != master_id;
+    // Same reasoning as BecomeSlave: an epoch advance means our applied
+    // history may have diverged from the new master's, at sequence numbers
+    // that no longer line up — equal or higher seq proves nothing.
+    if (epoch > epoch_ && applied_seq_ > 0) {
+      resync_pending_ = true;
+    }
     role_ = Role::kSlave;
     epoch_ = epoch;
     master_id_ = master_id;
@@ -795,7 +826,7 @@ uint64_t NameServer::HandleHeartbeat(uint64_t epoch, uint32_t master_id,
     }
     ResetElectionTimer();
   }
-  if (master_seq > applied_seq_) {
+  if (master_seq > applied_seq_ || resync_pending_) {
     FetchSnapshotFromMaster();
   }
   return applied_seq_;

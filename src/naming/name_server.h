@@ -159,6 +159,14 @@ class NameServer {
   size_t votes_received_ = 0;
   bool started_ = false;
   bool fetching_snapshot_ = false;
+  // Set when this replica's applied history may contain updates the current
+  // master never saw (it was a master — or followed one — that kept applying
+  // during a dueling-master window). Sequence numbers cannot detect that
+  // divergence (the solo updates inflate applied_seq_), so while set, every
+  // heartbeat forces a snapshot fetch and the snapshot installs even when
+  // its seq is not ahead of ours. Cleared on install or on winning an
+  // election (the electorate made our tree authoritative).
+  bool resync_pending_ = false;
 
   // Quorum lease: the master steps down if fewer than a majority of replicas
   // (itself included) acknowledged a heartbeat recently, so a master cut off

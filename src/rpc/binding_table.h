@@ -156,6 +156,9 @@ class BindingTable {
   BindingTable& operator=(const BindingTable&) = delete;
 
   ObjectRuntime& runtime() const { return runtime_; }
+  // The raw path resolver; layered routers (rpc::ShardRouter) reuse it for
+  // non-binding lookups such as shard maps.
+  const PathResolver& resolver() const { return resolver_; }
 
   const BindingOptions& default_options() const { return default_options_; }
   void set_default_options(const BindingOptions& options) {

@@ -30,6 +30,7 @@
 #include "src/common/executor.h"
 #include "src/common/metrics.h"
 #include "src/wire/object_ref.h"
+#include "src/wire/shard_map.h"
 
 namespace itv::rpc {
 
@@ -98,13 +99,29 @@ class ResolutionCache {
   // for NACKs and false for timeouts — both drop, since re-resolving a
   // healthy-but-slow service is cheap and caching a dead one is not.
   void InvalidateTarget(const wire::ObjectRef& target, bool /*definitely_dead*/ = true) {
+    std::vector<std::string> dropped;
     for (auto it = entries_.begin(); it != entries_.end();) {
       if (it->second.ref.endpoint == target.endpoint) {
+        dropped.push_back(it->first);
         it = entries_.erase(it);
         Bump(c_invalidate_);
         ++invalidations_;
       } else {
         ++it;
+      }
+    }
+    // A dropped entry under a sharded service ("svc/mms/3") was routed there
+    // by the sibling shard map ("svc/mms/.shards"); drop that too, so the
+    // shard router's next map read goes back to the name service instead of
+    // being served from a cache populated before the failure.
+    for (const std::string& path : dropped) {
+      size_t slash = path.rfind('/');
+      if (slash == std::string::npos) continue;
+      std::string map_path =
+          path.substr(0, slash + 1) + std::string(wire::kShardMapBindingName);
+      if (entries_.erase(map_path) > 0) {
+        Bump(c_invalidate_);
+        ++invalidations_;
       }
     }
   }

@@ -1,0 +1,218 @@
+// ShardRouter: client-side routing for sharded services.
+//
+// A sharded service publishes a wire::ShardMap pseudo-reference at
+// "<base>/.shards" and binds one primary per shard at "<base>/1" ..
+// "<base>/N" (wire/shard_map.h). This layer sits on top of a BindingTable
+// and picks the shard for each call from a stable hash of the caller's key
+// (settop host, session owner, ...), so:
+//
+//   - the table keys bindings by (service, shard) — each shard gets its own
+//     Binding, and with it its own single-flight re-resolution, backoff, and
+//     rebind metrics. A storm on shard 3 never re-resolves shards 0-2.
+//   - load divides ~1/N across the N concurrently active primaries, and a
+//     primary kill invalidates (and re-binds) only that shard's binding.
+//
+// The decoded map is cached per base path with a max age, single-flight per
+// base: concurrent routes during a fetch queue behind it. Unsharded services
+// need no special-casing — the ".shards" lookup comes back NOT_FOUND, the
+// router caches "1 shard" and routes to the base path itself, so callers can
+// adopt the router unconditionally. Shard maps are immutable for a
+// deployment's lifetime, so serving a stale map on a transient fetch failure
+// is always correct; the fallback only matters while the name service is
+// unreachable.
+//
+// Staleness: the router subscribes to the runtime's stale-target
+// notifications (the same channel the ResolutionCache uses) and expires its
+// decoded maps on any NACK/timeout, so the next route re-reads the map
+// through the name service rather than trusting a cache that may have been
+// populated by a now-dead replica. The router must therefore outlive the
+// runtime's message dispatch (true for process-owned routers, the normal
+// case).
+
+#ifndef SRC_RPC_SHARD_ROUTER_H_
+#define SRC_RPC_SHARD_ROUTER_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/executor.h"
+#include "src/rpc/binding_table.h"
+#include "src/wire/shard_map.h"
+
+namespace itv::rpc {
+
+class ShardRouter {
+ public:
+  struct Options {
+    // How long a decoded shard map is trusted before re-reading it through
+    // the resolver. Mirrors the ResolutionCache max age.
+    Duration map_max_age = Duration::Seconds(15);
+  };
+
+  // Two overloads instead of `Options options = {}`: gcc cannot evaluate a
+  // nested class's default member initializers in a default argument.
+  explicit ShardRouter(BindingTable& table) : ShardRouter(table, Options()) {}
+  ShardRouter(BindingTable& table, Options options)
+      : table_(table), options_(options) {
+    table_.runtime().AddStaleTargetObserver(
+        [this](const wire::ObjectRef&, bool) { ExpireAllMaps(); });
+  }
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  BindingTable& table() { return table_; }
+
+  // Routes one call for `key` under `base`: loads the shard map (cached,
+  // single-flight) and hands the per-(service, shard) Binding to `done`.
+  // `done` may run synchronously on a map cache hit.
+  void Route(const std::string& base, uint64_t key,
+             std::function<void(Binding&)> done) {
+    Route(base, key, table_.default_options(), std::move(done));
+  }
+  void Route(const std::string& base, uint64_t key,
+             const BindingOptions& binding_options,
+             std::function<void(Binding&)> done) {
+    MapEntry& entry = maps_[base];
+    Time now = table_.runtime().executor().Now();
+    if (entry.valid && !entry.expired &&
+        now - entry.fetched <= options_.map_max_age) {
+      Count("shard.router.hits");
+      Dispatch(base, entry.map, key, binding_options, std::move(done));
+      return;
+    }
+    entry.waiters.push_back([this, base, key, binding_options,
+                             done = std::move(done)](
+                                const wire::ShardMap& map) mutable {
+      Dispatch(base, map, key, binding_options, std::move(done));
+    });
+    if (entry.fetching) {
+      Count("shard.map.coalesced");
+      return;
+    }
+    entry.fetching = true;
+    Count("shard.map.reloads");
+    ++map_reloads_;
+    table_.resolver()(
+        wire::ShardMapPath(base),
+        [this, base](Result<wire::ObjectRef> r) {
+          OnMapResult(base, std::move(r));
+        });
+  }
+
+  // Forces the next route under `base` to re-read the map.
+  void ExpireMap(const std::string& base) {
+    auto it = maps_.find(base);
+    if (it != maps_.end()) it->second.expired = true;
+  }
+  void ExpireAllMaps() {
+    for (auto& [base, entry] : maps_) entry.expired = true;
+  }
+
+  // Last decoded map for `base`, if any fetch has completed (possibly
+  // expired). Empty before the first route.
+  std::optional<wire::ShardMap> CachedMap(const std::string& base) const {
+    auto it = maps_.find(base);
+    if (it == maps_.end() || !it->second.valid) return std::nullopt;
+    return it->second.map;
+  }
+
+  uint64_t map_reloads() const { return map_reloads_; }
+
+ private:
+  struct MapEntry {
+    wire::ShardMap map;
+    Time fetched{};
+    bool valid = false;    // `map` holds a decoded (or inferred) value.
+    bool expired = true;   // Must re-fetch before trusting `map` again.
+    bool fetching = false;
+    std::vector<std::function<void(const wire::ShardMap&)>> waiters;
+  };
+
+  void Dispatch(const std::string& base, const wire::ShardMap& map,
+                uint64_t key, const BindingOptions& binding_options,
+                std::function<void(Binding&)> done) {
+    done(table_.Get(wire::ShardPath(base, wire::ShardOf(key, map), map),
+                    binding_options));
+  }
+
+  void OnMapResult(const std::string& base, Result<wire::ObjectRef> r) {
+    MapEntry& entry = maps_[base];
+    entry.fetching = false;
+    if (r.ok() && wire::IsShardMapRef(*r)) {
+      entry.map = wire::DecodeShardMapRef(*r);
+      entry.valid = true;
+      entry.expired = false;
+      entry.fetched = table_.runtime().executor().Now();
+    } else if (r.ok() || IsNotFound(r.status())) {
+      // No ".shards" binding (or a foreign one): the service is unsharded.
+      // Cache that — the lookup cost is one resolve per max_age.
+      entry.map = wire::ShardMap{};
+      entry.valid = true;
+      entry.expired = false;
+      entry.fetched = table_.runtime().executor().Now();
+    } else {
+      // Transient (name service unreachable). Maps are immutable, so the
+      // last known value is still correct — serve it but stay expired so
+      // the next route retries the fetch. With no known value yet, route
+      // unsharded without caching; the per-path binding will surface the
+      // real error to the caller.
+      Count("shard.map.fetch_fail");
+      if (!entry.valid) entry.map = wire::ShardMap{};
+    }
+    auto waiters = std::move(entry.waiters);
+    entry.waiters.clear();
+    const wire::ShardMap map = entry.map;  // Entry may mutate re-entrantly.
+    for (auto& waiter : waiters) waiter(map);
+  }
+
+  void Count(std::string_view counter) {
+    if (Metrics* m = table_.runtime().metrics()) m->Add(counter);
+  }
+
+  BindingTable& table_;
+  Options options_;
+  std::map<std::string, MapEntry> maps_;
+  uint64_t map_reloads_ = 0;
+};
+
+// Typed smart proxy over (router, base, options): the sharded analog of
+// BoundClient. Copyable value; the router (and its table) must outlive it.
+// Each Call routes by `key` first, then runs like a BoundClient call against
+// that shard's binding.
+template <typename P>
+class ShardedClient {
+ public:
+  ShardedClient() = default;
+  ShardedClient(ShardRouter& router, std::string base, BindingOptions options)
+      : router_(&router), base_(std::move(base)), options_(options) {}
+
+  explicit operator bool() const { return router_ != nullptr; }
+  const std::string& base() const { return base_; }
+  ShardRouter& router() const { return *router_; }
+
+  template <typename T>
+  void Call(uint64_t key, std::function<Future<T>(const P&)> call,
+            std::function<void(Result<T>)> done) const {
+    ObjectRuntime* runtime = &router_->table().runtime();
+    router_->Route(base_, key, options_,
+                   [runtime, call = std::move(call),
+                    done = std::move(done)](Binding& binding) mutable {
+                     BoundClient<P>(*runtime, binding)
+                         .template Call<T>(std::move(call), std::move(done));
+                   });
+  }
+
+ private:
+  ShardRouter* router_ = nullptr;
+  std::string base_;
+  BindingOptions options_;
+};
+
+}  // namespace itv::rpc
+
+#endif  // SRC_RPC_SHARD_ROUTER_H_

@@ -51,8 +51,8 @@ VodApp::VodApp(rpc::ObjectRuntime& runtime, Executor& executor,
       options_(options),
       metrics_(metrics),
       bindings_(runtime, name_client_.PathResolverFn()),
-      mms_(bindings_.Bind<media::MmsProxy>(media::kMmsName,
-                                           options.mms_rebind)) {
+      router_(bindings_),
+      mms_(router_, std::string(media::kMmsName), options.mms_rebind) {
   sink_ = std::make_unique<MediaSinkSkeleton>(*this);
   sink_ref_ = runtime_.Export(sink_.get());
 }
@@ -77,6 +77,7 @@ void VodApp::PlayMovie(const std::string& title,
 void VodApp::OpenAndPlay(int64_t from_position) {
   uint32_t my_host = runtime_.local_endpoint().host;
   mms_.Call<media::MmsTicket>(
+      my_host,
       [title = title_, my_host, sink = sink_ref_](const media::MmsProxy& mms) {
         return mms.Open(title, my_host, sink);
       },
@@ -86,6 +87,7 @@ void VodApp::OpenAndPlay(int64_t from_position) {
           if (ticket.ok()) {
             wire::ObjectRef movie = ticket->movie;
             mms_.Call<void>(
+                runtime_.local_endpoint().host,
                 [movie](const media::MmsProxy& mms) { return mms.Close(movie); },
                 [](Result<void>) {});
           }
@@ -195,6 +197,7 @@ void VodApp::CloseSession() {
   stream_id_ = 0;
   movie_ = wire::ObjectRef{};
   mms_.Call<void>(
+      runtime_.local_endpoint().host,
       [movie](const media::MmsProxy& mms) { return mms.Close(movie); },
       [](Result<void>) {});
 }

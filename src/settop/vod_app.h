@@ -23,6 +23,7 @@
 #include "src/media/mms.h"
 #include "src/naming/name_client.h"
 #include "src/rpc/binding_table.h"
+#include "src/rpc/shard_router.h"
 
 namespace itv::settop {
 
@@ -73,7 +74,10 @@ class VodApp {
   Metrics* metrics_;
 
   rpc::BindingTable bindings_;
-  rpc::BoundClient<media::MmsProxy> mms_;
+  // Routed by this settop's own host id: all of one settop's sessions land on
+  // the same MMS shard, and unsharded deployments route to svc/mms unchanged.
+  rpc::ShardRouter router_;
+  rpc::ShardedClient<media::MmsProxy> mms_;
   std::unique_ptr<MediaSinkSkeleton> sink_;
   wire::ObjectRef sink_ref_;
 

@@ -213,9 +213,13 @@ struct PrimaryClaim {
   bool is_primary = false;
 };
 
-// Registers a quiescent check on `monitor`: for every service with at least
-// one live claimant, exactly one claimant must hold the primary role. Zero
-// primaries is the permanent-backup deadlock; two or more is split-brain.
+// Registers a quiescent check on `monitor`: for every election group with at
+// least one live claimant, exactly one claimant must hold the primary role.
+// Zero primaries is the permanent-backup deadlock; two or more is
+// split-brain. Groups are keyed by the full `service` string, so sharded
+// deployments get exactly-one-primary-PER-SHARD for free: each shard's
+// lifecycle claims under its own path (svc/mms/1 .. svc/mms/N), and a shard
+// left primary-less after a fault is reported individually.
 void AddSinglePrimaryQuiescent(
     InvariantMonitor& monitor, std::string name,
     std::function<std::vector<PrimaryClaim>()> claims);

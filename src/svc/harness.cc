@@ -19,7 +19,12 @@ void ServiceContext::NotifyReady(
 ServiceLifecycle* ServiceContext::StartLifecycle(
     const std::string& path, const wire::ObjectRef& ref,
     ServiceLifecycle::Hooks hooks, ServiceLifecycle::Options options) const {
+  // Adopt the harness-wide binder cadence, but keep the caller's election
+  // stagger: sharded placement delays non-preferred replicas' first bind so
+  // shard primaries spread round-robin instead of racing.
+  Duration first_bind_delay = options.binder.first_bind_delay;
   options.binder = harness.options().binder;
+  options.binder.first_bind_delay = first_bind_delay;
   auto* lifecycle = process.Emplace<ServiceLifecycle>(
       process, harness.ClientFor(process), path, ref, options, metrics);
   // Register before Start so the single-primary invariant never misses a

@@ -184,8 +184,8 @@ void ServiceLifecycle::FinishPromotion(Time recover_begin) {
   trace::Tracer* tracer = client_.runtime().tracer();
   if (tracer != nullptr) {
     trace::TraceContext ctx = tracer->StartTrace();
-    tracer->Span(ctx, "role.recover", recover_begin, path_);
-    tracer->Instant(ctx, trace::kEventRolePromote, path_);
+    tracer->Span(ctx, "role.recover", recover_begin, TraceDetail());
+    tracer->Instant(ctx, trace::kEventRolePromote, TraceDetail());
   }
   ITV_LOG(Info) << "lifecycle " << path_ << ": promoted to primary";
   if (hooks_.on_promoted) {
@@ -205,7 +205,7 @@ void ServiceLifecycle::DemoteRole() {
   trace::Tracer* tracer = client_.runtime().tracer();
   if (tracer != nullptr) {
     trace::TraceContext ctx = tracer->StartTrace();
-    tracer->Instant(ctx, trace::kEventRoleDemote, path_);
+    tracer->Instant(ctx, trace::kEventRoleDemote, TraceDetail());
   }
   ITV_LOG(Info) << "lifecycle " << path_ << ": demoted";
   if (hooks_.on_demoted) {
@@ -251,6 +251,11 @@ void ServiceLifecycle::SetRole(ServiceRole role) {
                            std::to_string(process_.host()) + "]",
                        static_cast<int64_t>(role));
   }
+}
+
+std::string ServiceLifecycle::TraceDetail() const {
+  return options_.shard_label.empty() ? path_
+                                      : path_ + " " + options_.shard_label;
 }
 
 void ServiceLifecycle::Count(std::string_view counter) {

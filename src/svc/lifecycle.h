@@ -73,6 +73,11 @@ class ServiceLifecycle {
     Duration recover_retry = Duration::Seconds(2);
     // Poll cadence of the external_role probe.
     Duration probe_interval = Duration::Seconds(1);
+    // Shard annotation for sharded services (e.g. "shard=3/4"). Appended to
+    // the role.promote / role.demote / role.recover trace details so
+    // trace::FailoverTimeline can attribute a promotion to the right shard;
+    // purely observational (the contested path already encodes the shard).
+    std::string shard_label;
   };
 
   struct Hooks {
@@ -114,6 +119,7 @@ class ServiceLifecycle {
   ServiceRole role() const { return role_; }
   bool is_primary() const { return role_ == ServiceRole::kPrimary; }
   const std::string& path() const { return path_; }
+  const std::string& shard_label() const { return options_.shard_label; }
   const wire::ObjectRef& ref() const { return ref_; }
   sim::Process& process() { return process_; }
 
@@ -136,6 +142,7 @@ class ServiceLifecycle {
   void ProbeExternalRole();
   void SetRole(ServiceRole role);
   void Count(std::string_view counter);
+  std::string TraceDetail() const;
 
   sim::Process& process_;
   naming::NameClient client_;

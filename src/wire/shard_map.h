@@ -1,0 +1,111 @@
+// Shard maps — the namespace representation of a partitioned service
+// (ROADMAP "Service resharding"; the paper's Section 5.1 scaling story of
+// spreading session load across concurrently active primaries with disjoint
+// resource pools).
+//
+// A sharded service owns a *context* instead of a single name. The shards
+// live as ordinary primary bindings under it ("svc/mms/1" .. "svc/mms/N"),
+// and a pseudo-reference bound at "<base>/.shards" describes the partition:
+// shard count plus the hash salt clients must use to route keys. The
+// encoding follows the builtin-selector trick (naming/types.h): a null
+// endpoint can never be a live servant, so the remaining fields are free to
+// carry the map. That keeps the name service oblivious — a shard map
+// replicates, resolves, caches, and survives fail-over exactly like any
+// other binding, with no new message types.
+//
+// The map is immutable for the lifetime of a deployment: every replica
+// publishes the same value and first-bind-wins makes that idempotent.
+// Resharding (changing N live) is future work and would need a versioned
+// map plus session draining.
+
+#ifndef SRC_WIRE_SHARD_MAP_H_
+#define SRC_WIRE_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/wire/object_ref.h"
+
+namespace itv::wire {
+
+inline constexpr std::string_view kShardMapInterface = "itv.ShardMap";
+
+// Leaf name of the shard-map binding inside a sharded service's context.
+// The dot prefix keeps it visually distinct from shard names ("1".."N");
+// nothing in the name service treats it specially.
+inline constexpr std::string_view kShardMapBindingName = ".shards";
+
+// Default router salt (the splitmix64 increment). A deployment can pick its
+// own to decorrelate shard assignment from other hash users; clients always
+// take the salt from the published map, never this constant, so the two
+// sides cannot disagree.
+inline constexpr uint64_t kDefaultShardSalt = 0x9e3779b97f4a7c15ull;
+
+struct ShardMap {
+  uint32_t shard_count = 1;
+  uint64_t salt = kDefaultShardSalt;
+
+  bool sharded() const { return shard_count > 1; }
+
+  friend auto operator<=>(const ShardMap&, const ShardMap&) = default;
+};
+
+// Stable key -> shard assignment (splitmix64 finalizer). Stability matters
+// more than uniformity here: a settop's key must land on the same shard from
+// every client and across every map re-read, or sessions would straddle
+// primaries.
+inline uint32_t ShardOf(uint64_t key, const ShardMap& map) {
+  if (map.shard_count <= 1) return 0;
+  uint64_t h = key + map.salt;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return static_cast<uint32_t>(h % map.shard_count);
+}
+
+// "<base>/.shards" — where the map is published and looked up.
+inline std::string ShardMapPath(std::string_view base) {
+  return std::string(base) + "/" + std::string(kShardMapBindingName);
+}
+
+// Name of shard `shard` (0-based) under `base`. Shard names are 1-based in
+// the namespace to read like the paper's neighborhood names. An unsharded
+// map routes to the base path itself, so callers need no special case.
+inline std::string ShardPath(std::string_view base, uint32_t shard) {
+  return std::string(base) + "/" + std::to_string(shard + 1);
+}
+inline std::string ShardPath(std::string_view base, uint32_t shard,
+                             const ShardMap& map) {
+  return map.sharded() ? ShardPath(base, shard) : std::string(base);
+}
+
+// Pseudo-reference encoding. Like builtin selectors, the endpoint is null
+// (never routable) and the type id names the scheme; incarnation carries the
+// salt and object_id the count. Incarnation is guaranteed nonzero so the
+// ref is not is_null() and survives name-server bind validation.
+inline ObjectRef EncodeShardMapRef(const ShardMap& map) {
+  ObjectRef ref;
+  ref.endpoint = Endpoint{};
+  ref.incarnation = map.salt != 0 ? map.salt : kDefaultShardSalt;
+  ref.type_id = TypeIdFromName(kShardMapInterface);
+  ref.object_id = map.shard_count;
+  return ref;
+}
+
+inline bool IsShardMapRef(const ObjectRef& ref) {
+  return ref.endpoint.is_null() &&
+         ref.type_id == TypeIdFromName(kShardMapInterface);
+}
+
+inline ShardMap DecodeShardMapRef(const ObjectRef& ref) {
+  ShardMap map;
+  map.shard_count =
+      ref.object_id > 0 ? static_cast<uint32_t>(ref.object_id) : 1;
+  map.salt = ref.incarnation != 0 ? ref.incarnation : kDefaultShardSalt;
+  return map;
+}
+
+}  // namespace itv::wire
+
+#endif  // SRC_WIRE_SHARD_MAP_H_

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,7 @@ class BindingTableTest : public ::testing::Test {
     return [this](const std::string& path,
                   std::function<void(Result<wire::ObjectRef>)> cb) {
       ++resolve_calls_;
+      ++resolves_by_path_[path];
       last_resolved_path_ = path;
       Result<wire::ObjectRef> r = current_ref_.is_null()
                                       ? Result<wire::ObjectRef>(
@@ -108,6 +110,7 @@ class BindingTableTest : public ::testing::Test {
   wire::ObjectRef current_ref_;
   BindingTable* table_ = nullptr;
   int resolve_calls_ = 0;
+  std::map<std::string, int> resolves_by_path_;
   std::string last_resolved_path_;
 };
 
@@ -202,6 +205,48 @@ TEST_F(BindingTableTest, FailedSharedResolveFailsAllWaiters) {
   // Two attempts each, but resolves stay shared per retry wave, far below
   // the 10 a per-call lookup would cost.
   EXPECT_LE(resolve_calls_, 4);
+}
+
+TEST_F(BindingTableTest, ShardStormDoesNotReresolveOtherShards) {
+  // Sharded services key bindings by (service, shard) path — one Binding per
+  // shard. A re-resolution storm on one shard's binding must stay on that
+  // binding: the others keep their cached references and issue no lookups.
+  BindingOptions opts;
+  opts.initial_backoff = Duration::Millis(50);
+  std::vector<BoundClient<PingProxy>> shards;
+  for (int s = 1; s <= 4; ++s) {
+    shards.push_back(
+        Table().Bind<PingProxy>("svc/ping/" + std::to_string(s), opts));
+  }
+  int warm = 0;
+  for (auto& shard : shards) {
+    shard.Call<uint64_t>([](const PingProxy& p) { return p.Ping(); },
+                         [&](Result<uint64_t> r) { warm += r.ok(); });
+  }
+  cluster_.RunFor(Duration::Seconds(2));
+  ASSERT_EQ(warm, 4);
+
+  KillService();
+  SpawnService();
+
+  constexpr int kStorm = 10;
+  int storm_ok = 0;
+  for (int i = 0; i < kStorm; ++i) {
+    shards[3].Call<uint64_t>([](const PingProxy& p) { return p.Ping(); },
+                             [&](Result<uint64_t> r) { storm_ok += r.ok(); });
+  }
+  cluster_.RunFor(Duration::Seconds(10));
+  EXPECT_EQ(storm_ok, kStorm);
+  // Shard 4: initial resolve plus one shared post-restart resolve.
+  EXPECT_EQ(resolves_by_path_["svc/ping/4"], 2);
+  EXPECT_GE(shards[3].binding().coalesced_count(),
+            static_cast<uint64_t>(kStorm - 1));
+  // Shards 1-3: untouched by the storm.
+  for (int s = 1; s <= 3; ++s) {
+    EXPECT_EQ(resolves_by_path_["svc/ping/" + std::to_string(s)], 1)
+        << "shard " << s;
+    EXPECT_EQ(shards[s - 1].binding().rebind_count(), 1u) << "shard " << s;
+  }
 }
 
 // --- Deadline propagation -----------------------------------------------------

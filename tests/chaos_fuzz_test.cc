@@ -80,6 +80,42 @@ TEST(ChaosFuzzTest, PinnedCorpusPassesAllInvariants) {
   }
 }
 
+TEST(ChaosFuzzTest, ShardedDeploymentSurvivesMixedShardFaults) {
+  // Sharded MMS + CMgr with the exactly-one-primary-PER-SHARD invariant
+  // armed (the lifecycle paths are per-shard, so check_single_primary groups
+  // by shard for free). The pinned schedule aims a kill and a partition at
+  // two different hosts; with shard primaries staggered one per host, that
+  // is two different shards failing in two different ways in one run. At
+  // quiescence every shard must have exactly one primary and every viewer
+  // must be streaming again.
+  FuzzOptions options = SmallOptions();
+  options.mms_shards = 2;
+  options.cmgr_shards = 2;
+  options.check_single_primary = true;
+
+  sim::ChaosPlan plan;
+  plan.seed = 77;
+  sim::Fault kill;
+  kill.at = Duration::Seconds(5);
+  kill.kind = sim::FaultKind::kKillProcess;
+  kill.host_a = 1;
+  kill.process = "mmsd";
+  plan.faults.push_back(kill);
+  sim::Fault partition;
+  partition.at = Duration::Seconds(12);
+  partition.kind = sim::FaultKind::kPartition;
+  partition.host_a = 2;
+  partition.host_b = 3;
+  partition.duration = Duration::Seconds(10);
+  plan.faults.push_back(partition);
+
+  FuzzResult result = RunSchedule(plan.seed, plan, options);
+  EXPECT_TRUE(result.passed)
+      << "violated " << result.first_violation << "\n"
+      << result.invariant_report << "\nschedule:\n"
+      << result.plan.ToString();
+}
+
 TEST(ChaosFuzzTest, SeedReplayIsByteForByteIdentical) {
   FuzzOptions options = SmallOptions();
   FuzzResult direct = RunSeed(5, options);

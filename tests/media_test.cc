@@ -520,5 +520,53 @@ TEST_F(MediaTest, CmgrFailoverKeepsAllocationTable) {
   EXPECT_TRUE(after.result().value().empty());
 }
 
+// MDS ghost reclamation (Options::unplayed_grace): a stream opened but never
+// Played — e.g. an open whose MovieTicket was lost in flight — is closed
+// server-side after the grace. A stream that HAS played survives, even if
+// currently paused: `played` is sticky.
+TEST(MdsUnplayedReclaimTest, ReclaimsNeverPlayedStreamOnly) {
+  svc::HarnessOptions hopts;
+  hopts.server_count = 2;
+  hopts.neighborhood_count = 2;
+  svc::ClusterHarness harness(hopts);
+  MediaDeployment deploy;
+  deploy.movies = {
+      {MovieInfo{"T2", 3'000'000, 3'000'000 / 8 * 3600}, {0, 1}}};
+  deploy.mds_unplayed_grace = Duration::Seconds(8);
+  RegisterMediaServices(harness, deploy);
+  harness.Boot();
+  harness.cluster().RunFor(Duration::Seconds(10));
+
+  sim::Node& settop = harness.AddSettop(1);
+  sim::Process& p = settop.Spawn("viewer");
+  auto mms_ref = harness.ClientFor(p).Resolve(std::string(kMmsName));
+  harness.cluster().RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(mms_ref.is_ready() && mms_ref.result().ok());
+  MmsProxy mms(p.runtime(), mms_ref.result().value());
+
+  auto ghost = mms.Open("T2", settop.host(), wire::ObjectRef{});
+  auto played = mms.Open("T2", settop.host(), wire::ObjectRef{});
+  harness.cluster().RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(ghost.is_ready() && ghost.result().ok())
+      << ghost.result().status();
+  ASSERT_TRUE(played.is_ready() && played.result().ok())
+      << played.result().status();
+  auto play = MovieProxy(p.runtime(), played.result()->movie).Play(0);
+  harness.cluster().RunFor(Duration::Seconds(2));
+  ASSERT_TRUE(play.is_ready() && play.result().ok());
+
+  // Past the grace plus one sweep: the never-played stream is gone (its
+  // movie object is unexported, so calls NACK), the playing one is live.
+  harness.cluster().RunFor(Duration::Seconds(15));
+  EXPECT_EQ(harness.metrics().Get("mds.unplayed_reclaimed"), 1u);
+  auto live = MovieProxy(p.runtime(), played.result()->movie).Position();
+  auto gone = MovieProxy(p.runtime(), ghost.result()->movie).Position();
+  harness.cluster().RunFor(Duration::Seconds(3));
+  ASSERT_TRUE(live.is_ready() && live.result().ok())
+      << live.result().status();
+  ASSERT_TRUE(gone.is_ready());
+  EXPECT_FALSE(gone.result().ok());
+}
+
 }  // namespace
 }  // namespace itv::media

@@ -15,6 +15,7 @@
 #include "src/sim/cluster.h"
 #include "src/sim/scheduler.h"
 #include "src/svc/harness.h"
+#include "src/wire/shard_map.h"
 
 namespace itv::rpc {
 namespace {
@@ -73,6 +74,26 @@ TEST(ResolutionCacheTest, InvalidateTargetDropsAllPathsToEndpoint) {
   EXPECT_FALSE(cache.Lookup("svc/a").has_value());
   EXPECT_FALSE(cache.Lookup("svc/b").has_value());
   EXPECT_TRUE(cache.Lookup("svc/c").has_value());
+  EXPECT_EQ(cache.invalidations(), 2u);
+}
+
+TEST(ResolutionCacheTest, InvalidateTargetDropsSiblingShardMap) {
+  sim::Scheduler clock;
+  ResolutionCache cache(clock);
+  wire::ShardMap map{4, wire::kDefaultShardSalt};
+  cache.Insert(wire::ShardMapPath("svc/mms"), wire::EncodeShardMapRef(map));
+  cache.Insert("svc/mms/2", RefAt(1, 500));
+  cache.Insert("svc/mms/3", RefAt(2, 500));
+  cache.Insert("svc/other", RefAt(3, 500));
+  // A NACK from shard 2's dead primary drops that shard's entry AND the
+  // sibling ".shards" map: the map has a null endpoint, so it would never be
+  // target-invalidated on its own, yet trusting it after its publisher died
+  // is exactly the staleness max_age exists to bound.
+  cache.InvalidateTarget(RefAt(1, 500, 9));
+  EXPECT_FALSE(cache.Lookup("svc/mms/2").has_value());
+  EXPECT_FALSE(cache.Lookup(wire::ShardMapPath("svc/mms")).has_value());
+  EXPECT_TRUE(cache.Lookup("svc/mms/3").has_value());  // Other shards keep.
+  EXPECT_TRUE(cache.Lookup("svc/other").has_value());
   EXPECT_EQ(cache.invalidations(), 2u);
 }
 

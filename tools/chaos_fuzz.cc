@@ -13,8 +13,13 @@
 //
 // Usage:
 //   chaos_fuzz --seeds N [--seed-base B] [--out DIR] [--faults K]
-//              [--horizon SECONDS] [--no-shrink] [--single-primary] [--quiet]
+//              [--horizon SECONDS] [--shards N] [--no-shrink]
+//              [--single-primary] [--quiet]
 //   chaos_fuzz --seed S [--out DIR] ...
+//
+// --shards N deploys MMS and CMgr with N shards each (an mmsd replica on
+// every server so shard primaries spread); with --single-primary the
+// invariant then checks exactly-one-primary PER SHARD.
 //
 // Exit status: 0 if every seed passed, 1 otherwise.
 
@@ -113,6 +118,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--horizon") {
       options.horizon =
           Duration::Seconds(std::strtoll(next(), nullptr, 10));
+    } else if (arg == "--shards") {
+      uint32_t shards =
+          static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+      if (shards == 0) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
+        return 2;
+      }
+      options.mms_shards = shards;
+      options.cmgr_shards = shards;
     } else if (arg == "--no-shrink") {
       shrink = false;
     } else if (arg == "--single-primary") {

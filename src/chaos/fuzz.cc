@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <utility>
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/common/trace.h"
 #include "src/media/factories.h"
+#include "src/media/mms.h"
+#include "src/naming/name_client.h"
 #include "src/naming/name_server.h"
 #include "src/ras/ras_service.h"
 #include "src/ras/types.h"
@@ -70,6 +73,74 @@ bool RefPointsAtLiveProcess(sim::Cluster& cluster, const wire::ObjectRef& ref) {
   }
   sim::Process* process = cluster.ProcessAtEndpoint(ref.endpoint);
   return process != nullptr && process->incarnation() == ref.incarnation;
+}
+
+// Reshard convergence (ROADMAP "Shard rebalancing"): after the storm the
+// successor map must be the published one, every successor shard primary
+// must resolve from scratch, and the shard session tables must respect the
+// successor map's ownership — a shard holding a settop that hashes
+// elsewhere is a session the source never drained (or a double adoption),
+// and a viewer settop held by no shard is a session lost in the cutover.
+// Ownership, not a bare count: a viewer that replayed through a fault
+// window can legitimately leave an extra session on the OWNING shard until
+// reclamation, and that is a workload artifact, not a reshard bug.
+// Probed over RPC like a fresh client so the check sees what a settop sees.
+Status CheckReshardConverged(svc::ClusterHarness& harness,
+                             sim::Cluster& cluster, const wire::ShardMap& want,
+                             const std::vector<uint32_t>& viewer_hosts) {
+  sim::Process& probe = harness.SpawnProcessOn(0, "reshard-probe");
+  auto map_ref = harness.ClientFor(probe).Resolve(
+      wire::ShardMapPath(media::kMmsName));
+  cluster.RunFor(Duration::Seconds(5));
+  if (!map_ref.is_ready() || !map_ref.result().ok()) {
+    return UnavailableError("published shard map unresolvable after reshard");
+  }
+  if (!wire::IsShardMapRef(map_ref.result().value())) {
+    return InternalError("svc/mms/.shards is not a shard-map binding");
+  }
+  wire::ShardMap got = wire::DecodeShardMapRef(map_ref.result().value());
+  if (got != want) {
+    return InternalError(StrFormat(
+        "published map is v%u/%u shards, want v%u/%u", got.version,
+        got.shard_count, want.version, want.shard_count));
+  }
+  std::set<uint32_t> held;  // Settops with at least one session somewhere.
+  for (uint32_t shard = 0; shard < want.shard_count; ++shard) {
+    sim::Process& p = harness.SpawnProcessOn(
+        0, "reshard-probe-" + std::to_string(shard + 1));
+    auto ref = harness.ClientFor(p).Resolve(
+        wire::ShardPath(media::kMmsName, shard, want));
+    cluster.RunFor(Duration::Seconds(5));
+    if (!ref.is_ready() || !ref.result().ok()) {
+      return UnavailableError(StrFormat(
+          "shard %u primary unresolvable after reshard", shard + 1));
+    }
+    auto hosts =
+        media::MmsProxy(p.runtime(), ref.result().value()).ListSessionHosts();
+    cluster.RunFor(Duration::Seconds(5));
+    if (!hosts.is_ready() || !hosts.result().ok()) {
+      return UnavailableError(
+          StrFormat("shard %u holds no reachable session table", shard + 1));
+    }
+    for (uint32_t host : hosts.result().value()) {
+      uint32_t owner = wire::ShardOf(host, want);
+      if (owner != shard) {
+        return InternalError(StrFormat(
+            "shard %u still holds settop %u, owned by shard %u under map "
+            "v%u (source never drained, or double adoption)",
+            shard + 1, host, owner + 1, want.version));
+      }
+      held.insert(host);
+    }
+  }
+  for (uint32_t host : viewer_hosts) {
+    if (held.find(host) == held.end()) {
+      return InternalError(StrFormat(
+          "viewer settop %u has no session on any shard "
+          "(session lost during cutover)", host));
+    }
+  }
+  return OkStatus();
 }
 
 FuzzResult Run(uint64_t seed, const sim::ChaosPlan* replay,
@@ -148,6 +219,13 @@ FuzzResult Run(uint64_t seed, const sim::ChaosPlan* replay,
     vopts.mms_rebind.backoff_multiplier = 1.2;
     vopts.mms_rebind.backoff_jitter = 0.25;
     vopts.mms_rebind.jitter_seed = seed + i + 1;
+    // Finite budget, like BindingTable's defaults give every real client.
+    // Without it, an open routed under a stale shard map just before a
+    // shrink cutover retries resolves of the retired shard's path for
+    // minutes (the attempts are silent NOT_FOUNDs), wedging the viewer past
+    // the convergence window instead of surfacing an honest error the app
+    // recovers from.
+    vopts.mms_rebind.deadline = Duration::Seconds(30);
     auto* vod = p.Emplace<settop::VodApp>(p.runtime(), p.executor(),
                                           harness.ClientFor(p), vopts,
                                           &harness.metrics());
@@ -170,6 +248,47 @@ FuzzResult Run(uint64_t seed, const sim::ChaosPlan* replay,
                     cluster.Now().ToString().c_str(), i);
       return result;
     }
+  }
+
+  // --- Live reshard (optional) ------------------------------------------------
+  // The controller gets a node of its own that never enters the fault
+  // schedule (its host is not in spec.server_hosts or spec.settop_hosts):
+  // the storm is aimed at the services carrying out the cutover, not at the
+  // operator ordering it. `mms_map` tracks the map the run should converge
+  // on; the fresh-client probe and the reshard invariant both use it.
+  wire::ShardMap mms_map{options.mms_shards, wire::kDefaultShardSalt};
+  if (options.reshard_to > 0) {
+    wire::ShardMap successor = wire::NextShardMap(mms_map, options.reshard_to);
+    sim::Node& ctl_node = harness.AddSettop(1);
+    sim::Process& ctl = ctl_node.Spawn("reshard-ctl");
+    Duration at = options.reshard_at > Duration::Seconds(0)
+                      ? options.reshard_at
+                      : options.horizon / 2;
+    // Publish, then keep re-asserting every 10 s for the rest of the run:
+    // the name service is soft state, so a "publish succeeded" ack from a
+    // master that then loses a split-brain heal can be rolled back — a
+    // careful operator republishes until the CAS sticks, the same posture
+    // PrimaryBinder takes toward its binding. Idempotent once durable (the
+    // resolve finds an incumbent >= ours and stops there).
+    auto republish = std::make_shared<std::function<void()>>();
+    *republish = [&harness, &ctl, successor, republish] {
+      naming::PublishShardMap(
+          ctl.executor(), harness.ClientFor(ctl),
+          std::string(media::kMmsName), successor,
+          [](Result<wire::ShardMap> r) {
+            if (!r.ok()) {
+              ITV_LOG(Warn) << "reshard-ctl: publish failed: "
+                            << r.status().ToString();
+            } else {
+              ITV_LOG(Info) << "reshard-ctl: map v" << r->version << " ("
+                            << r->shard_count << " shards) is authoritative";
+            }
+          });
+      ctl.executor().ScheduleAfter(Duration::Seconds(10),
+                                   [republish] { (*republish)(); });
+    };
+    ctl.executor().ScheduleAfter(at, [republish] { (*republish)(); });
+    mms_map = successor;
   }
 
   // --- Schedule ---------------------------------------------------------------
@@ -258,11 +377,17 @@ FuzzResult Run(uint64_t seed, const sim::ChaosPlan* replay,
   {
     sim::Process& probe = harness.SpawnProcessOn(0, "fuzz-probe");
     // When sharded, probe a shard primary's path — the base is a context.
-    wire::ShardMap map{options.mms_shards, wire::kDefaultShardSalt};
+    // After a reshard this is a successor-map shard, so the probe also
+    // covers "a brand-new client routes by the new map".
     auto ref = harness.ClientFor(probe).Resolve(
-        wire::ShardPath("svc/mms", 0, map));
+        wire::ShardPath("svc/mms", 0, mms_map));
     cluster.RunFor(Duration::Seconds(5));
     probe_ok = ref.is_ready() && ref.result().ok();
+  }
+  Status reshard_status = OkStatus();
+  if (options.reshard_to > 0) {
+    reshard_status =
+        CheckReshardConverged(harness, cluster, mms_map, settop_hosts);
   }
 
   // --- Quiescent invariants (paper bound has elapsed) -------------------------
@@ -286,6 +411,12 @@ FuzzResult Run(uint64_t seed, const sim::ChaosPlan* replay,
     }
     return OkStatus();
   });
+  if (options.reshard_to > 0) {
+    monitor.AddQuiescent("reshard-convergence",
+                         [reshard_status]() -> Status {
+                           return reshard_status;
+                         });
+  }
   monitor.AddQuiescent("ras-reclamation", [&harness, &cluster]() -> Status {
     for (naming::NameServer* ns : harness.LiveNameServers()) {
       if (!ns->is_master()) {
@@ -355,6 +486,9 @@ FuzzResult Run(uint64_t seed, const sim::ChaosPlan* replay,
           std::vector<sim::PrimaryClaim> claims;
           for (auto& [path, lifecycles] : harness.LiveLifecycles()) {
             for (svc::ServiceLifecycle* lifecycle : lifecycles) {
+              if (lifecycle->role() == svc::ServiceRole::kStopped) {
+                continue;  // Retired by a shrink cutover; makes no claim.
+              }
               sim::PrimaryClaim claim;
               claim.service = path;
               claim.claimant =

@@ -25,6 +25,12 @@
 //                         distinct epochs.)
 //   cache-coherence       no viewer ResolutionCache entry young enough to be
 //                         served still points at a dead endpoint.
+//   reshard-convergence   (with reshard_to) the successor shard map is the
+//                         one published, every shard primary resolves, each
+//                         shard holds only settops it owns under the
+//                         successor map, and every viewer settop is held by
+//                         some shard — no session lost in the cutover, none
+//                         stranded on (or double-adopted from) a source.
 //   no-leaks              event-queue size is stable at teardown and process
 //                         accounting is consistent (no leaked timers or
 //                         zombie processes).
@@ -61,6 +67,18 @@ struct FuzzOptions {
   // lifecycle paths are per-shard, and the monitor groups by full path.
   uint32_t mms_shards = 1;
   uint32_t cmgr_shards = 1;
+
+  // Live reshard (ROADMAP "Shard rebalancing"): when nonzero, a controller on
+  // a node the schedule never targets publishes the successor MMS shard map
+  // with this count at `reshard_at` into the horizon (zero means
+  // mid-horizon). Scheduled faults then land before, during, and after the
+  // cutover — including kills of the very primaries that are draining — and
+  // quiescence additionally requires reshard-convergence (see above). The
+  // controller itself is exempt from faults: resharding mid-storm is the
+  // point, losing the operator's publish loop is not, and PublishShardMap
+  // already retries through NS fail-overs on its own.
+  uint32_t reshard_to = 0;
+  Duration reshard_at = Duration::Seconds(0);
 
   // Schedule shape (feeds sim::ChaosSpec; hosts and victim names are filled
   // from the booted topology).

@@ -85,7 +85,61 @@ void CmgrService::OnPromoted() {
   Count("cmgr.became_primary");
 }
 
+void CmgrService::AdoptShardMap(const wire::ShardMap& map) {
+  if (map.version <= options_.shard_map.version) {
+    return;  // Versions only move forward.
+  }
+  options_.shard_map = map;
+  HandoffMovedGrants();
+}
+
+void CmgrService::HandoffMovedGrants() {
+  if (!is_primary()) {
+    return;
+  }
+  std::vector<ConnectionGrant> moved;
+  for (const auto& [id, grant] : connections_) {
+    if (!OwnsSettop(grant.settop_host)) {
+      moved.push_back(grant);
+    }
+  }
+  for (const ConnectionGrant& grant : moved) {
+    uint32_t owner =
+        wire::ShardOf(grant.settop_host, options_.shard_map);
+    uint64_t id = grant.connection_id;
+    ITV_LOG(Info) << "cmgr nb " << int{options_.neighborhood} << " shard "
+                  << options_.shard_index + 1 << ": handing off connection "
+                  << id << " to shard " << owner + 1;
+    bindings_
+        .Bind<CmgrProxy>(
+            CmgrName(options_.neighborhood, owner, options_.shard_map))
+        .Call<void>(
+            [grant](const CmgrProxy& peer) {
+              return peer.ApplyReplica(1, grant);
+            },
+            [this, grant, id](Result<void> r) {
+              if (!r.ok()) {
+                // Keep custody; the next grant-audit sweep retries.
+                Count("cmgr.grant_handoff_failed");
+                return;
+              }
+              // Drop the local copy WITHOUT releasing the trunk reservation:
+              // the connection is still streaming, only its bookkeeper moved.
+              // (Not ApplyLocal(2): a handoff is not a release and must not
+              // show up in the settop's accounting as one.)
+              connections_.erase(id);
+              granted_at_.erase(id);
+              grant_misses_.erase(id);
+              PushToStandbys(2, grant);
+              Count("cmgr.grant_handoff");
+            });
+  }
+}
+
 void CmgrService::AuditGrants() {
+  // Retry any transfers that failed at adoption time (destination primary
+  // still electing, transient partition) before auditing what remains.
+  HandoffMovedGrants();
   if (!is_primary() || connections_.empty()) {
     return;
   }

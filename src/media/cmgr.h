@@ -238,6 +238,16 @@ class CmgrService : public rpc::Skeleton {
   // Promotion hook: the allocation table was kept hot by the primary's state
   // pushes, so there is nothing to recover — just log and count.
   void OnPromoted();
+
+  // Live reshard (ROADMAP "Shard rebalancing"): swap in a newer shard map and
+  // re-audit grants under it. A primary TRANSFERS each grant whose settop now
+  // hashes to another shard: it pushes the grant to the owning shard's
+  // primary (ApplyReplica, the same op a standby applies) and only then drops
+  // its local copy — the trunk reservation is never touched, because the
+  // connection itself lives on. Failed transfers keep local custody and are
+  // retried by every grant-audit sweep. Standbys just re-key; their tables
+  // drain through the primary's standby pushes.
+  void AdoptShardMap(const wire::ShardMap& map);
   void AttachLifecycle(const svc::ServiceLifecycle* lifecycle) {
     lifecycle_ = lifecycle;
   }
@@ -269,6 +279,13 @@ class CmgrService : public rpc::Skeleton {
   // `grant_misses_to_reclaim` consecutive sweeps.
   void AuditGrants();
   void ReclaimUnclaimed(const std::map<uint32_t, std::set<uint64_t>>& claimed);
+  // Transfers grants this shard no longer owns to the owning shard's primary
+  // (erase-on-ack). No-op when not primary or nothing moved.
+  void HandoffMovedGrants();
+  bool OwnsSettop(uint32_t settop_host) const {
+    return wire::ShardOf(settop_host, options_.shard_map) ==
+           options_.shard_index;
+  }
   void Count(std::string_view name);
 
   rpc::ObjectRuntime& runtime_;

@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/media/cmgr.h"
+#include "src/svc/shard_host.h"
 
 namespace itv::media {
 
@@ -29,23 +30,6 @@ size_t ServerIndexOf(svc::ClusterHarness& harness, uint32_t host) {
   }
   ITV_LOG(Fatal) << "not a server host: " << host;
   return 0;
-}
-
-std::string ShardLabel(uint32_t shard, const wire::ShardMap& map) {
-  return "shard=" + std::to_string(shard + 1) + "/" +
-         std::to_string(map.shard_count);
-}
-
-// Election stagger for one shard's lifecycle on the replica with rank
-// `rank` out of `replicas`: the preferred replica (round-robin by shard)
-// contests immediately, everyone else waits, so the opening elections place
-// one primary per replica instead of all N shards on the fastest booter.
-Duration StaggerFor(uint32_t shard, size_t rank, size_t replicas,
-                    const wire::ShardMap& map, Duration stagger) {
-  if (!map.sharded() || replicas <= 1) {
-    return Duration();
-  }
-  return rank == shard % replicas ? Duration() : stagger;
 }
 
 }  // namespace
@@ -112,48 +96,49 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
     harness.RegisterServiceType(
         "cmgrd-" + std::to_string(nb),
         [nb, deployment, servers](const svc::ServiceContext& ctx) {
-          wire::ShardMap map{deployment.cmgr_shards, deployment.shard_salt};
           // cmgrd replicas sit on the neighborhood's home server (rank 0)
           // and the next one (rank 1); see the placement block below.
           uint32_t home = ctx.harness.ServerHostForNeighborhood(nb);
-          size_t rank = ctx.process.host() == home ? 0 : 1;
-          size_t replicas = servers > 1 ? 2 : 1;
-          if (map.sharded()) {
-            naming::PublishShardMap(ctx.process.executor(),
-                                    ctx.MakeNameClient(), CmgrName(nb), map,
-                                    [](Status) {});
-          }
-          for (uint32_t shard = 0; shard < map.shard_count; ++shard) {
-            CmgrService::Options opts;
-            opts.neighborhood = nb;
-            opts.shard_index = shard;
-            opts.shard_map = map;
-            auto* cmgr = ctx.process.Emplace<CmgrService>(
-                ctx.process.runtime(), ctx.process.executor(),
-                ctx.MakeNameClient(), opts, ctx.metrics);
-            cmgr->Start();
-            // Every replica registers under the (per-shard) standby context
-            // — a single-claimant binding the replica always wins — so the
-            // shard's primary can find push targets...
-            PublishService(ctx,
-                           CmgrStandbyContext(nb, shard, map) + "/" +
-                               std::to_string(ctx.process.host()),
-                           cmgr->ref());
-            // ...and contests the shard's primary binding. No recover hook:
-            // the primary's state pushes keep every standby's allocation
-            // table hot (Section 10.1.1).
-            svc::ServiceLifecycle::Hooks hooks;
-            hooks.on_promoted = [cmgr] { cmgr->OnPromoted(); };
-            svc::ServiceLifecycle::Options lifecycle_opts;
-            if (map.sharded()) {
-              lifecycle_opts.shard_label = ShardLabel(shard, map);
-              lifecycle_opts.binder.first_bind_delay = StaggerFor(
-                  shard, rank, replicas, map, deployment.shard_stagger);
-            }
-            cmgr->AttachLifecycle(
-                ctx.StartLifecycle(CmgrName(nb, shard, map), cmgr->ref(),
-                                   std::move(hooks), lifecycle_opts));
-          }
+          svc::ShardHost::Options host_opts;
+          host_opts.rank = ctx.process.host() == home ? 0 : 1;
+          host_opts.replicas = servers > 1 ? 2 : 1;
+          host_opts.stagger = deployment.shard_stagger;
+          host_opts.poll = deployment.shard_map_poll;
+          auto* shard_host = ctx.process.Emplace<svc::ShardHost>(
+              ctx, CmgrName(nb), host_opts,
+              [ctx, nb](uint32_t shard, const wire::ShardMap& map) {
+                CmgrService::Options opts;
+                opts.neighborhood = nb;
+                opts.shard_index = shard;
+                opts.shard_map = map;
+                auto* cmgr = ctx.process.Emplace<CmgrService>(
+                    ctx.process.runtime(), ctx.process.executor(),
+                    ctx.MakeNameClient(), opts, ctx.metrics);
+                cmgr->Start();
+                // Every replica registers under the (per-shard) standby
+                // context — a single-claimant binding the replica always
+                // wins — so the shard's primary can find push targets...
+                PublishService(ctx,
+                               CmgrStandbyContext(nb, shard, map) + "/" +
+                                   std::to_string(ctx.process.host()),
+                               cmgr->ref());
+                // ...and contests the shard's primary binding (ShardHost
+                // starts that lifecycle). No recover hook: the primary's
+                // state pushes keep every standby's allocation table hot
+                // (Section 10.1.1).
+                svc::ShardHost::Shard hosted;
+                hosted.ref = cmgr->ref();
+                hosted.hooks.on_promoted = [cmgr] { cmgr->OnPromoted(); };
+                hosted.attach = [cmgr](svc::ServiceLifecycle* lifecycle) {
+                  cmgr->AttachLifecycle(lifecycle);
+                };
+                hosted.adopt_map = [cmgr](const wire::ShardMap& next) {
+                  cmgr->AdoptShardMap(next);
+                };
+                return hosted;
+              });
+          shard_host->Start(
+              wire::ShardMap{deployment.cmgr_shards, deployment.shard_salt});
         });
   }
 
@@ -177,45 +162,45 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
       std::min(servers, std::max<size_t>(deployment.mms_replicas, 1));
   harness.RegisterServiceType("mmsd", [deployment, mms_replica_count](
                                           const svc::ServiceContext& ctx) {
-    wire::ShardMap map{deployment.mms_shards, deployment.shard_salt};
-    size_t rank = ServerIndexOf(ctx.harness, ctx.process.host());
-    if (map.sharded()) {
-      // Every replica publishes the same immutable map; first-bind-wins
-      // makes this idempotent across replicas and restarts.
-      naming::PublishShardMap(ctx.process.executor(), ctx.MakeNameClient(),
-                              std::string(kMmsName), map, [](Status) {});
-    }
-    for (uint32_t shard = 0; shard < map.shard_count; ++shard) {
-      MmsService::Options mms_opts = deployment.mms;
-      mms_opts.shard_index = shard;
-      mms_opts.shard_map = map;
-      auto* mms = ctx.process.Emplace<MmsService>(
-          ctx.process.runtime(), ctx.process.executor(), ctx.MakeNameClient(),
-          mms_opts, ctx.metrics);
-      mms->Start();
-      // The MMS is the showcase warm-standby service: backups pre-adopt
-      // sessions passively on a timer, and promotion's recover hook registers
-      // the RAS watches before the role turns primary.
-      svc::ServiceLifecycle::Hooks hooks;
-      hooks.ready_objects = {mms->ref()};
-      hooks.recover = [mms](std::function<void(Status)> done) {
-        mms->RecoverState(std::move(done));
-      };
-      hooks.warm_standby = [mms](std::function<void(Status)> done) {
-        mms->WarmStandby(std::move(done));
-      };
-      hooks.on_promoted = [mms] { mms->OnPromoted(); };
-      hooks.on_demoted = [mms] { mms->OnDemotedRole(); };
-      svc::ServiceLifecycle::Options lifecycle_opts;
-      if (map.sharded()) {
-        lifecycle_opts.shard_label = ShardLabel(shard, map);
-        lifecycle_opts.binder.first_bind_delay = StaggerFor(
-            shard, rank, mms_replica_count, map, deployment.shard_stagger);
-      }
-      mms->AttachLifecycle(
-          ctx.StartLifecycle(wire::ShardPath(kMmsName, shard, map), mms->ref(),
-                             std::move(hooks), lifecycle_opts));
-    }
+    svc::ShardHost::Options host_opts;
+    host_opts.rank = ServerIndexOf(ctx.harness, ctx.process.host());
+    host_opts.replicas = mms_replica_count;
+    host_opts.stagger = deployment.shard_stagger;
+    host_opts.poll = deployment.shard_map_poll;
+    auto* shard_host = ctx.process.Emplace<svc::ShardHost>(
+        ctx, std::string(kMmsName), host_opts,
+        [ctx, deployment](uint32_t shard, const wire::ShardMap& map) {
+          MmsService::Options mms_opts = deployment.mms;
+          mms_opts.shard_index = shard;
+          mms_opts.shard_map = map;
+          auto* mms = ctx.process.Emplace<MmsService>(
+              ctx.process.runtime(), ctx.process.executor(),
+              ctx.MakeNameClient(), mms_opts, ctx.metrics);
+          mms->Start();
+          // The MMS is the showcase warm-standby service: backups pre-adopt
+          // sessions passively on a timer, and promotion's recover hook
+          // registers the RAS watches before the role turns primary.
+          svc::ShardHost::Shard hosted;
+          hosted.ref = mms->ref();
+          hosted.hooks.ready_objects = {mms->ref()};
+          hosted.hooks.recover = [mms](std::function<void(Status)> done) {
+            mms->RecoverState(std::move(done));
+          };
+          hosted.hooks.warm_standby = [mms](std::function<void(Status)> done) {
+            mms->WarmStandby(std::move(done));
+          };
+          hosted.hooks.on_promoted = [mms] { mms->OnPromoted(); };
+          hosted.hooks.on_demoted = [mms] { mms->OnDemotedRole(); };
+          hosted.attach = [mms](svc::ServiceLifecycle* lifecycle) {
+            mms->AttachLifecycle(lifecycle);
+          };
+          hosted.adopt_map = [mms](const wire::ShardMap& next) {
+            mms->AdoptShardMap(next);
+          };
+          return hosted;
+        });
+    shard_host->Start(
+        wire::ShardMap{deployment.mms_shards, deployment.shard_salt});
   });
 
   // --- Kernel broadcast (primary/backup source of the settop kernel) -------------

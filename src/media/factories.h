@@ -68,6 +68,10 @@ struct MediaDeployment {
   // and wins the opening election, so shard primaries start spread instead
   // of piling onto whichever process booted first.
   Duration shard_stagger = Duration::Seconds(3);
+  // How often each replica's ShardHost re-reads "<base>/.shards" for a newer
+  // map version (live rebalancing). Bounds the server side of the cutover
+  // window.
+  Duration shard_map_poll = Duration::Seconds(5);
 };
 
 // Must be called before harness.Boot().

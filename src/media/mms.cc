@@ -35,6 +35,9 @@ void MmsService::Start() {
   refresh_timer_.Start(executor_, options_.mds_refresh_interval, [this] {
     RefreshMdsDirectory();
     if (is_primary()) {
+      // Sessions opened here by stale-map clients during a reshard cutover
+      // (wrong-shard opens) migrate to the owning shard on the next tick.
+      DrainMovedSessions();
       // Re-adopt sessions the MDSes hold that this primary does not know
       // about — opens whose ticket reply was lost mid-flight. Promotion-time
       // recovery only covers orphans created before THIS tenure; these are
@@ -70,6 +73,49 @@ void MmsService::OnDemotedRole() {
       session.watch = 0;
     }
   }
+}
+
+// --- Live reshard -------------------------------------------------------------
+
+void MmsService::AdoptShardMap(const wire::ShardMap& map) {
+  if (map.version <= options_.shard_map.version) {
+    return;  // Versions only move forward (mirrors the router's adoption).
+  }
+  options_.shard_map = map;
+  size_t moved = DrainMovedSessions();
+  ITV_LOG(Info) << "mms@" << runtime_.local_endpoint().ToString() << " shard "
+                << options_.shard_index + 1 << ": adopted map v" << map.version
+                << " (" << map.shard_count << " shards), handed off " << moved
+                << " sessions";
+  if (is_primary()) {
+    // Pull sessions that moved TO this shard without waiting for the refresh
+    // tick: their MDS streams are live and the source shard has already
+    // stopped watching them.
+    RebuildStateFromMds(/*register_watches=*/true, nullptr);
+  }
+}
+
+size_t MmsService::DrainMovedSessions() {
+  std::vector<uint64_t> moved;
+  for (const auto& [id, session] : sessions_) {
+    if (!OwnsSettop(session.settop_host)) {
+      moved.push_back(id);
+    }
+  }
+  for (uint64_t id : moved) {
+    auto it = sessions_.find(id);
+    // Hand off, do not reclaim: the watch drops and the entry leaves the
+    // table, but the MDS stream keeps playing and the connection grant stays
+    // held for the destination shard's primary to adopt. Backups dropping
+    // their prewarmed copies count separately — only the primary's drain is
+    // a session changing owners.
+    if (it->second.watch != 0) {
+      audit_->Unwatch(it->second.watch);
+    }
+    sessions_.erase(it);
+    Count(is_primary() ? "mms.session_handoff" : "mms.session_handoff_passive");
+  }
+  return moved.size();
 }
 
 // --- MDS directory -------------------------------------------------------------
@@ -176,9 +222,11 @@ void MmsService::HandleOpen(const std::string& title, uint32_t settop_host,
                            InvalidArgumentError("open requires a settop host"));
   }
   if (!OwnsSettop(settop_host)) {
-    // Served anyway (the map is immutable, so this only happens to clients
-    // bypassing the shard router), but counted: a nonzero rate means some
-    // client routes with the wrong map or salt.
+    // Served anyway: during a reshard cutover clients route by maps up to
+    // map_max_age stale, so wrong-shard opens are expected for a window. The
+    // refresh tick hands the session off to the owning shard (drain below);
+    // outside a cutover a nonzero rate means some client routes with the
+    // wrong map or salt.
     Count("mms.open_wrong_shard");
   }
   bool saw_title = false;
@@ -222,6 +270,9 @@ void MmsService::TryOpenOn(std::vector<MdsReplica*> candidates, size_t index,
            sink, reply, replica](Result<ConnectionGrant> grant) mutable {
             if (!grant.ok()) {
               Count("mms.cmgr_denied");
+              ITV_LOG(Info) << "mms: open '" << title << "' for settop "
+                            << settop_host << ": cmgr allocate failed: "
+                            << grant.status().ToString();
               return rpc::ReplyError(reply, grant.status());
             }
             FinishOpen(replica, title, settop_host, sink, *grant,
@@ -514,6 +565,14 @@ void MmsService::Dispatch(uint32_t method_id, const wire::Bytes& args,
     }
     case kMmsMethodListSessions:
       return rpc::ReplyWith(reply, static_cast<uint32_t>(sessions_.size()));
+    case kMmsMethodListSessionHosts: {
+      std::vector<uint32_t> hosts;
+      hosts.reserve(sessions_.size());
+      for (const auto& [id, session] : sessions_) {
+        hosts.push_back(session.settop_host);
+      }
+      return rpc::ReplyWith(reply, hosts);
+    }
     default:
       return rpc::ReplyBadMethod(reply, method_id);
   }

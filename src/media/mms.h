@@ -49,6 +49,7 @@ enum MmsMethod : uint32_t {
   kMmsMethodOpen = 1,
   kMmsMethodClose = 2,
   kMmsMethodListSessions = 3,
+  kMmsMethodListSessionHosts = 4,
 };
 
 struct MmsTicket {
@@ -92,6 +93,15 @@ class MmsProxy : public rpc::Proxy {
   Future<uint32_t> ListSessions() const {  // Returns the session count.
     return rpc::DecodeReply<uint32_t>(Call(kMmsMethodListSessions, {}));
   }
+  // Settop host of every session in the table (one entry per session, so a
+  // settop with two sessions appears twice). Lets an auditor check shard
+  // ownership — each settop must be held by exactly the shard its host
+  // hashes to — without tolerating false positives from workload artifacts
+  // the way a bare count comparison would.
+  Future<std::vector<uint32_t>> ListSessionHosts() const {
+    return rpc::DecodeReply<std::vector<uint32_t>>(
+        Call(kMmsMethodListSessionHosts, {}));
+  }
 };
 
 class MmsService : public rpc::Skeleton {
@@ -107,7 +117,9 @@ class MmsService : public rpc::Skeleton {
     // Shard this instance serves. With a sharded map, fail-over adoption
     // only claims sessions whose settop hashes to this shard — the other
     // shards' primaries own the rest (ROADMAP "Service resharding"). The
-    // default (1 shard) is the classic whole-service MMS.
+    // default (1 shard) is the classic whole-service MMS. The map is NOT
+    // fixed for the service's lifetime: a live reshard swaps it through
+    // AdoptShardMap below.
     uint32_t shard_index = 0;
     wire::ShardMap shard_map;
   };
@@ -132,6 +144,15 @@ class MmsService : public rpc::Skeleton {
   void WarmStandby(std::function<void(Status)> done);
   void OnPromoted();
   void OnDemotedRole();
+
+  // Live reshard (ROADMAP "Shard rebalancing"): swap in a newer shard map.
+  // Sessions whose settop no longer hashes to this shard are HANDED OFF, not
+  // closed: their RAS watches drop and they leave the local table, but the
+  // MDS stream keeps playing and the connection grant stays held — the
+  // destination shard's primary adopts the still-live session from the MDS
+  // through the same rebuild path a promoted standby uses. A primary then
+  // immediately rebuilds to pull in sessions that moved TO this shard.
+  void AdoptShardMap(const wire::ShardMap& map);
   void AttachLifecycle(const svc::ServiceLifecycle* lifecycle) {
     lifecycle_ = lifecycle;
   }
@@ -194,6 +215,11 @@ class MmsService : public rpc::Skeleton {
   void AdoptSessions(const std::string& mds_name, const wire::ObjectRef& mds_ref,
                      const std::vector<SessionInfo>& sessions,
                      bool register_watches);
+
+  // Drops every session this shard no longer owns under the current map
+  // (watch removed, table entry erased, MDS stream and grant untouched).
+  // Returns the number handed off.
+  size_t DrainMovedSessions();
 
   rpc::ShardedClient<CmgrProxy> CmgrFor(uint8_t neighborhood);
   bool OwnsSettop(uint32_t settop_host) const {

@@ -46,35 +46,108 @@ void EnsureContextPath(Executor& executor, NameClient client,
 
 namespace {
 
+using PublishDone = std::function<void(Result<wire::ShardMap>)>;
+
 void PublishShardMapStep(Executor& executor, NameClient client,
                          std::string base, wire::ShardMap map,
-                         std::function<void(Status)> done, Duration retry,
-                         int attempts_left) {
+                         PublishDone done, Duration retry, int attempts_left);
+
+void RetryPublish(Executor& executor, NameClient client, std::string base,
+                  wire::ShardMap map, PublishDone done,
+                  const Status& terminal, Duration retry, int attempts_left) {
+  if (attempts_left <= 1) {
+    done(Result<wire::ShardMap>(terminal));
+    return;
+  }
+  executor.ScheduleAfter(retry, [&executor, client, base, map, done, retry,
+                                 attempts_left] {
+    PublishShardMapStep(executor, client, base, map, done, retry,
+                        attempts_left - 1);
+  });
+}
+
+// The CAS core, entered once the parent context exists. The name server has
+// no in-place rebind: a version bump is resolve -> unbind -> bind, and a
+// lost race at any step re-resolves and re-evaluates (the winner always
+// carries a version >= ours, so the loop terminates).
+void SwapShardMap(Executor& executor, NameClient client, std::string base,
+                  wire::ShardMap map, PublishDone done, Duration retry,
+                  int attempts_left) {
+  // Resolve through the master path, not the process resolution cache: a
+  // cached pre-reshard map would make the CAS spin on stale evidence.
+  NamingContextProxy root(client.runtime(), client.root());
+  root.Resolve(SplitPath(wire::ShardMapPath(base)))
+      .OnReady([&executor, client, base, map, done, retry,
+                attempts_left](const Result<wire::ObjectRef>& r) {
+        if (r.ok() && wire::IsShardMapRef(*r)) {
+          wire::ShardMap incumbent = wire::DecodeShardMapRef(*r);
+          if (incumbent.version >= map.version) {
+            // A newer (or identical) map already won; adopt it.
+            done(Result<wire::ShardMap>(incumbent));
+            return;
+          }
+          // Ours is the successor: swap the binding. If another publisher
+          // swaps first our Bind loses with ALREADY_EXISTS and the retry
+          // re-resolves what won.
+          client.Unbind(wire::ShardMapPath(base))
+              .OnReady([&executor, client, base, map, done, retry,
+                        attempts_left](const Result<void>& unbound) {
+                if (!unbound.ok() && !IsNotFound(unbound.status())) {
+                  RetryPublish(executor, client, base, map, done,
+                               unbound.status(), retry, attempts_left);
+                  return;
+                }
+                SwapShardMap(executor, client, base, map, done, retry,
+                             attempts_left);
+              });
+          return;
+        }
+        if (r.ok()) {
+          // A foreign (non-map) binding occupies ".shards": configuration
+          // error, not a race — do not fight over it.
+          done(Result<wire::ShardMap>(
+              FailedPreconditionError(wire::ShardMapPath(base) +
+                                      " is bound to a non-shard-map object")));
+          return;
+        }
+        if (!IsNotFound(r.status())) {
+          RetryPublish(executor, client, base, map, done, r.status(), retry,
+                       attempts_left);
+          return;
+        }
+        // No incumbent: first publication (or we interleaved with another
+        // publisher's unbind+bind window). Bind; ALREADY_EXISTS means a race
+        // we lost, so loop back to the resolve to see who won.
+        client.Bind(wire::ShardMapPath(base), wire::EncodeShardMapRef(map))
+            .OnReady([&executor, client, base, map, done, retry,
+                      attempts_left](const Result<void>& bound) {
+              if (bound.ok()) {
+                done(Result<wire::ShardMap>(map));
+                return;
+              }
+              if (IsAlreadyExists(bound.status())) {
+                SwapShardMap(executor, client, base, map, done, retry,
+                             attempts_left);
+                return;
+              }
+              RetryPublish(executor, client, base, map, done, bound.status(),
+                           retry, attempts_left);
+            });
+      });
+}
+
+void PublishShardMapStep(Executor& executor, NameClient client,
+                         std::string base, wire::ShardMap map,
+                         PublishDone done, Duration retry, int attempts_left) {
   EnsureContextPath(
       executor, client, base,
       [&executor, client, base, map, done, retry,
        attempts_left](Status ensured) {
         if (!ensured.ok()) {
-          done(ensured);
+          done(Result<wire::ShardMap>(ensured));
           return;
         }
-        client.Bind(wire::ShardMapPath(base), wire::EncodeShardMapRef(map))
-            .OnReady([&executor, client, base, map, done, retry,
-                      attempts_left](const Result<void>& r) {
-              if (r.ok() || IsAlreadyExists(r.status())) {
-                done(OkStatus());
-                return;
-              }
-              if (attempts_left <= 1) {
-                done(r.status());
-                return;
-              }
-              executor.ScheduleAfter(retry, [&executor, client, base, map,
-                                             done, retry, attempts_left] {
-                PublishShardMapStep(executor, client, base, map, done, retry,
-                                    attempts_left - 1);
-              });
-            });
+        SwapShardMap(executor, client, base, map, done, retry, attempts_left);
       },
       retry, attempts_left);
 }
@@ -83,8 +156,8 @@ void PublishShardMapStep(Executor& executor, NameClient client,
 
 void PublishShardMap(Executor& executor, NameClient client,
                      const std::string& base, const wire::ShardMap& map,
-                     std::function<void(Status)> done, Duration retry,
-                     int max_attempts) {
+                     std::function<void(Result<wire::ShardMap>)> done,
+                     Duration retry, int max_attempts) {
   PublishShardMapStep(executor, std::move(client), base, map, std::move(done),
                       retry, max_attempts);
 }

@@ -145,14 +145,25 @@ void EnsureContextPath(Executor& executor, NameClient client,
                        int max_attempts = 100);
 
 // Publishes a shard map for the sharded service rooted at `base`: ensures
-// `base` exists as a context, then binds wire::EncodeShardMapRef(map) at
-// "<base>/.shards". ALREADY_EXISTS is success — the map is immutable and
-// every replica publishes the same value, so first-bind-wins makes the
-// publication idempotent across replicas and restarts. Retries on transient
-// errors like EnsureContextPath.
+// `base` exists as a context, then installs wire::EncodeShardMapRef(map) at
+// "<base>/.shards" under a versioned compare-and-swap:
+//
+//   - no existing binding          -> bind `map` (first publication)
+//   - existing version >= map's    -> success, report the WINNING map
+//                                     (idempotent republish by a replica, or
+//                                     a restarted replica racing a reshard
+//                                     that already moved past it)
+//   - existing version <  map's    -> unbind + bind the successor; a lost
+//                                     race re-resolves and re-evaluates
+//
+// so concurrent publishers converge on the highest version and a reshard
+// can never be undone by a replica restarting with the deployment's initial
+// map. `done` receives the map that ended up authoritative (the argument,
+// or the newer incumbent). Retries on transient errors like
+// EnsureContextPath.
 void PublishShardMap(Executor& executor, NameClient client,
                      const std::string& base, const wire::ShardMap& map,
-                     std::function<void(Status)> done,
+                     std::function<void(Result<wire::ShardMap>)> done,
                      Duration retry = Duration::Seconds(2),
                      int max_attempts = 100);
 

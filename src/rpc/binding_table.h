@@ -32,6 +32,7 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "src/common/future.h"
 #include "src/rpc/rebinder.h"
@@ -229,7 +230,34 @@ class BindingTable {
     return it == bindings_.end() ? nullptr : it->second.get();
   }
 
+  // Retires the binding for `path`: the entry leaves the table (a later Get
+  // creates a fresh binding) but the Binding object is kept alive, parked on
+  // a retired list, for the table's lifetime. Callers hold `Binding&` across
+  // async calls and the Rebinder's backoff timers capture `this`, so
+  // destroying a binding with traffic potentially in flight would dangle;
+  // parking costs one invalidated, never-again-routed entry instead. Used by
+  // the shard router when a map version retires shards (a shrink), so a
+  // retired shard's cached primary reference can never serve another call.
+  // In-flight calls on the binding fail fast with FAILED_PRECONDITION at
+  // their next attempt (Rebinder::Retire) rather than spinning through
+  // resolve retries against a name the cutover unbound for good.
+  // Returns true if `path` had a binding.
+  bool Retire(std::string_view path) {
+    auto it = bindings_.find(path);
+    if (it == bindings_.end()) {
+      return false;
+    }
+    it->second->rebinder().Retire();
+    retired_.push_back(std::move(it->second));
+    bindings_.erase(it);
+    if (Metrics* m = runtime_.metrics()) {
+      m->Add("rebind.retired");
+    }
+    return true;
+  }
+
   size_t size() const { return bindings_.size(); }
+  size_t retired_count() const { return retired_.size(); }
 
   // Lookups issued / coalesced across all bindings in this table.
   uint64_t total_rebinds() const {
@@ -266,6 +294,9 @@ class BindingTable {
   PathResolver resolver_;
   BindingOptions default_options_;
   std::map<std::string, std::unique_ptr<Binding>, std::less<>> bindings_;
+  // Bindings removed by Retire(); kept alive (addresses are part of the
+  // table's contract) but unreachable through Get/Find.
+  std::vector<std::unique_ptr<Binding>> retired_;
 };
 
 }  // namespace itv::rpc

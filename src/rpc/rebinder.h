@@ -96,6 +96,17 @@ class Rebinder {
   void Invalidate() { ref_.reset(); }
   void Prime(wire::ObjectRef ref) { ref_ = ref; }
 
+  // Marks the binding permanently dead: the name is gone for good (a shard
+  // retired by a shrink cutover), not failing over. In-flight operations
+  // fail FAILED_PRECONDITION at their next attempt instead of spinning
+  // through resolve retries against a name that will never bind again; new
+  // calls fail immediately. Irreversible.
+  void Retire() {
+    retired_ = true;
+    ref_.reset();
+  }
+  bool retired() const { return retired_; }
+
   // Enables causal tracing of rebind activity: operations initiated under a
   // traced context get `rebind.resolve` spans and `rebind.attempt` instants
   // tagged with `label` (normally the binding path). Untraced operations
@@ -147,6 +158,12 @@ class Rebinder {
                trace::TraceContext op,
                std::function<Future<T>(const wire::ObjectRef&)> call,
                std::function<void(Result<T>)> done) {
+    if (retired_) {
+      // Terminal, not transient: retrying a resolve here would wait on a
+      // name the cutover removed for good.
+      done(FailedPreconditionError("binding retired by shard cutover"));
+      return;
+    }
     WithRef(op, [this, attempt, backoff, deadline, op, call,
                  done](Result<wire::ObjectRef> ref) mutable {
       if (!ref.ok()) {
@@ -270,6 +287,7 @@ class Rebinder {
   trace::Tracer* tracer_ = nullptr;
   std::string trace_label_;
   Rng rng_;
+  bool retired_ = false;
   std::optional<wire::ObjectRef> ref_;
   std::vector<std::function<void(Result<wire::ObjectRef>)>> resolve_waiters_;
   uint64_t rebind_count_ = 0;

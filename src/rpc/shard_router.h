@@ -16,10 +16,25 @@
 // base: concurrent routes during a fetch queue behind it. Unsharded services
 // need no special-casing — the ".shards" lookup comes back NOT_FOUND, the
 // router caches "1 shard" and routes to the base path itself, so callers can
-// adopt the router unconditionally. Shard maps are immutable for a
-// deployment's lifetime, so serving a stale map on a transient fetch failure
-// is always correct; the fallback only matters while the name service is
-// unreachable.
+// adopt the router unconditionally.
+//
+// Versioned adoption (ROADMAP "Shard rebalancing"): maps carry a version and
+// the router adopts them MONOTONICALLY. A re-fetch that returns a lower
+// version than the cached one (a lagging name-service replica re-serving the
+// pre-reshard map) is ignored — the cached map keeps serving and stays
+// expired so the next route retries. A higher version is a live cutover:
+// the router swaps maps atomically between routes (a key that moves shards
+// simply hashes into the new shard path from the next dispatch on) and, when
+// the shard count SHRANK, retires the BindingTable entries of the dropped
+// shards so a retired shard's cached primary reference can never serve
+// another call. Serving the last adopted map on a transient fetch failure is
+// always safe: the worst case is routing one more call to a source shard
+// that is still draining, which serves it like any pre-cutover call.
+//
+// A NOT_FOUND after a sharded map has been adopted is also treated as
+// transient: the versioned publish swaps the ".shards" binding with an
+// unbind+bind pair, so a resolve can land in the gap. Flipping to unsharded
+// there would hash every key to the base path mid-cutover.
 //
 // Staleness: the router subscribes to the runtime's stale-target
 // notifications (the same channel the ResolutionCache uses) and expires its
@@ -121,7 +136,18 @@ class ShardRouter {
     return it->second.map;
   }
 
+  // Version of the adopted map for `base` (0 before any fetch completes).
+  // Benches and tests use this to assert cutover convergence.
+  uint32_t AdoptedVersion(const std::string& base) const {
+    auto it = maps_.find(base);
+    return it != maps_.end() && it->second.valid ? it->second.map.version : 0;
+  }
+
   uint64_t map_reloads() const { return map_reloads_; }
+  // Live cutovers performed (map adopted with a version above the cached
+  // one) and retired-shard bindings purged across them.
+  uint64_t map_cutovers() const { return map_cutovers_; }
+  uint64_t shards_retired() const { return shards_retired_; }
 
  private:
   struct MapEntry {
@@ -144,11 +170,10 @@ class ShardRouter {
     MapEntry& entry = maps_[base];
     entry.fetching = false;
     if (r.ok() && wire::IsShardMapRef(*r)) {
-      entry.map = wire::DecodeShardMapRef(*r);
-      entry.valid = true;
-      entry.expired = false;
-      entry.fetched = table_.runtime().executor().Now();
-    } else if (r.ok() || IsNotFound(r.status())) {
+      Adopt(base, entry, wire::DecodeShardMapRef(*r));
+    } else if (r.ok() ||
+               (IsNotFound(r.status()) &&
+                !(entry.valid && entry.map.sharded()))) {
       // No ".shards" binding (or a foreign one): the service is unsharded.
       // Cache that — the lookup cost is one resolve per max_age.
       entry.map = wire::ShardMap{};
@@ -156,9 +181,11 @@ class ShardRouter {
       entry.expired = false;
       entry.fetched = table_.runtime().executor().Now();
     } else {
-      // Transient (name service unreachable). Maps are immutable, so the
-      // last known value is still correct — serve it but stay expired so
-      // the next route retries the fetch. With no known value yet, route
+      // Transient: the name service is unreachable, or a known-sharded
+      // service answered NOT_FOUND — which is the versioned publish's
+      // unbind+bind gap, not evidence the service went unsharded. The last
+      // adopted map is still routable — serve it but stay expired so the
+      // next route retries the fetch. With no known value yet, route
       // unsharded without caching; the per-path binding will surface the
       // real error to the caller.
       Count("shard.map.fetch_fail");
@@ -170,6 +197,36 @@ class ShardRouter {
     for (auto& waiter : waiters) waiter(map);
   }
 
+  // Monotonic adoption of a fetched map. Equal or first-seen versions just
+  // refresh the entry; a higher version is a live cutover (purge bindings of
+  // shards the new map dropped); a lower version is a lagging name-service
+  // replica and is ignored, keeping the entry expired so the next route
+  // re-fetches until the replicas converge.
+  void Adopt(const std::string& base, MapEntry& entry, wire::ShardMap fetched) {
+    if (entry.valid && fetched.version < entry.map.version) {
+      Count("shard.map.stale_version");
+      return;
+    }
+    if (entry.valid && fetched.version > entry.map.version) {
+      Count("shard.map.cutover");
+      ++map_cutovers_;
+      // Shrink: shards >= the new count no longer exist under any map.
+      // Their (service, shard) bindings would otherwise keep a cached
+      // primary reference forever — retire them now, at adoption.
+      for (uint32_t shard = fetched.shard_count;
+           shard < entry.map.shard_count; ++shard) {
+        if (table_.Retire(wire::ShardPath(base, shard))) {
+          Count("shard.binding.retired");
+          ++shards_retired_;
+        }
+      }
+    }
+    entry.map = fetched;
+    entry.valid = true;
+    entry.expired = false;
+    entry.fetched = table_.runtime().executor().Now();
+  }
+
   void Count(std::string_view counter) {
     if (Metrics* m = table_.runtime().metrics()) m->Add(counter);
   }
@@ -178,6 +235,8 @@ class ShardRouter {
   Options options_;
   std::map<std::string, MapEntry> maps_;
   uint64_t map_reloads_ = 0;
+  uint64_t map_cutovers_ = 0;
+  uint64_t shards_retired_ = 0;
 };
 
 // Typed smart proxy over (router, base, options): the sharded analog of

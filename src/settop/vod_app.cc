@@ -94,6 +94,8 @@ void VodApp::OpenAndPlay(int64_t from_position) {
           return;
         }
         if (!ticket.ok()) {
+          ITV_LOG(Info) << "vod: open '" << title_ << "' failed: "
+                        << ticket.status().ToString();
           Finish(ticket.status());
           return;
         }
@@ -109,6 +111,8 @@ void VodApp::OpenAndPlay(int64_t from_position) {
             return;
           }
           if (!r.ok()) {
+            ITV_LOG(Info) << "vod: play '" << title_ << "' failed: "
+                          << r.status().ToString();
             OnDataGap();  // Treat a failed play like a dead stream.
             return;
           }

@@ -13,10 +13,15 @@
 // replicates, resolves, caches, and survives fail-over exactly like any
 // other binding, with no new message types.
 //
-// The map is immutable for the lifetime of a deployment: every replica
-// publishes the same value and first-bind-wins makes that idempotent.
-// Resharding (changing N live) is future work and would need a versioned
-// map plus session draining.
+// Maps are VERSIONED (ROADMAP "Shard rebalancing"): the published binding
+// carries a monotonically increasing version alongside the count and salt.
+// Version 1 is the deployment's initial map; a live reshard publishes a
+// successor (same salt, new count, version+1) through the versioned
+// compare-and-swap in naming::PublishShardMap. Consumers adopt maps
+// monotonically — a lagging name-service replica can re-serve an old
+// version, but a router that has seen v2 never falls back to v1 — and the
+// salt never changes across versions so a key either keeps its shard or
+// moves to a well-defined new one.
 
 #ifndef SRC_WIRE_SHARD_MAP_H_
 #define SRC_WIRE_SHARD_MAP_H_
@@ -45,11 +50,22 @@ inline constexpr uint64_t kDefaultShardSalt = 0x9e3779b97f4a7c15ull;
 struct ShardMap {
   uint32_t shard_count = 1;
   uint64_t salt = kDefaultShardSalt;
+  // Monotonic map version. A reshard publishes the successor under
+  // version + 1; consumers never adopt a lower version than they have seen.
+  uint32_t version = 1;
 
   bool sharded() const { return shard_count > 1; }
 
   friend auto operator<=>(const ShardMap&, const ShardMap&) = default;
 };
+
+// Successor-map helper: same base and salt, new count, next version.
+inline ShardMap NextShardMap(const ShardMap& current, uint32_t shard_count) {
+  ShardMap next = current;
+  next.shard_count = shard_count;
+  next.version = current.version + 1;
+  return next;
+}
 
 // Stable key -> shard assignment (splitmix64 finalizer). Stability matters
 // more than uniformity here: a settop's key must land on the same shard from
@@ -82,14 +98,17 @@ inline std::string ShardPath(std::string_view base, uint32_t shard,
 
 // Pseudo-reference encoding. Like builtin selectors, the endpoint is null
 // (never routable) and the type id names the scheme; incarnation carries the
-// salt and object_id the count. Incarnation is guaranteed nonzero so the
-// ref is not is_null() and survives name-server bind validation.
+// salt and object_id packs (version << 32) | count. Incarnation is
+// guaranteed nonzero so the ref is not is_null() and survives name-server
+// bind validation. Pre-versioning refs (high 32 bits zero) decode as
+// version 1, so a router can compare any two published maps.
 inline ObjectRef EncodeShardMapRef(const ShardMap& map) {
   ObjectRef ref;
   ref.endpoint = Endpoint{};
   ref.incarnation = map.salt != 0 ? map.salt : kDefaultShardSalt;
   ref.type_id = TypeIdFromName(kShardMapInterface);
-  ref.object_id = map.shard_count;
+  ref.object_id = (static_cast<uint64_t>(map.version) << 32) |
+                  static_cast<uint64_t>(map.shard_count);
   return ref;
 }
 
@@ -100,8 +119,10 @@ inline bool IsShardMapRef(const ObjectRef& ref) {
 
 inline ShardMap DecodeShardMapRef(const ObjectRef& ref) {
   ShardMap map;
-  map.shard_count =
-      ref.object_id > 0 ? static_cast<uint32_t>(ref.object_id) : 1;
+  uint32_t count = static_cast<uint32_t>(ref.object_id & 0xffffffffull);
+  uint32_t version = static_cast<uint32_t>(ref.object_id >> 32);
+  map.shard_count = count > 0 ? count : 1;
+  map.version = version > 0 ? version : 1;  // Legacy refs carry no version.
   map.salt = ref.incarnation != 0 ? ref.incarnation : kDefaultShardSalt;
   return map;
 }

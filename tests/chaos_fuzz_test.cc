@@ -116,6 +116,89 @@ TEST(ChaosFuzzTest, ShardedDeploymentSurvivesMixedShardFaults) {
       << result.plan.ToString();
 }
 
+TEST(ChaosFuzzTest, ReshardPinnedCorpusConvergesBothDirections) {
+  // Live reshard mid-storm (ROADMAP "Shard rebalancing"): 4 MMS shards at
+  // boot, a successor map published mid-horizon while the seeded faults fly.
+  // The even seed grows 4 -> 8, the odd seed shrinks 4 -> 2 — mirroring the
+  // tools/chaos_fuzz --reshard sweep; the shrink direction additionally
+  // exercises retired-shard binding purges and session handoff into fewer
+  // primaries. Each run must end with the successor map published, every
+  // viewer streaming, exactly one primary per surviving shard, and every
+  // session in exactly one shard table (reshard-convergence).
+  FuzzOptions options = SmallOptions();
+  options.mms_shards = 4;
+  options.check_single_primary = true;
+  for (uint64_t seed : {2u, 3u}) {
+    options.reshard_to = seed % 2 == 0 ? 8 : 2;
+    FuzzResult result = RunSeed(seed, options);
+    EXPECT_TRUE(result.passed)
+        << "seed " << seed << " (reshard 4 -> " << options.reshard_to
+        << ") violated " << result.first_violation << "\n"
+        << result.invariant_report << "\nschedule:\n"
+        << result.plan.ToString();
+  }
+}
+
+TEST(ChaosFuzzTest, ReshardNodeCrashDuringCutoverConverges) {
+  // Shrunk from the --reshard sweep (seed 3): a whole-node crash seconds
+  // after the 4 -> 2 shrink map is published, taking out a server that
+  // hosts shard primaries, an MDS, a neighborhood cmgr, and a trunk at the
+  // exact moment sessions are moving. The node restores 7 s later; the
+  // cluster must still converge to the successor map with every viewer
+  // streaming and every session owned by the right shard.
+  FuzzOptions options;  // Tool defaults: 3 servers, 3 viewers, 90 s horizon.
+  options.mms_shards = 4;
+  options.reshard_to = 2;
+  options.check_single_primary = true;
+
+  sim::ChaosPlan plan;
+  plan.seed = 3;
+  sim::Fault crash;
+  crash.at = Duration::Millis(51589);
+  crash.kind = sim::FaultKind::kCrashNode;
+  crash.host_a = 167772417;  // Server 1 (10.0.1.1).
+  crash.duration = Duration::Millis(7035);
+  plan.faults.push_back(crash);
+
+  FuzzResult result = RunSchedule(plan.seed, plan, options);
+  EXPECT_TRUE(result.passed)
+      << "violated " << result.first_violation << "\n"
+      << result.invariant_report;
+}
+
+TEST(ChaosFuzzTest, ReshardKillDuringCutoverReplaysDeterministically) {
+  // Kill-during-cutover, pinned: an mmsd dies one second after the 4 -> 2
+  // shrink map is published — mid-drain, while its shards are handing
+  // sessions off. The run must still converge, and replaying the same
+  // pinned schedule must reproduce it byte-for-byte: the shrinker's working
+  // assumption (deterministic replays) has to hold under resharding too,
+  // or a minimized reshard failure would not be a complete bug report.
+  FuzzOptions options = SmallOptions();
+  options.mms_shards = 4;
+  options.reshard_to = 2;
+  options.reshard_at = Duration::Seconds(20);
+  options.check_single_primary = true;
+
+  sim::ChaosPlan plan;
+  plan.seed = 909;
+  sim::Fault kill;
+  kill.at = Duration::Seconds(21);
+  kill.kind = sim::FaultKind::kKillProcess;
+  kill.host_a = 1;
+  kill.process = "mmsd";
+  plan.faults.push_back(kill);
+
+  FuzzResult direct = RunSchedule(plan.seed, plan, options);
+  EXPECT_TRUE(direct.passed)
+      << "violated " << direct.first_violation << "\n"
+      << direct.invariant_report;
+  FuzzResult replay = RunSchedule(plan.seed, plan, options);
+  EXPECT_EQ(direct.passed, replay.passed);
+  EXPECT_EQ(direct.first_violation, replay.first_violation);
+  EXPECT_EQ(direct.faults_applied, replay.faults_applied);
+  EXPECT_EQ(direct.fault_log, replay.fault_log);
+}
+
 TEST(ChaosFuzzTest, SeedReplayIsByteForByteIdentical) {
   FuzzOptions options = SmallOptions();
   FuzzResult direct = RunSeed(5, options);

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "src/media/factories.h"
 #include "src/settop/app_manager.h"
 #include "src/settop/vod_app.h"
@@ -16,7 +20,16 @@ namespace {
 
 class MediaTest : public ::testing::Test {
  protected:
-  MediaTest() : harness_(MakeHarnessOptions()) {
+  MediaTest() : MediaTest(DefaultDeployment()) {}
+  explicit MediaTest(const MediaDeployment& deploy)
+      : harness_(MakeHarnessOptions()) {
+    RegisterMediaServices(harness_, deploy);
+    harness_.Boot();
+    // Let the CSC place and start the media services.
+    cluster().RunFor(Duration::Seconds(10));
+  }
+
+  static MediaDeployment DefaultDeployment() {
     MediaDeployment deploy;
     // "T2" on both servers; "solo" only on server 2; "short" (15 s) on both.
     deploy.movies = {
@@ -31,10 +44,7 @@ class MediaTest : public ::testing::Test {
     };
     deploy.kernel_size_bytes = 2'000'000;
     deploy.boot_channel_bps = 8'000'000;
-    RegisterMediaServices(harness_, deploy);
-    harness_.Boot();
-    // Let the CSC place and start the media services.
-    cluster().RunFor(Duration::Seconds(10));
+    return deploy;
   }
 
   static int64_t MovieBytes(int64_t bitrate_bps, int64_t seconds) {
@@ -518,6 +528,154 @@ TEST_F(MediaTest, CmgrFailoverKeepsAllocationTable) {
   cluster().RunFor(Duration::Seconds(2));
   ASSERT_TRUE(after.is_ready() && after.result().ok());
   EXPECT_TRUE(after.result().value().empty());
+}
+
+// --- Live resharding (ROADMAP "Shard rebalancing") ----------------------------
+
+// Boots the MMS sharded 2-way, then publishes a v2 map growing it to 4
+// shards while movies play. The handoff contract: every moved session leaves
+// its source shard's table (mms.session_handoff counts exactly the moved
+// set), is adopted by exactly one destination primary (per-shard session
+// counts sum to the viewer count — a double adoption would overshoot, a lost
+// session undershoot), playback never stops, and a close through the new
+// owner releases the MDS stream (nothing leaked).
+class MediaReshardTest : public MediaTest {
+ protected:
+  static constexpr uint32_t kInitialShards = 2;
+  static constexpr uint32_t kGrownShards = 4;
+
+  MediaReshardTest() : MediaTest(ShardedDeployment()) {}
+
+  static MediaDeployment ShardedDeployment() {
+    MediaDeployment deploy = DefaultDeployment();
+    deploy.mms_shards = kInitialShards;
+    deploy.mms_replicas = 2;
+    deploy.shard_stagger = Duration::Seconds(1);
+    return deploy;
+  }
+
+  Result<wire::ShardMap> ReadPublishedMap() {
+    sim::Process& probe = harness_.SpawnProcessOn(0, "map-probe");
+    auto f = harness_.ClientFor(probe).Resolve(
+        wire::ShardMapPath(std::string(kMmsName)));
+    cluster().RunFor(Duration::Seconds(2));
+    if (!f.is_ready() || !f.result().ok()) {
+      return NotFoundError("no published map");
+    }
+    if (!wire::IsShardMapRef(f.result().value())) {
+      return InternalError("not a shard map ref");
+    }
+    return wire::DecodeShardMapRef(f.result().value());
+  }
+
+  // Sessions each shard primary holds, by 0-based shard index.
+  Result<uint32_t> SessionsOnShard(uint32_t shard, const wire::ShardMap& map) {
+    sim::Process& probe = harness_.SpawnProcessOn(
+        0, "mms-probe-" + std::to_string(shard) + "-" +
+               std::to_string(++probe_serial_));
+    auto ref = harness_.ClientFor(probe).Resolve(
+        wire::ShardPath(std::string(kMmsName), shard, map));
+    cluster().RunFor(Duration::Seconds(2));
+    if (!ref.is_ready() || !ref.result().ok()) {
+      return ref.is_ready() ? ref.result().status()
+                            : DeadlineExceededError("resolve timed out");
+    }
+    auto sessions =
+        MmsProxy(probe.runtime(), ref.result().value()).ListSessions();
+    cluster().RunFor(Duration::Seconds(2));
+    if (!sessions.is_ready()) {
+      return DeadlineExceededError("no session count");
+    }
+    return sessions.result();
+  }
+
+  int probe_serial_ = 0;
+};
+
+TEST_F(MediaReshardTest, LiveGrowHandsOffSessionsExactlyOnce) {
+  // Four viewers spread over both neighborhoods, all playing.
+  constexpr int kViewers = 4;
+  std::vector<TestSettop> settops;
+  for (int i = 0; i < kViewers; ++i) {
+    settops.push_back(MakeSettop(static_cast<uint8_t>(1 + i % 2)));
+    settops.back().vod->PlayMovie("T2", [](Status) {});
+  }
+  cluster().RunFor(Duration::Seconds(12));
+  for (const TestSettop& s : settops) {
+    ASSERT_TRUE(s.vod->playing());
+  }
+
+  auto v1 = ReadPublishedMap();
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  ASSERT_EQ(v1->version, 1u);
+  ASSERT_EQ(v1->shard_count, kInitialShards);
+
+  // How many sessions actually change shards under the successor map — the
+  // deterministic sim makes this a fixed, computable set.
+  wire::ShardMap v2 = wire::NextShardMap(*v1, kGrownShards);
+  uint64_t expected_moves = 0;
+  for (const TestSettop& s : settops) {
+    uint32_t host = s.node->host();
+    expected_moves += wire::ShardOf(host, *v1) != wire::ShardOf(host, v2);
+  }
+
+  // Publish the successor map: the live cutover begins.
+  sim::Process& ctl = harness_.SpawnProcessOn(0, "reshard-ctl");
+  auto published = std::make_shared<Result<wire::ShardMap>>(
+      DeadlineExceededError("publish pending"));
+  naming::PublishShardMap(
+      ctl.executor(), harness_.ClientFor(ctl), std::string(kMmsName), v2,
+      [published](Result<wire::ShardMap> r) { *published = std::move(r); });
+  cluster().RunFor(Duration::Seconds(5));
+  ASSERT_TRUE(published->ok()) << published->status();
+  ASSERT_EQ(**published, v2);
+
+  uint64_t chunks_before[kViewers];
+  for (int i = 0; i < kViewers; ++i) {
+    chunks_before[i] = settops[static_cast<size_t>(i)].vod->chunks_received();
+  }
+
+  // Cutover window: server ShardHosts poll the map, new shard lifecycles
+  // elect, sources drain, destinations adopt, client routers re-fetch.
+  cluster().RunFor(Duration::Seconds(45));
+
+  auto now = ReadPublishedMap();
+  ASSERT_TRUE(now.ok()) << now.status();
+  EXPECT_EQ(now->version, 2u);
+  EXPECT_EQ(now->shard_count, kGrownShards);
+
+  // Playback never stopped for anyone.
+  for (int i = 0; i < kViewers; ++i) {
+    EXPECT_TRUE(settops[static_cast<size_t>(i)].vod->playing())
+        << "viewer " << i;
+    EXPECT_GT(settops[static_cast<size_t>(i)].vod->chunks_received(),
+              chunks_before[i])
+        << "viewer " << i;
+  }
+
+  // Exactly-once ownership: every session lives in exactly one shard
+  // primary's table. The moved set drained from its sources...
+  uint32_t total = 0;
+  for (uint32_t shard = 0; shard < kGrownShards; ++shard) {
+    auto count = SessionsOnShard(shard, v2);
+    ASSERT_TRUE(count.ok()) << "shard " << shard + 1 << ": " << count.status();
+    total += *count;
+  }
+  EXPECT_EQ(total, static_cast<uint32_t>(kViewers));
+  EXPECT_EQ(metrics().Get("mms.session_handoff"), expected_moves);
+  if (expected_moves > 0) {
+    EXPECT_GE(metrics().Get("mms.session_adopted"), expected_moves);
+  }
+
+  // Closing through the new owners reclaims every stream: nothing leaked.
+  for (TestSettop& s : settops) {
+    s.vod->Stop();
+  }
+  cluster().RunFor(Duration::Seconds(10));
+  auto load1 = LoadOfMds(0);
+  auto load2 = LoadOfMds(1);
+  ASSERT_TRUE(load1.ok() && load2.ok());
+  EXPECT_EQ(load1->active_streams + load2->active_streams, 0u);
 }
 
 // MDS ghost reclamation (Options::unplayed_grace): a stream opened but never

@@ -895,5 +895,125 @@ TEST_F(SingleReplicaTest, LivePrimaryReassertsAfterFalseUnbind) {
   EXPECT_EQ(*r, ref1);
 }
 
+// --- Versioned shard-map publish (live resharding) ---------------------------
+
+class ShardMapPublishTest : public SingleReplicaTest {
+ protected:
+  Result<wire::ShardMap> Publish(sim::Process& p, const wire::ShardMap& map,
+                                 const std::string& base = "svc/mms") {
+    auto out = std::make_shared<Result<wire::ShardMap>>(
+        DeadlineExceededError("publish never completed"));
+    PublishShardMap(p.executor(),
+                    NameClient(p.runtime(), servers_[0]->host()), base, map,
+                    [out](Result<wire::ShardMap> r) { *out = std::move(r); });
+    cluster_.RunFor(Duration::Seconds(5));
+    return *out;
+  }
+
+  Result<wire::ShardMap> ReadMap(const std::string& base = "svc/mms") {
+    sim::Process& reader = SpawnClient("map-reader");
+    NameClient nc(reader.runtime(), servers_[0]->host());
+    auto r = Wait(nc.Resolve(wire::ShardMapPath(base)));
+    if (!r.ok()) {
+      return r.status();
+    }
+    if (!wire::IsShardMapRef(*r)) {
+      return InternalError("not a shard map ref");
+    }
+    return wire::DecodeShardMapRef(*r);
+  }
+};
+
+TEST_F(ShardMapPublishTest, FirstPublishBindsTheMap) {
+  sim::Process& p = SpawnClient("mmsd-1");
+  wire::ShardMap v1{4, 0xabcdefull};
+  auto r = Publish(p, v1);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, v1);
+  auto read = ReadMap();
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, v1);
+  EXPECT_EQ(read->version, 1u);
+}
+
+TEST_F(ShardMapPublishTest, NewerVersionSwapsOlderIsRefusedWithWinner) {
+  sim::Process& p = SpawnClient("mmsd-1");
+  wire::ShardMap v1{4, 0xabcdefull};
+  ASSERT_TRUE(Publish(p, v1).ok());
+
+  // The reshard controller publishes the successor: the CAS swaps v1 -> v2.
+  wire::ShardMap v2 = wire::NextShardMap(v1, 8);
+  auto r2 = Publish(p, v2);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(*r2, v2);
+  auto read = ReadMap();
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->version, 2u);
+  EXPECT_EQ(read->shard_count, 8u);
+
+  // A replica restarting with its deployment-time v1 must NOT roll the
+  // cluster back: the publish succeeds but reports the incumbent winner.
+  auto again = Publish(p, v1);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(*again, v2);
+  read = ReadMap();
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->version, 2u);
+}
+
+TEST_F(ShardMapPublishTest, ConcurrentPublishersConvergeOnHighestVersion) {
+  sim::Process& p1 = SpawnClient("mmsd-1");
+  sim::Process& p2 = SpawnClient("mmsd-2");
+  wire::ShardMap v1{4, 0x1234ull};
+  wire::ShardMap v2 = wire::NextShardMap(v1, 8);
+
+  // Both replicas publish at one virtual instant — a restart racing a
+  // reshard. Whatever interleaving the CAS resolves to, the higher version
+  // must end up bound: the v2 publisher must never be rolled back, while the
+  // v1 publisher may legitimately complete before v2 exists (if its bind won
+  // the race) or learn the v2 winner (if it lost).
+  auto out1 = std::make_shared<Result<wire::ShardMap>>(
+      DeadlineExceededError("pending"));
+  auto out2 = std::make_shared<Result<wire::ShardMap>>(
+      DeadlineExceededError("pending"));
+  PublishShardMap(p1.executor(), NameClient(p1.runtime(), servers_[0]->host()),
+                  "svc/mms", v1,
+                  [out1](Result<wire::ShardMap> r) { *out1 = std::move(r); });
+  PublishShardMap(p2.executor(), NameClient(p2.runtime(), servers_[0]->host()),
+                  "svc/mms", v2,
+                  [out2](Result<wire::ShardMap> r) { *out2 = std::move(r); });
+  cluster_.RunFor(Duration::Seconds(10));
+
+  ASSERT_TRUE(out1->ok()) << out1->status();
+  ASSERT_TRUE(out2->ok()) << out2->status();
+  EXPECT_EQ(**out2, v2);
+  EXPECT_TRUE(**out1 == v1 || **out1 == v2);
+  auto read = ReadMap();
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, v2);
+
+  // And a straggler re-publishing v1 afterwards cannot roll v2 back.
+  auto late = Publish(p1, v1);
+  ASSERT_TRUE(late.ok()) << late.status();
+  EXPECT_EQ(*late, v2);
+  read = ReadMap();
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, v2);
+}
+
+TEST_F(ShardMapPublishTest, ForeignBindingIsFailedPrecondition) {
+  sim::Process& p = SpawnClient("mmsd-1");
+  NameClient setup(p.runtime(), servers_[0]->host());
+  ASSERT_TRUE(Wait(setup.BindNewContext("svc")).ok());
+  ASSERT_TRUE(Wait(setup.BindNewContext("svc/mms")).ok());
+  ASSERT_TRUE(
+      Wait(setup.Bind(wire::ShardMapPath("svc/mms"), FakeRef(5, 5))).ok());
+
+  wire::ShardMap map{4, 0x77ull};
+  auto r = Publish(p, map);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition) << r.status();
+}
+
 }  // namespace
 }  // namespace itv::naming

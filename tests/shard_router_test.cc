@@ -1,9 +1,12 @@
 // Shard router tests: the client side of the sharded-service path space.
 // Covers the pseudo-ref encoding, map caching and the unsharded NOT_FOUND
-// fallback, hash stability across map reloads, and the per-(service, shard)
+// fallback, hash stability across map reloads, the per-(service, shard)
 // binding isolation that gives a shard kill a one-shard blast radius — a
 // re-resolution storm on one shard must never touch the other shards'
-// bindings.
+// bindings — and the versioned-adoption matrix for live resharding: newer
+// maps cut over (retiring dropped shards' bindings), older maps from lagging
+// name-service replicas are ignored, and a NOT_FOUND seen after a sharded
+// map was adopted is the publish's unbind+bind gap, not an unsharded flip.
 
 #include <gtest/gtest.h>
 
@@ -314,6 +317,158 @@ TEST_F(ShardRouterTest, StormOnOneShardIsSingleFlightPerShard) {
         table_->Get(wire::ShardPath(kBase, s), FastRetry()).rebind_count(), 1u)
         << "shard " << s;
   }
+}
+
+// --- Versioned adoption (live resharding) -------------------------------------
+
+TEST_F(ShardRouterTest, ShrinkCutoverRetiresDroppedShardBindings) {
+  ShardedClient<PingProxy> ping(*router_, std::string(kBase), FastRetry());
+  auto call = [&](uint64_t key) {
+    bool ok = false;
+    ping.Call<uint64_t>(key, [](const PingProxy& p) { return p.Ping(); },
+                        [&](Result<uint64_t> r) { ok = r.ok(); });
+    cluster_.RunFor(Duration::Seconds(2));
+    return ok;
+  };
+  // Prime every shard's binding under v1.
+  for (uint32_t s = 0; s < kShards; ++s) {
+    ASSERT_TRUE(call(KeyFor(s))) << "shard " << s;
+  }
+  EXPECT_EQ(router_->AdoptedVersion(std::string(kBase)), 1u);
+
+  // Publish v2: 4 -> 2 shards. The next route past the cache re-reads the
+  // map and must cut over: dropped shards' bindings retire at adoption.
+  uint64_t old_keys[kShards];
+  for (uint32_t s = 0; s < kShards; ++s) {
+    old_keys[s] = KeyFor(s);
+  }
+  uint64_t pings_before[kShards];
+  for (uint32_t s = 0; s < kShards; ++s) {
+    pings_before[s] = skeletons_[s]->pings;
+  }
+  map_ = wire::NextShardMap(map_, 2);
+  router_->ExpireAllMaps();
+  for (uint32_t s = 0; s < kShards; ++s) {
+    ASSERT_TRUE(call(old_keys[s])) << "old shard " << s;
+  }
+  EXPECT_EQ(router_->AdoptedVersion(std::string(kBase)), 2u);
+  EXPECT_EQ(router_->map_cutovers(), 1u);
+  EXPECT_EQ(router_->shards_retired(), 2u);
+  EXPECT_EQ(table_->retired_count(), 2u);
+  // The dropped shards' bindings are gone from the live table and their
+  // servants saw no post-cutover traffic.
+  EXPECT_EQ(table_->Find(wire::ShardPath(kBase, 2)), nullptr);
+  EXPECT_EQ(table_->Find(wire::ShardPath(kBase, 3)), nullptr);
+  EXPECT_EQ(skeletons_[2]->pings, pings_before[2]);
+  EXPECT_EQ(skeletons_[3]->pings, pings_before[3]);
+  // Surviving shards keep their bindings (no gratuitous re-resolution).
+  EXPECT_EQ(ShardResolves(0), 1);
+  EXPECT_EQ(ShardResolves(1), 1);
+}
+
+TEST_F(ShardRouterTest, IgnoresStaleLowerVersionMap) {
+  ShardedClient<PingProxy> ping(*router_, std::string(kBase), FastRetry());
+  auto call = [&](uint64_t key) {
+    bool ok = false;
+    ping.Call<uint64_t>(key, [](const PingProxy& p) { return p.Ping(); },
+                        [&](Result<uint64_t> r) { ok = r.ok(); });
+    cluster_.RunFor(Duration::Seconds(2));
+    return ok;
+  };
+  wire::ShardMap v1 = map_;
+  ASSERT_TRUE(call(KeyFor(0)));
+
+  // Adopt v2 (same shard count: a pure version bump, no retirement).
+  map_ = wire::NextShardMap(v1, kShards);
+  router_->ExpireAllMaps();
+  ASSERT_TRUE(call(KeyFor(1)));
+  ASSERT_EQ(router_->AdoptedVersion(std::string(kBase)), 2u);
+  EXPECT_EQ(router_->shards_retired(), 0u);
+
+  // A lagging name-service replica re-serves v1: the router must keep v2 AND
+  // keep the entry expired, so every route re-fetches until the replicas
+  // converge on the new map.
+  map_ = v1;
+  router_->ExpireAllMaps();
+  int fetches = MapResolves();
+  ASSERT_TRUE(call(KeyFor(2)));
+  EXPECT_EQ(router_->AdoptedVersion(std::string(kBase)), 2u);
+  EXPECT_EQ(MapResolves(), fetches + 1);
+  ASSERT_TRUE(call(KeyFor(3)));
+  EXPECT_EQ(MapResolves(), fetches + 2);  // Still refetching: not adopted.
+
+  // The replica catches up; the fetch parks the entry fresh again.
+  map_ = wire::NextShardMap(v1, kShards);
+  ASSERT_TRUE(call(KeyFor(0)));
+  int settled = MapResolves();
+  ASSERT_TRUE(call(KeyFor(1)));
+  EXPECT_EQ(MapResolves(), settled);  // Cache hit: adoption un-expired it.
+}
+
+TEST_F(ShardRouterTest, NotFoundAfterShardedMapIsTransient) {
+  ShardedClient<PingProxy> ping(*router_, std::string(kBase), FastRetry());
+  auto call = [&](uint64_t key) {
+    bool ok = false;
+    ping.Call<uint64_t>(key, [](const PingProxy& p) { return p.Ping(); },
+                        [&](Result<uint64_t> r) { ok = r.ok(); });
+    cluster_.RunFor(Duration::Seconds(2));
+    return ok;
+  };
+  ASSERT_TRUE(call(KeyFor(3)));
+  EXPECT_EQ(skeletons_[3]->pings, 1u);
+
+  // The versioned publish swaps ".shards" with unbind+bind; a resolve lands
+  // in the gap and sees NOT_FOUND. The router must NOT flip to unsharded —
+  // that would hash every key to the base path mid-cutover.
+  sharded_ = false;
+  router_->ExpireAllMaps();
+  ASSERT_TRUE(call(KeyFor(3)));
+  EXPECT_EQ(skeletons_[3]->pings, 2u);  // Still routed to shard 3.
+  ASSERT_TRUE(router_->CachedMap(std::string(kBase)).has_value());
+  EXPECT_TRUE(router_->CachedMap(std::string(kBase))->sharded());
+  int fetches = MapResolves();
+  ASSERT_TRUE(call(KeyFor(3)));
+  EXPECT_EQ(MapResolves(), fetches + 1);  // Stays expired: keeps retrying.
+
+  // The publish's bind half lands; the next fetch re-adopts and settles.
+  sharded_ = true;
+  ASSERT_TRUE(call(KeyFor(3)));
+  int settled = MapResolves();
+  ASSERT_TRUE(call(KeyFor(3)));
+  EXPECT_EQ(MapResolves(), settled);
+}
+
+TEST_F(ShardRouterTest, SettopStormDuringCutoverSingleFlightsTheMapFetch) {
+  ShardedClient<PingProxy> ping(*router_, std::string(kBase), FastRetry());
+  // Prime under v1.
+  int ok = 0;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    ping.Call<uint64_t>(KeyFor(s), [](const PingProxy& p) { return p.Ping(); },
+                        [&](Result<uint64_t> r) { ok += r.ok(); });
+    cluster_.RunFor(Duration::Millis(200));
+  }
+  ASSERT_EQ(ok, 4);
+  ASSERT_EQ(MapResolves(), 1);
+
+  // Cutover to v2 (4 -> 2) lands while 64 settops all route at one virtual
+  // instant. This process must fold the storm into ONE map fetch — fetches
+  // stay O(processes), not O(settops) — and every call must complete.
+  map_ = wire::NextShardMap(map_, 2);
+  router_->ExpireAllMaps();
+  constexpr int kSettops = 64;
+  ok = 0;
+  for (int i = 0; i < kSettops; ++i) {
+    ping.Call<uint64_t>(/*key=*/i * 977 + 1,
+                        [](const PingProxy& p) { return p.Ping(); },
+                        [&](Result<uint64_t> r) { ok += r.ok(); });
+  }
+  cluster_.RunFor(Duration::Seconds(10));
+  EXPECT_EQ(ok, kSettops);
+  EXPECT_EQ(MapResolves(), 2);  // One pre-cutover fetch + one for the storm.
+  EXPECT_EQ(router_->AdoptedVersion(std::string(kBase)), 2u);
+  EXPECT_EQ(router_->map_cutovers(), 1u);
+  // Post-cutover traffic stayed on the surviving shards.
+  EXPECT_EQ(skeletons_[2]->pings + skeletons_[3]->pings, 2u);  // Priming only.
 }
 
 }  // namespace

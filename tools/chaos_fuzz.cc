@@ -13,13 +13,20 @@
 //
 // Usage:
 //   chaos_fuzz --seeds N [--seed-base B] [--out DIR] [--faults K]
-//              [--horizon SECONDS] [--shards N] [--no-shrink]
+//              [--horizon SECONDS] [--shards N] [--reshard] [--no-shrink]
 //              [--single-primary] [--quiet]
 //   chaos_fuzz --seed S [--out DIR] ...
 //
 // --shards N deploys MMS and CMgr with N shards each (an mmsd replica on
 // every server so shard primaries spread); with --single-primary the
 // invariant then checks exactly-one-primary PER SHARD.
+//
+// --reshard deploys MMS with 4 shards and publishes a successor map
+// mid-horizon — growing to 8 shards on even seeds, shrinking to 2 on odd —
+// so the fault schedule lands before, during, and after the live cutover.
+// Each run then also checks reshard-convergence (successor map won, every
+// session in exactly one shard primary's table) and single-primary per
+// shard. Implies --single-primary.
 //
 // Exit status: 0 if every seed passed, 1 otherwise.
 
@@ -33,6 +40,7 @@
 #include <vector>
 
 #include "src/chaos/fuzz.h"
+#include "src/common/logging.h"
 #include "src/common/strings.h"
 
 using namespace itv;
@@ -92,6 +100,7 @@ int main(int argc, char** argv) {
   std::string out_dir = ".";
   bool shrink = true;
   bool quiet = false;
+  bool reshard = false;
   chaos::FuzzOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -127,12 +136,18 @@ int main(int argc, char** argv) {
       }
       options.mms_shards = shards;
       options.cmgr_shards = shards;
+    } else if (arg == "--reshard") {
+      reshard = true;
+      options.mms_shards = 4;
+      options.check_single_primary = true;
     } else if (arg == "--no-shrink") {
       shrink = false;
     } else if (arg == "--single-primary") {
       options.check_single_primary = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--verbose") {
+      SetMinLogLevel(LogLevel::kInfo);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -158,6 +173,11 @@ int main(int argc, char** argv) {
 
   size_t failed = 0;
   for (uint64_t seed : corpus) {
+    if (reshard) {
+      // Alternate growth and shrink across the corpus so one sweep covers
+      // both cutover directions (shrink also exercises binding retirement).
+      options.reshard_to = seed % 2 == 0 ? 8 : 2;
+    }
     chaos::FuzzResult result = chaos::RunSeed(seed, options);
     if (result.passed) {
       if (!quiet) {

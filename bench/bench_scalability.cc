@@ -27,7 +27,9 @@
 
 #include "bench/bench_report.h"
 #include "bench/bench_util.h"
+#include "src/common/logging.h"
 #include "src/common/rand.h"
+#include "src/load/load_board.h"
 #include "src/media/factories.h"
 #include "src/rpc/shard_router.h"
 #include "src/settop/app_manager.h"
@@ -336,6 +338,165 @@ ShardRunResult RunShardCluster(uint32_t shards, size_t settop_count) {
   return result;
 }
 
+// --- E2c: hot-shard skew — board-backed sibling retry vs blind shedding.
+//
+// Fixed cluster (4 servers, 4 MMS shards, admission pool = 1/4 of cluster
+// MDS capacity per shard), 32 VodApp viewers with ~80% of their settop hosts
+// hashing to shard 0. The hot shard's pool covers 16 streams, so a quarter
+// of the hot opens are shed. With the load board on, a shed viewer retries
+// against the least-loaded sibling shard and every open lands; with it off,
+// the shed opens fail back to the viewer. Also runs an unskewed control to
+// bound the skewed open latency.
+
+struct HotShardResult {
+  bool board = false;
+  bool skewed = true;
+  size_t settops = 0;
+  size_t playing = 0;
+  size_t failed = 0;          // Opens that ended in an error (shed, ...).
+  uint64_t shard_rejects = 0; // Sum of per-shard admission rejects.
+  uint64_t sibling_retries = 0;
+  double p50_open_s = 0;
+  double p99_open_s = 0;
+  // Worst shard's ledger. reserved may sit above the pool after the
+  // ownership reconciler hands sibling-opened sessions back to the shard
+  // their settop hashes to (adopted, never granted); peak_granted may not.
+  int64_t max_reserved_bps = 0;
+  int64_t max_peak_granted_bps = 0;
+  int64_t pool_bps = 0;
+  bool pool_sound = true;  // Every shard: peak_granted <= pool.
+};
+
+HotShardResult RunHotShardCluster(bool board, bool skewed,
+                                  size_t settop_count) {
+  constexpr size_t kServers = 4;
+  constexpr uint32_t kShards = 4;
+  svc::HarnessOptions opts;
+  opts.server_count = kServers;
+  opts.neighborhood_count = static_cast<uint8_t>(kServers);
+  svc::ClusterHarness harness(opts);
+
+  media::MediaDeployment deploy;
+  deploy.movies = media::SyntheticCatalog(/*count=*/40, kServers,
+                                          /*replicas=*/2);
+  deploy.mds_capacity_bps = 48'000'000;
+  deploy.trunk_capacity_bps = 400'000'000;
+  deploy.mms_shards = kShards;
+  deploy.mms_replicas = kServers;
+  deploy.load_board = board;  // Off: admission still on, no sibling retry.
+  media::RegisterMediaServices(harness, deploy);
+  harness.Boot();
+  harness.cluster().RunFor(Duration::Seconds(16));
+
+  HotShardResult result;
+  result.board = board;
+  result.skewed = skewed;
+  result.settops = settop_count;
+
+  wire::ShardMap map{kShards, deploy.shard_salt};
+  Rng rng(4242);  // Same titles with the board on and off.
+  struct HotViewer {
+    settop::VodApp* vod = nullptr;
+    Time started;
+    Status final_status;
+    bool done = false;
+    double open_s = -1;  // Time to `playing`, -1 until observed.
+  };
+  std::vector<HotViewer> viewers(settop_count);
+  for (size_t i = 0; i < settop_count; ++i) {
+    uint8_t nb = static_cast<uint8_t>(1 + (i % kServers));
+    sim::Node* settop = &harness.AddSettop(nb);
+    if (skewed && i % 5 != 4) {
+      // 80/20 skew, same spawn-and-filter as the chaos --skewed-load sweep:
+      // keep adding settops until one's host hashes to the hot shard.
+      for (int attempt = 0;
+           attempt < 32 && wire::ShardOf(settop->host(), map) != 0;
+           ++attempt) {
+        settop = &harness.AddSettop(nb);
+      }
+    }
+    sim::Process& p = settop->Spawn("viewer");
+    settop::VodApp::Options vopts;
+    if (board) {
+      vopts.load_board_path = std::string(load::kLoadBoardName);
+    }
+    viewers[i].vod = p.Emplace<settop::VodApp>(p.runtime(), p.executor(),
+                                               harness.ClientFor(p), vopts,
+                                               &harness.metrics());
+    viewers[i].started = harness.cluster().Now();
+    std::string title = "movie-" + std::to_string(rng.Below(40));
+    HotViewer* viewer = &viewers[i];
+    viewer->vod->PlayMovie(title, [viewer](Status status) {
+      viewer->final_status = status;
+      viewer->done = true;
+    });
+    // Pace arrivals so load reports keep up with the skew (2 s cadence), and
+    // sample `playing` transitions for the open-latency histogram.
+    for (int tick = 0; tick < 4; ++tick) {
+      harness.cluster().RunFor(Duration::Millis(50));
+      for (HotViewer& v : viewers) {
+        if (v.open_s < 0 && v.vod != nullptr && v.vod->playing()) {
+          v.open_s = (harness.cluster().Now() - v.started).seconds();
+        }
+      }
+    }
+  }
+  for (int tick = 0; tick < 200; ++tick) {
+    harness.cluster().RunFor(Duration::Millis(50));
+    for (HotViewer& v : viewers) {
+      if (v.open_s < 0 && v.vod->playing()) {
+        v.open_s = (harness.cluster().Now() - v.started).seconds();
+      }
+    }
+  }
+
+  Histogram open_latency;
+  for (HotViewer& v : viewers) {
+    if (v.vod->playing()) {
+      ++result.playing;
+      if (v.open_s >= 0) {
+        open_latency.Record(v.open_s);
+      }
+    } else if (v.done && !v.final_status.ok()) {
+      ++result.failed;
+    }
+    result.sibling_retries += v.vod->sibling_retries();
+  }
+  result.p50_open_s = open_latency.Percentile(50);
+  result.p99_open_s = open_latency.Percentile(99);
+
+  // Audit every shard's admission ledger over RPC, like the chaos
+  // admission-sound invariant: grants must never have exceeded the pool.
+  sim::Process& probe = harness.SpawnProcessOn(0, "probe");
+  naming::NameClient nc = harness.ClientFor(probe);
+  for (uint32_t s = 0; s < kShards; ++s) {
+    auto ref = bench::WaitOn(
+        harness.cluster(), nc.Resolve(wire::ShardPath(media::kMmsName, s, map)),
+        Duration::Seconds(5));
+    if (!ref.ok()) {
+      result.pool_sound = false;
+      continue;
+    }
+    media::MmsProxy proxy(probe.runtime(), *ref);
+    auto state = bench::WaitOn(harness.cluster(), proxy.GetAdmission(),
+                               Duration::Seconds(5));
+    if (!state.ok()) {
+      result.pool_sound = false;
+      continue;
+    }
+    result.shard_rejects += state->rejects;
+    result.pool_bps = state->pool_bps;
+    result.max_reserved_bps =
+        std::max(result.max_reserved_bps, state->reserved_bps);
+    result.max_peak_granted_bps =
+        std::max(result.max_peak_granted_bps, state->peak_granted_bps);
+    if (state->pool_bps > 0 && state->peak_granted_bps > state->pool_bps) {
+      result.pool_sound = false;
+    }
+  }
+  return result;
+}
+
 }  // namespace
 }  // namespace itv
 
@@ -412,6 +573,74 @@ int main() {
       "\nexpect: max_primary ~ 64/shards (>=2x reduction at 4 shards vs 1) "
       "and hosts ~\nmin(shards, servers); open latency flat — the router adds "
       "one cached map lookup.\n");
+
+  bench::PrintHeader(
+      "E2c: hot-shard skew — load-board sibling retry vs blind shedding");
+  std::printf(
+      "4 servers, 4 MMS shards, admission pool 48 Mb/s (16 streams) per "
+      "shard; 32 VodApp\nviewers, ~80%% of them on the hot shard. board=on: "
+      "shed opens retry the\nleast-loaded sibling from the board; board=off: "
+      "shed opens fail to the viewer.\n\n");
+  bench::PrintRow({"board", "skew", "playing", "failed", "rejects", "retries",
+                   "open_p50_s", "open_p99_s", "max_grant_mbps",
+                   "max_rsv_mbps"});
+  HotShardResult control =
+      RunHotShardCluster(/*board=*/true, /*skewed=*/false, /*settop_count=*/32);
+  HotShardResult board_off =
+      RunHotShardCluster(/*board=*/false, /*skewed=*/true, /*settop_count=*/32);
+  HotShardResult board_on =
+      RunHotShardCluster(/*board=*/true, /*skewed=*/true, /*settop_count=*/32);
+  for (const HotShardResult* r : {&control, &board_off, &board_on}) {
+    bench::PrintRow(
+        {r->board ? "on" : "off", r->skewed ? "80/20" : "uniform",
+         bench::FmtInt(r->playing), bench::FmtInt(r->failed),
+         bench::FmtInt(r->shard_rejects), bench::FmtInt(r->sibling_retries),
+         bench::Fmt("%.4f", r->p50_open_s), bench::Fmt("%.4f", r->p99_open_s),
+         bench::Fmt("%.1f",
+                    static_cast<double>(r->max_peak_granted_bps) / 1e6),
+         bench::Fmt("%.1f", static_cast<double>(r->max_reserved_bps) / 1e6)});
+  }
+  for (const auto& [prefix, r] :
+       {std::pair<std::string, const HotShardResult*>{"e2c_unskewed_",
+                                                      &control},
+        {"e2c_board_off_", &board_off},
+        {"e2c_board_on_", &board_on}}) {
+    report.SetInt(prefix + "playing", r->playing);
+    report.SetInt(prefix + "failed_opens", r->failed);
+    report.SetInt(prefix + "shard_rejects", r->shard_rejects);
+    report.SetInt(prefix + "sibling_retries", r->sibling_retries);
+    report.Set(prefix + "open_p50_s", r->p50_open_s);
+    report.Set(prefix + "open_p99_s", r->p99_open_s);
+    report.SetInt(prefix + "max_reserved_bps",
+                  static_cast<uint64_t>(std::max<int64_t>(0,
+                                                          r->max_reserved_bps)));
+    report.SetInt(
+        prefix + "max_peak_granted_bps",
+        static_cast<uint64_t>(std::max<int64_t>(0, r->max_peak_granted_bps)));
+    report.SetInt(prefix + "pool_sound", r->pool_sound ? 1 : 0);
+  }
+  report.SetInt("e2c_pool_bps",
+                static_cast<uint64_t>(std::max<int64_t>(0, board_on.pool_bps)));
+  // The PR's acceptance gates (also checked by the chaos admission-sound
+  // invariant): with the board on, every skewed open lands, no shard ever
+  // GRANTED past its pool (reserved may exceed it after the ownership
+  // reconciler hands sibling-opened sessions back to the hot shard —
+  // adopted, never granted), and the skew costs at most 2x the unskewed
+  // open p50 (plus one 50 ms sampling step of slack).
+  ITV_CHECK(board_on.failed == 0)
+      << board_on.failed << " opens failed with the board on";
+  ITV_CHECK(board_on.pool_sound && board_off.pool_sound && control.pool_sound)
+      << "an MMS shard granted reservations past its admission pool";
+  ITV_CHECK(board_off.failed > 0)
+      << "skewed board-off run shed nothing; the skew is not saturating";
+  ITV_CHECK(board_on.p50_open_s <= 2 * control.p50_open_s + 0.05)
+      << "skewed p50 " << board_on.p50_open_s << "s vs unskewed "
+      << control.p50_open_s << "s";
+  std::printf(
+      "\nexpect: board=off fails its shed opens (rejects > 0, failed > 0); "
+      "board=on\nlands every open via sibling retries with 0 failures, every "
+      "shard's granted\npeak <= pool, and p50 within 2x of the uniform "
+      "control.\n");
 
   report.WriteMerged();
   std::printf(

@@ -8,6 +8,8 @@
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/common/trace.h"
+#include "src/load/admission.h"
+#include "src/load/load_board.h"
 #include "src/media/factories.h"
 #include "src/media/mms.h"
 #include "src/naming/name_client.h"
@@ -39,6 +41,13 @@ sim::ChaosSpec BuildSpec(const FuzzOptions& options,
   // Everything the deployment runs, including infrastructure: the SSC
   // restarts what it manages, the CSC replaces what it placed.
   spec.kill_names = {"mmsd", "mdsd", "nsd", "rasd", "settopmgr", "trunkd"};
+  if (options.skewed_load) {
+    // The skewed sweep leans on the load board (sibling retry, MMS board
+    // snapshots), so the board itself must be fair game: it is soft state
+    // and everything must degrade to polling while it is down. Kept out of
+    // the default list so pinned-corpus schedules stay byte-for-byte stable.
+    spec.kill_names.push_back("loadboardd");
+  }
   for (uint8_t nb = 1; nb <= options.neighborhood_count; ++nb) {
     spec.kill_names.push_back("rdsd-" + std::to_string(nb));
     spec.kill_names.push_back("cmgrd-" + std::to_string(nb));
@@ -208,9 +217,25 @@ FuzzResult Run(uint64_t seed, const sim::ChaosPlan* replay,
                                           [play, i] { (*play)(i); });
     });
   };
+  // The map viewers boot under; skewed placement and the admission probe
+  // both hash against it (a later reshard supersedes it for convergence).
+  wire::ShardMap boot_map{options.mms_shards, wire::kDefaultShardSalt};
   for (size_t i = 0; i < options.viewer_count; ++i) {
     uint8_t nb = static_cast<uint8_t>(i % options.neighborhood_count) + 1;
-    sim::Node& settop = harness.AddSettop(nb);
+    sim::Node* settop_node = &harness.AddSettop(nb);
+    if (options.skewed_load && options.mms_shards > 1 && i % 5 != 4) {
+      // 80/20 skew: four of five viewers must land on the hot shard. Host
+      // addresses are assigned by the harness, so filter: keep adding
+      // settops until one hashes to shard 0 (the extras sit idle — they are
+      // not viewers and never enter the fault schedule).
+      for (int attempt = 0;
+           attempt < 32 &&
+           wire::ShardOf(settop_node->host(), boot_map) != 0;
+           ++attempt) {
+        settop_node = &harness.AddSettop(nb);
+      }
+    }
+    sim::Node& settop = *settop_node;
     settop_hosts.push_back(settop.host());
     sim::Process& p = settop.Spawn("viewer");
     settop::VodApp::Options vopts;
@@ -226,6 +251,11 @@ FuzzResult Run(uint64_t seed, const sim::ChaosPlan* replay,
     // the convergence window instead of surfacing an honest error the app
     // recovers from.
     vopts.mms_rebind.deadline = Duration::Seconds(30);
+    if (options.skewed_load) {
+      // Shard-aware placement: a shed open consults the board and retries
+      // against the least-loaded sibling shard instead of replaying blind.
+      vopts.load_board_path = std::string(load::kLoadBoardName);
+    }
     auto* vod = p.Emplace<settop::VodApp>(p.runtime(), p.executor(),
                                           harness.ClientFor(p), vopts,
                                           &harness.metrics());
@@ -256,7 +286,7 @@ FuzzResult Run(uint64_t seed, const sim::ChaosPlan* replay,
   // the storm is aimed at the services carrying out the cutover, not at the
   // operator ordering it. `mms_map` tracks the map the run should converge
   // on; the fresh-client probe and the reshard invariant both use it.
-  wire::ShardMap mms_map{options.mms_shards, wire::kDefaultShardSalt};
+  wire::ShardMap mms_map = boot_map;
   if (options.reshard_to > 0) {
     wire::ShardMap successor = wire::NextShardMap(mms_map, options.reshard_to);
     sim::Node& ctl_node = harness.AddSettop(1);
@@ -390,6 +420,36 @@ FuzzResult Run(uint64_t seed, const sim::ChaosPlan* replay,
         CheckReshardConverged(harness, cluster, mms_map, settop_hosts);
   }
 
+  // Admission audit (ROADMAP "Shard-aware admission"): snapshot every MMS
+  // shard's pool ledger over RPC so the admission-sound invariant can assert
+  // grants never exceeded the pool — probed here, before the quiescent
+  // monitor runs, because invariant lambdas cannot advance virtual time.
+  std::vector<load::AdmissionState> admission_states;
+  Status admission_probe = OkStatus();
+  if (options.mms_shards > 1) {
+    for (uint32_t shard = 0; shard < mms_map.shard_count; ++shard) {
+      sim::Process& p = harness.SpawnProcessOn(
+          0, "admission-probe-" + std::to_string(shard + 1));
+      auto ref = harness.ClientFor(p).Resolve(
+          wire::ShardPath(media::kMmsName, shard, mms_map));
+      cluster.RunFor(Duration::Seconds(3));
+      if (!ref.is_ready() || !ref.result().ok()) {
+        admission_probe = UnavailableError(StrFormat(
+            "shard %u primary unresolvable for admission audit", shard + 1));
+        break;
+      }
+      auto state =
+          media::MmsProxy(p.runtime(), ref.result().value()).GetAdmission();
+      cluster.RunFor(Duration::Seconds(2));
+      if (!state.is_ready() || !state.result().ok()) {
+        admission_probe = UnavailableError(
+            StrFormat("shard %u admission state unreachable", shard + 1));
+        break;
+      }
+      admission_states.push_back(state.result().value());
+    }
+  }
+
   // --- Quiescent invariants (paper bound has elapsed) -------------------------
   monitor.AddQuiescent("binding-convergence", [&]() -> Status {
     for (size_t i = 0; i < viewers->size(); ++i) {
@@ -416,6 +476,49 @@ FuzzResult Run(uint64_t seed, const sim::ChaosPlan* replay,
                          [reshard_status]() -> Status {
                            return reshard_status;
                          });
+  }
+  if (options.mms_shards > 1) {
+    monitor.AddQuiescent("admission-sound", [&, admission_states,
+                                            admission_probe]() -> Status {
+      if (!admission_probe.ok()) {
+        return admission_probe;
+      }
+      int64_t max_headroom = 0;
+      for (size_t shard = 0; shard < admission_states.size(); ++shard) {
+        const load::AdmissionState& state = admission_states[shard];
+        if (state.pool_bps <= 0) {
+          continue;  // Pool disabled on this shard; nothing to audit.
+        }
+        // Grants must never have exceeded the pool. reserved_bps MAY sit
+        // above it (adopted fail-over/reshard sessions are accounted but
+        // never rejected); peak_granted_bps tracks only the TryAdmit path.
+        if (state.peak_granted_bps > state.pool_bps) {
+          return InternalError(StrFormat(
+              "shard %zu granted %lld bps, past its %lld bps pool",
+              shard + 1, static_cast<long long>(state.peak_granted_bps),
+              static_cast<long long>(state.pool_bps)));
+        }
+        max_headroom =
+            std::max(max_headroom, state.pool_bps - state.reserved_bps);
+      }
+      if (options.skewed_load) {
+        // Placement soundness: a viewer still shed at quiescence while a
+        // sibling shard holds a stream's worth of headroom means the board
+        // retry failed to spread the skew.
+        for (size_t i = 0; i < viewers->size(); ++i) {
+          const Viewer& viewer = (*viewers)[i];
+          if (!viewer.vod->playing() &&
+              IsResourceExhausted(viewer.last_error) &&
+              max_headroom >= 3'000'000) {
+            return UnavailableError(StrFormat(
+                "viewer %zu shed with RESOURCE_EXHAUSTED while a sibling "
+                "shard holds %lld bps headroom",
+                i, static_cast<long long>(max_headroom)));
+          }
+        }
+      }
+      return OkStatus();
+    });
   }
   monitor.AddQuiescent("ras-reclamation", [&harness, &cluster]() -> Status {
     for (naming::NameServer* ns : harness.LiveNameServers()) {

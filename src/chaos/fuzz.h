@@ -31,6 +31,13 @@
 //                         successor map, and every viewer settop is held by
 //                         some shard — no session lost in the cutover, none
 //                         stranded on (or double-adopted from) a source.
+//   admission-sound       (with mms_shards > 1) no MMS shard ever GRANTED
+//                         reservations past its admission pool
+//                         (peak_granted_bps <= pool_bps — adopted fail-over
+//                         sessions may exceed it, grants may not), and under
+//                         a skewed workload no viewer is left shed with
+//                         RESOURCE_EXHAUSTED at quiescence while a sibling
+//                         shard holds stream-sized headroom.
 //   no-leaks              event-queue size is stable at teardown and process
 //                         accounting is consistent (no leaked timers or
 //                         zombie processes).
@@ -67,6 +74,14 @@ struct FuzzOptions {
   // lifecycle paths are per-shard, and the monitor groups by full path.
   uint32_t mms_shards = 1;
   uint32_t cmgr_shards = 1;
+
+  // Skewed-load admission stress (ROADMAP "Shard-aware admission"): place
+  // ~80% of the viewers on settop hosts that hash to MMS shard 0, so the hot
+  // shard's admission pool (auto-enabled when mms_shards > 1) runs dry while
+  // its siblings idle. Viewers get a load-board path so a shed open retries
+  // against the least-loaded sibling, the board service joins the kill list,
+  // and quiescence additionally requires admission-sound (see below).
+  bool skewed_load = false;
 
   // Live reshard (ROADMAP "Shard rebalancing"): when nonzero, a controller on
   // a node the schedule never targets publishes the successor MMS shard map

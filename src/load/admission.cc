@@ -1,0 +1,82 @@
+#include "src/load/admission.h"
+
+#include <cstdlib>
+
+namespace itv::load {
+
+int64_t AdmissionController::HighMark() const {
+  return static_cast<int64_t>(static_cast<double>(options_.pool_bps) *
+                              options_.high_watermark);
+}
+
+int64_t AdmissionController::LowMark() const {
+  return static_cast<int64_t>(static_cast<double>(options_.pool_bps) *
+                              options_.low_watermark);
+}
+
+Status AdmissionController::TryAdmit(int64_t bps) {
+  if (!enabled()) {
+    return OkStatus();
+  }
+  // Hysteresis: once shedding, stay shedding until reservations drain to the
+  // low watermark — a shard at the boundary must not admit/reject per grant.
+  if (shedding_ && reserved_bps_ > LowMark()) {
+    ++rejects_;
+    return ResourceExhaustedError(AppendRetryAfter(
+        "shard admission shedding load", options_.retry_after));
+  }
+  shedding_ = false;
+  if (reserved_bps_ + bps > HighMark() || reserved_bps_ + bps > pool_bps()) {
+    shedding_ = true;
+    ++rejects_;
+    return ResourceExhaustedError(AppendRetryAfter(
+        "shard bandwidth pool exhausted", options_.retry_after));
+  }
+  reserved_bps_ += bps;
+  if (reserved_bps_ > peak_granted_bps_) {
+    peak_granted_bps_ = reserved_bps_;
+  }
+  return OkStatus();
+}
+
+void AdmissionController::Adopt(int64_t bps) {
+  if (!enabled()) {
+    return;
+  }
+  reserved_bps_ += bps;
+}
+
+void AdmissionController::Release(int64_t bps) {
+  if (!enabled()) {
+    return;
+  }
+  reserved_bps_ -= bps;
+  if (reserved_bps_ < 0) {
+    reserved_bps_ = 0;
+  }
+}
+
+std::string AppendRetryAfter(std::string message, Duration retry_after) {
+  message += " (retry-after=";
+  message += std::to_string(retry_after.millis());
+  message += "ms)";
+  return message;
+}
+
+Duration RetryAfterHint(const Status& status) {
+  const std::string& message = status.message();
+  static constexpr std::string_view kKey = "retry-after=";
+  size_t pos = message.find(kKey);
+  if (pos == std::string::npos) {
+    return Duration();
+  }
+  const char* begin = message.c_str() + pos + kKey.size();
+  char* end = nullptr;
+  long long ms = std::strtoll(begin, &end, 10);
+  if (end == begin || ms < 0) {
+    return Duration();
+  }
+  return Duration::Millis(ms);
+}
+
+}  // namespace itv::load

@@ -1,0 +1,112 @@
+// AdmissionController: a per-shard bandwidth grant budget with watermark
+// hysteresis (ROADMAP "Shard-aware admission").
+//
+// An MMS shard that brokers opens against a shared MDS pool must not queue
+// opens into timeout once the pool is spent — it sheds them fast with
+// RESOURCE_EXHAUSTED plus a retry-after hint, and keeps shedding (hysteresis)
+// until reservations fall back below the low watermark, so admission doesn't
+// flap grant-by-grant at the boundary.
+//
+// Two ways bandwidth enters the ledger:
+//   TryAdmit  the grant path: enforced against the pool, counted in
+//             peak_granted_bps (the chaos invariant asserts granted
+//             reservations NEVER exceed the pool),
+//   Adopt     inherited sessions (fail-over rebuild, reshard handoff): they
+//             were admitted elsewhere and their streams are live, so they are
+//             accounted but never rejected — an over-pool inherited ledger
+//             just keeps the shard shedding new grants until closes drain it.
+
+#ifndef SRC_LOAD_ADMISSION_H_
+#define SRC_LOAD_ADMISSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/wire/serialize.h"
+
+namespace itv::load {
+
+class AdmissionController {
+ public:
+  struct Options {
+    // Total bandwidth this controller may grant; 0 disables admission
+    // (every TryAdmit succeeds and nothing is tracked against a pool).
+    int64_t pool_bps = 0;
+    // Shedding starts when a grant would push reservations above
+    // high_watermark * pool, and stops once they fall to or below
+    // low_watermark * pool.
+    double high_watermark = 1.0;
+    double low_watermark = 0.9;
+    // Retry hint embedded in shed errors (see RetryAfterHint).
+    Duration retry_after = Duration::Seconds(2);
+  };
+
+  AdmissionController() = default;
+  explicit AdmissionController(Options options) : options_(options) {}
+
+  // Grants `bps` or sheds with RESOURCE_EXHAUSTED (+ retry-after hint).
+  Status TryAdmit(int64_t bps);
+  // Accounts a reservation admitted elsewhere (adoption); never rejects.
+  void Adopt(int64_t bps);
+  void Release(int64_t bps);
+
+  int64_t pool_bps() const { return options_.pool_bps; }
+  int64_t reserved_bps() const { return reserved_bps_; }
+  // Highest reservation level ever reached THROUGH TryAdmit. Adoptions move
+  // reserved_bps but not this: the invariant is about what this controller
+  // granted, not what it inherited.
+  int64_t peak_granted_bps() const { return peak_granted_bps_; }
+  uint64_t rejects() const { return rejects_; }
+  bool shedding() const { return shedding_; }
+  bool enabled() const { return options_.pool_bps > 0; }
+
+ private:
+  int64_t HighMark() const;
+  int64_t LowMark() const;
+
+  Options options_;
+  int64_t reserved_bps_ = 0;
+  int64_t peak_granted_bps_ = 0;
+  uint64_t rejects_ = 0;
+  bool shedding_ = false;
+};
+
+// Admission state of one shard, served by MmsService::GetAdmission so
+// benches and the chaos CheckAdmissionSound invariant can audit the pool.
+struct AdmissionState {
+  int64_t pool_bps = 0;
+  int64_t reserved_bps = 0;
+  int64_t peak_granted_bps = 0;
+  uint64_t rejects = 0;
+  bool shedding = false;
+
+  friend bool operator==(const AdmissionState&, const AdmissionState&) =
+      default;
+};
+
+inline void WireWrite(wire::Writer& w, const AdmissionState& s) {
+  w.WriteI64(s.pool_bps);
+  w.WriteI64(s.reserved_bps);
+  w.WriteI64(s.peak_granted_bps);
+  w.WriteU64(s.rejects);
+  w.WriteBool(s.shedding);
+}
+inline void WireRead(wire::Reader& r, AdmissionState* s) {
+  s->pool_bps = r.ReadI64();
+  s->reserved_bps = r.ReadI64();
+  s->peak_granted_bps = r.ReadI64();
+  s->rejects = r.ReadU64();
+  s->shedding = r.ReadBool();
+}
+
+// Shed errors carry a machine-readable "retry-after=<ms>ms" hint in the
+// status message (Status is code + message only). Returns the hinted delay,
+// or zero when the status carries none.
+Duration RetryAfterHint(const Status& status);
+std::string AppendRetryAfter(std::string message, Duration retry_after);
+
+}  // namespace itv::load
+
+#endif  // SRC_LOAD_ADMISSION_H_

@@ -1,0 +1,81 @@
+#include "src/load/load_board.h"
+
+#include <utility>
+
+namespace itv::load {
+
+LoadBoardService::LoadBoardService(rpc::ObjectRuntime& runtime,
+                                   Executor& executor, Options options,
+                                   Metrics* metrics)
+    : runtime_(runtime),
+      executor_(executor),
+      options_(options),
+      metrics_(metrics) {}
+
+void LoadBoardService::Apply(const LoadReport& report) {
+  auto it = entries_.find(report.reporter);
+  if (it != entries_.end()) {
+    bool stale_entry =
+        executor_.Now() - it->second.received > options_.entry_ttl;
+    if (report.seq < it->second.report.seq && !stale_entry) {
+      // A delayed report from behind the producer's current sequence (or
+      // from a previous incarnation). Past the TTL the old sequence is no
+      // authority — a restarted producer may legitimately restart lower.
+      Count("loadboard.report_stale_seq");
+      return;
+    }
+  }
+  entries_[report.reporter] = Entry{report, executor_.Now()};
+  Count("loadboard.report");
+}
+
+std::vector<LoadReport> LoadBoardService::SnapshotFresh(
+    const std::string& prefix) {
+  Time now = executor_.Now();
+  std::vector<LoadReport> out;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.received > options_.entry_ttl) {
+      it = entries_.erase(it);  // Decayed: the producer stopped reporting.
+      Count("loadboard.entry_decayed");
+      continue;
+    }
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      out.push_back(it->second.report);
+    }
+    ++it;
+  }
+  return out;
+}
+
+void LoadBoardService::Dispatch(uint32_t method_id, const wire::Bytes& args,
+                                const rpc::CallContext& ctx,
+                                rpc::ReplyFn reply) {
+  switch (method_id) {
+    case kLoadBoardMethodReport: {
+      LoadReport report;
+      if (!rpc::DecodeArgs(args, &report) || report.reporter.empty()) {
+        return rpc::ReplyBadArgs(reply);
+      }
+      Apply(report);
+      return rpc::ReplyOk(reply);
+    }
+    case kLoadBoardMethodSnapshot: {
+      std::string prefix;
+      if (!rpc::DecodeArgs(args, &prefix)) {
+        return rpc::ReplyBadArgs(reply);
+      }
+      Count("loadboard.snapshot");
+      return rpc::ReplyWith(reply, SnapshotFresh(prefix));
+    }
+    default:
+      return rpc::ReplyBadMethod(reply, method_id);
+  }
+}
+
+void LoadBoardService::Count(std::string_view name) {
+  if (metrics_ != nullptr) {
+    metrics_->Add(name);
+  }
+}
+
+}  // namespace itv::load

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/load/load_board.h"
 #include "src/media/cmgr.h"
 #include "src/svc/shard_host.h"
 
@@ -14,10 +15,9 @@ namespace {
 // Publishes `ref` under `path` through a ServiceLifecycle: the lifecycle
 // announces the object to the SSC, ensures the parent contexts, and runs the
 // primary/backup election.
-svc::ServiceLifecycle* PublishService(const svc::ServiceContext& ctx,
-                                      const std::string& path,
-                                      const wire::ObjectRef& ref) {
-  svc::ServiceLifecycle::Hooks hooks;
+svc::ServiceLifecycle* PublishService(
+    const svc::ServiceContext& ctx, const std::string& path,
+    const wire::ObjectRef& ref, svc::ServiceLifecycle::Hooks hooks = {}) {
   hooks.ready_objects = {ref};
   return ctx.StartLifecycle(path, ref, std::move(hooks));
 }
@@ -79,8 +79,37 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
         ctx.process.runtime(), ctx.process.executor(), std::move(library), opts,
         ctx.metrics);
     wire::ObjectRef ref = mds->Export();
-    PublishService(ctx, "svc/mds/" + std::to_string(index + 1), ref);
+    svc::ServiceLifecycle::Hooks hooks;
+    if (deployment.load_board) {
+      // Publish this replica's load to the board, carrying the MDS's own
+      // load sequence so MMS consumers can reconcile optimistic deltas.
+      hooks.load_sample = [mds] {
+        MdsLoad load = mds->CurrentLoad();
+        load::LoadReport report;
+        report.active_streams = load.active_streams;
+        report.reserved_bps = load.reserved_bps;
+        report.capacity_bps = load.capacity_bps;
+        report.seq = load.seq;
+        return report;
+      };
+      hooks.load_report_interval = deployment.load_report_interval;
+    }
+    PublishService(ctx, "svc/mds/" + std::to_string(index + 1), ref,
+                   std::move(hooks));
   });
+
+  // --- Cluster load board ---------------------------------------------------------
+  if (deployment.load_board) {
+    harness.RegisterServiceType(
+        "loadboardd", [deployment](const svc::ServiceContext& ctx) {
+          load::LoadBoardService::Options opts;
+          opts.entry_ttl = deployment.load_board_ttl;
+          auto* board = ctx.process.Emplace<load::LoadBoardService>(
+              ctx.process.runtime(), ctx.process.executor(), opts, ctx.metrics);
+          wire::ObjectRef ref = board->Export();
+          PublishService(ctx, std::string(load::kLoadBoardName), ref);
+        });
+  }
 
   // --- Trunk replicas -----------------------------------------------------------
   harness.RegisterServiceType("trunkd", [deployment](
@@ -106,7 +135,7 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
           host_opts.poll = deployment.shard_map_poll;
           auto* shard_host = ctx.process.Emplace<svc::ShardHost>(
               ctx, CmgrName(nb), host_opts,
-              [ctx, nb](uint32_t shard, const wire::ShardMap& map) {
+              [ctx, nb, deployment](uint32_t shard, const wire::ShardMap& map) {
                 CmgrService::Options opts;
                 opts.neighborhood = nb;
                 opts.shard_index = shard;
@@ -129,6 +158,17 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
                 svc::ShardHost::Shard hosted;
                 hosted.ref = cmgr->ref();
                 hosted.hooks.on_promoted = [cmgr] { cmgr->OnPromoted(); };
+                if (deployment.load_board) {
+                  hosted.hooks.load_sample = [cmgr] {
+                    load::LoadReport report;
+                    report.active_streams =
+                        static_cast<uint32_t>(cmgr->active_connections());
+                    report.reserved_bps = cmgr->TotalReservedBps();
+                    return report;
+                  };
+                  hosted.hooks.load_report_interval =
+                      deployment.load_report_interval;
+                }
                 hosted.attach = [cmgr](svc::ServiceLifecycle* lifecycle) {
                   cmgr->AttachLifecycle(lifecycle);
                 };
@@ -160,7 +200,19 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
   // --- MMS --------------------------------------------------------------------------
   const size_t mms_replica_count =
       std::min(servers, std::max<size_t>(deployment.mms_replicas, 1));
-  harness.RegisterServiceType("mmsd", [deployment, mms_replica_count](
+  // Admission pool per shard: auto (-1) splits total MDS capacity evenly
+  // across shards, but only for sharded deployments — a single-shard MMS
+  // keeps the classic no-pool behaviour.
+  int64_t mms_pool_bps = deployment.mms_admission_pool_bps;
+  if (mms_pool_bps < 0) {
+    mms_pool_bps = deployment.mms_shards > 1
+                       ? deployment.mds_capacity_bps *
+                             static_cast<int64_t>(servers) /
+                             deployment.mms_shards
+                       : 0;
+  }
+  harness.RegisterServiceType("mmsd", [deployment, mms_replica_count,
+                                       mms_pool_bps](
                                           const svc::ServiceContext& ctx) {
     svc::ShardHost::Options host_opts;
     host_opts.rank = ServerIndexOf(ctx.harness, ctx.process.host());
@@ -169,10 +221,17 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
     host_opts.poll = deployment.shard_map_poll;
     auto* shard_host = ctx.process.Emplace<svc::ShardHost>(
         ctx, std::string(kMmsName), host_opts,
-        [ctx, deployment](uint32_t shard, const wire::ShardMap& map) {
+        [ctx, deployment, mms_pool_bps](uint32_t shard,
+                                        const wire::ShardMap& map) {
           MmsService::Options mms_opts = deployment.mms;
           mms_opts.shard_index = shard;
           mms_opts.shard_map = map;
+          if (mms_opts.admission.pool_bps == 0) {
+            mms_opts.admission.pool_bps = mms_pool_bps;
+          }
+          if (deployment.load_board && mms_opts.load_board_path.empty()) {
+            mms_opts.load_board_path = std::string(load::kLoadBoardName);
+          }
           auto* mms = ctx.process.Emplace<MmsService>(
               ctx.process.runtime(), ctx.process.executor(),
               ctx.MakeNameClient(), mms_opts, ctx.metrics);
@@ -191,6 +250,11 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
           };
           hosted.hooks.on_promoted = [mms] { mms->OnPromoted(); };
           hosted.hooks.on_demoted = [mms] { mms->OnDemotedRole(); };
+          if (deployment.load_board) {
+            hosted.hooks.load_sample = [mms] { return mms->LoadSample(); };
+            hosted.hooks.load_report_interval =
+                deployment.load_report_interval;
+          }
           hosted.attach = [mms](svc::ServiceLifecycle* lifecycle) {
             mms->AttachLifecycle(lifecycle);
           };
@@ -275,6 +339,12 @@ void RegisterMediaServices(svc::ClusterHarness& harness,
   harness.AssignService("kernelcastd", harness.HostOf(0));
   if (servers > 1) {
     harness.AssignService("kernelcastd", harness.HostOf(1));
+  }
+  if (deployment.load_board) {
+    harness.AssignService("loadboardd", harness.HostOf(0));
+    if (servers > 1) {
+      harness.AssignService("loadboardd", harness.HostOf(1));
+    }
   }
 }
 

@@ -44,6 +44,21 @@ struct MediaDeployment {
 
   MmsService::Options mms;
   Duration mds_chunk_period = Duration::Millis(500);
+
+  // --- Load board & admission (ROADMAP "Shard-aware admission") ---------------
+  // Deploy the cluster load board (svc/loadboard, primary/backup on the
+  // first two servers) and wire every MDS replica and MMS/CMgr shard primary
+  // to publish load reports to it; the MMS then reads board snapshots
+  // instead of GetLoad-polling every replica, and settops retry shed opens
+  // against the least-loaded sibling shard.
+  bool load_board = true;
+  Duration load_report_interval = Duration::Seconds(2);
+  Duration load_board_ttl = Duration::Seconds(10);
+  // Per-MMS-shard admission pool. -1 (auto): with mms_shards > 1, an even
+  // split of the cluster's total MDS capacity across shards; unsharded
+  // deployments get no pool (admission off, preserving classic behaviour).
+  // 0 disables admission explicitly; > 0 sets the pool per shard.
+  int64_t mms_admission_pool_bps = -1;
   // MDS ghost reclamation (MdsService::Options::unplayed_grace): close
   // streams that were opened but never Played within this grace. Off by
   // default — tests and benches legitimately hold null-sink sessions open;

@@ -118,7 +118,8 @@ MdsService::MdsService(rpc::ObjectRuntime& runtime, Executor& executor,
       library_(std::move(library)),
       options_(options),
       metrics_(metrics),
-      next_stream_id_(runtime.incarnation() << 20) {
+      next_stream_id_(runtime.incarnation() << 20),
+      load_seq_(runtime.incarnation() << 20) {
   if (!options_.unplayed_grace.is_zero()) {
     reclaim_timer_.Start(executor_, options_.unplayed_grace / 2,
                          [this] { ReclaimUnplayed(); });
@@ -155,6 +156,7 @@ Result<MovieTicket> MdsService::HandleOpen(const std::string& title,
   ticket.stream_id = stream_id;
   ticket.movie = session->ref();
   reserved_bps_ += movie->bitrate_bps;
+  ticket.load_seq = ++load_seq_;
   sessions_[stream_id] = std::move(session);
   Count("mds.open");
   return ticket;
@@ -166,8 +168,18 @@ void MdsService::HandleClose(uint64_t stream_id) {
     return;
   }
   reserved_bps_ -= it->second->info().bitrate_bps;
+  ++load_seq_;
   sessions_.erase(it);
   Count("mds.close");
+}
+
+MdsLoad MdsService::CurrentLoad() const {
+  MdsLoad load;
+  load.active_streams = static_cast<uint32_t>(sessions_.size());
+  load.reserved_bps = reserved_bps_;
+  load.capacity_bps = options_.capacity_bps;
+  load.seq = load_seq_;
+  return load;
 }
 
 void MdsService::ReclaimUnplayed() {
@@ -207,13 +219,8 @@ void MdsService::Dispatch(uint32_t method_id, const wire::Bytes& args,
     }
     case kMdsMethodGetInventory:
       return rpc::ReplyWith(reply, library_);
-    case kMdsMethodGetLoad: {
-      MdsLoad load;
-      load.active_streams = static_cast<uint32_t>(sessions_.size());
-      load.reserved_bps = reserved_bps_;
-      load.capacity_bps = options_.capacity_bps;
-      return rpc::ReplyWith(reply, load);
-    }
+    case kMdsMethodGetLoad:
+      return rpc::ReplyWith(reply, CurrentLoad());
     case kMdsMethodListSessions: {
       std::vector<SessionInfo> out;
       out.reserve(sessions_.size());
@@ -228,7 +235,9 @@ void MdsService::Dispatch(uint32_t method_id, const wire::Bytes& args,
         return rpc::ReplyBadArgs(reply);
       }
       HandleClose(stream_id);
-      return rpc::ReplyOk(reply);
+      // Reply with the post-close load sequence: the MMS uses it to retire
+      // its optimistic decrement once a snapshot covers the close.
+      return rpc::ReplyWith(reply, load_seq_);
     }
     default:
       return rpc::ReplyBadMethod(reply, method_id);

@@ -45,6 +45,10 @@ struct MdsLoad {
   uint32_t active_streams = 0;
   int64_t reserved_bps = 0;
   int64_t capacity_bps = 0;
+  // Load sequence: bumped by the MDS on every open/close/reclaim, so an MMS
+  // can order a snapshot against its own optimistic deltas (mms.h) instead
+  // of blindly adjusting a figure the snapshot may already include.
+  uint64_t seq = 0;
 
   friend bool operator==(const MdsLoad&, const MdsLoad&) = default;
 };
@@ -53,16 +57,24 @@ inline void WireWrite(wire::Writer& w, const MdsLoad& l) {
   w.WriteU32(l.active_streams);
   w.WriteI64(l.reserved_bps);
   w.WriteI64(l.capacity_bps);
+  w.WriteU64(l.seq);
 }
 inline void WireRead(wire::Reader& r, MdsLoad* l) {
   l->active_streams = r.ReadU32();
   l->reserved_bps = r.ReadI64();
   l->capacity_bps = r.ReadI64();
+  // Trailing field, absent from pre-seq encoders. Safe only because MdsLoad
+  // is always decoded standalone (the GetLoad reply), never nested inside a
+  // larger message.
+  l->seq = r.remaining() > 0 ? r.ReadU64() : 0;
 }
 
 struct MovieTicket {
   uint64_t stream_id = 0;
   wire::ObjectRef movie;
+  // The MDS load sequence AFTER this open was granted: any load snapshot at
+  // or past it already includes the stream (see MdsLoad::seq).
+  uint64_t load_seq = 0;
 
   friend bool operator==(const MovieTicket&, const MovieTicket&) = default;
 };
@@ -70,10 +82,14 @@ struct MovieTicket {
 inline void WireWrite(wire::Writer& w, const MovieTicket& t) {
   w.WriteU64(t.stream_id);
   WireWrite(w, t.movie);
+  w.WriteU64(t.load_seq);
 }
 inline void WireRead(wire::Reader& r, MovieTicket* t) {
   t->stream_id = r.ReadU64();
   WireRead(r, &t->movie);
+  // Trailing, legacy-optional — MovieTicket is only decoded standalone as
+  // the Open reply.
+  t->load_seq = r.remaining() > 0 ? r.ReadU64() : 0;
 }
 
 struct SessionInfo {
@@ -120,8 +136,11 @@ class MdsProxy : public rpc::Proxy {
     return rpc::DecodeReply<std::vector<SessionInfo>>(
         Call(kMdsMethodListSessions, {}, options));
   }
-  Future<void> Close(uint64_t stream_id) const {
-    return rpc::DecodeEmptyReply(Call(kMdsMethodClose, rpc::EncodeArgs(stream_id)));
+  // Returns the MDS load sequence AFTER the close took effect, so the caller
+  // can retire its optimistic decrement once a snapshot covers it.
+  Future<uint64_t> Close(uint64_t stream_id) const {
+    return rpc::DecodeReply<uint64_t>(
+        Call(kMdsMethodClose, rpc::EncodeArgs(stream_id)));
   }
 };
 
@@ -173,6 +192,10 @@ class MdsService : public rpc::Skeleton {
 
   size_t active_streams() const { return sessions_.size(); }
   int64_t reserved_bps() const { return reserved_bps_; }
+  uint64_t load_seq() const { return load_seq_; }
+  // The load this replica would serve from GetLoad right now (also the
+  // sample its lifecycle publishes to the cluster load board).
+  MdsLoad CurrentLoad() const;
   const std::vector<MovieInfo>& library() const { return library_; }
 
  private:
@@ -195,6 +218,9 @@ class MdsService : public rpc::Skeleton {
 
   uint64_t next_stream_id_;
   int64_t reserved_bps_ = 0;
+  // Bumped on every reservation change (open/close/reclaim); incarnation-
+  // seeded so a restarted replica's sequence still moves forward.
+  uint64_t load_seq_;
   std::map<uint64_t, std::unique_ptr<MovieObject>> sessions_;
   PeriodicTimer reclaim_timer_;
 };

@@ -18,6 +18,7 @@ MmsService::MmsService(rpc::ObjectRuntime& runtime, Executor& executor,
       metrics_(metrics),
       bindings_(runtime, name_client_.PathResolverFn()),
       cmgr_router_(bindings_),
+      admission_(options.admission),
       next_session_id_(runtime.incarnation() << 20) {}
 
 MmsService::~MmsService() = default;
@@ -112,6 +113,7 @@ size_t MmsService::DrainMovedSessions() {
     if (it->second.watch != 0) {
       audit_->Unwatch(it->second.watch);
     }
+    admission_.Release(it->second.connection.downstream_bps);
     sessions_.erase(it);
     Count(is_primary() ? "mms.session_handoff" : "mms.session_handoff_passive");
   }
@@ -120,7 +122,89 @@ size_t MmsService::DrainMovedSessions() {
 
 // --- MDS directory -------------------------------------------------------------
 
+MdsLoad MmsService::MdsReplica::EffectiveLoad() const {
+  MdsLoad out = load;
+  for (const LoadDelta& delta : pending) {
+    out.reserved_bps += delta.bps;
+    int64_t streams = static_cast<int64_t>(out.active_streams) + delta.streams;
+    out.active_streams = streams < 0 ? 0 : static_cast<uint32_t>(streams);
+  }
+  if (out.reserved_bps < 0) {
+    out.reserved_bps = 0;
+  }
+  return out;
+}
+
+void MmsService::ApplyLoadSnapshot(MdsReplica& replica,
+                                   const MdsLoad& snapshot) {
+  if (snapshot.seq < replica.load.seq) {
+    return;  // Stale: a fresher snapshot already landed (board/GetLoad race).
+  }
+  replica.load = snapshot;
+  std::erase_if(replica.pending, [&snapshot](const LoadDelta& delta) {
+    return delta.covered_seq != 0 && delta.covered_seq <= snapshot.seq;
+  });
+}
+
+bool MmsService::BoardFresh(const MdsReplica& replica) const {
+  if (options_.load_board_path.empty() || replica.board_seen == Time()) {
+    return false;
+  }
+  return executor_.Now() - replica.board_seen <=
+         options_.mds_refresh_interval * 2.0;
+}
+
+int64_t MmsService::BitrateOf(const std::string& title) const {
+  for (const auto& [name, replica] : mds_) {
+    auto it = replica.titles.find(title);
+    if (it != replica.titles.end()) {
+      return it->second.bitrate_bps;
+    }
+  }
+  return 0;
+}
+
+void MmsService::RefreshBoardLoads() {
+  bindings_.Bind<load::LoadBoardProxy>(options_.load_board_path)
+      .Call<std::vector<load::LoadReport>>(
+          [](const load::LoadBoardProxy& board) {
+            return board.Snapshot("svc/mds/");
+          },
+          [this](Result<std::vector<load::LoadReport>> reports) {
+            if (!reports.ok()) {
+              Count("mms.board_unreachable");
+              return;
+            }
+            Time now = executor_.Now();
+            for (const load::LoadReport& report : *reports) {
+              // Reporter paths are lifecycle paths ("svc/mds/<n>"); the
+              // directory keys replicas by binding name ("<n>").
+              size_t slash = report.reporter.rfind('/');
+              if (slash == std::string::npos) {
+                continue;
+              }
+              auto it = mds_.find(report.reporter.substr(slash + 1));
+              if (it == mds_.end()) {
+                continue;
+              }
+              MdsLoad snapshot;
+              snapshot.active_streams = report.active_streams;
+              snapshot.reserved_bps = report.reserved_bps;
+              snapshot.capacity_bps = report.capacity_bps;
+              snapshot.seq = report.seq;
+              ApplyLoadSnapshot(it->second, snapshot);
+              it->second.board_seen = now;
+              Count("mms.board_load_applied");
+            }
+          });
+}
+
 void MmsService::RefreshMdsDirectory() {
+  if (!options_.load_board_path.empty()) {
+    // One board snapshot replaces the per-replica GetLoad fan-out below;
+    // GetLoad stays as the fallback for replicas with no fresh board entry.
+    RefreshBoardLoads();
+  }
   name_client_.ListRepl("svc/mds").OnReady(
       [this](const Result<naming::BindingList>& r) {
         if (!r.ok()) {
@@ -161,6 +245,10 @@ void MmsService::ProbeReplica(const std::string& name,
     for (const MovieInfo& movie : *inv) {
       it->second.titles[movie.title] = movie;
     }
+    if (BoardFresh(it->second)) {
+      it->second.alive = true;  // The board already delivered its load.
+      return;
+    }
     MdsProxy mds(runtime_, ref);
     mds.GetLoad().OnReady([this, name, ref](const Result<MdsLoad>& load) {
       auto iter = mds_.find(name);
@@ -171,7 +259,7 @@ void MmsService::ProbeReplica(const std::string& name,
         iter->second.alive = false;
         return;
       }
-      iter->second.load = *load;
+      ApplyLoadSnapshot(iter->second, *load);
       iter->second.alive = true;
     });
   });
@@ -191,8 +279,9 @@ std::vector<MmsService::MdsReplica*> MmsService::CandidatesFor(
     if (saw_title != nullptr) {
       *saw_title = true;
     }
-    if (replica.load.reserved_bps + movie->second.bitrate_bps >
-        replica.load.capacity_bps) {
+    MdsLoad effective = replica.EffectiveLoad();
+    if (effective.reserved_bps + movie->second.bitrate_bps >
+        effective.capacity_bps) {
       continue;  // No disk/NIC bandwidth left on that server.
     }
     candidates.push_back(&replica);
@@ -200,7 +289,8 @@ std::vector<MmsService::MdsReplica*> MmsService::CandidatesFor(
   // "based on... the current loads at servers": least reserved first.
   std::sort(candidates.begin(), candidates.end(),
             [](const MdsReplica* a, const MdsReplica* b) {
-              return a->load.reserved_bps < b->load.reserved_bps;
+              return a->EffectiveLoad().reserved_bps <
+                     b->EffectiveLoad().reserved_bps;
             });
   return candidates;
 }
@@ -228,6 +318,25 @@ void MmsService::HandleOpen(const std::string& title, uint32_t settop_host,
     // outside a cutover a nonzero rate means some client routes with the
     // wrong map or salt.
     Count("mms.open_wrong_shard");
+  }
+  int64_t bitrate_bps = BitrateOf(title);
+  if (admission_.enabled() && bitrate_bps > 0) {
+    Status admitted = admission_.TryAdmit(bitrate_bps);
+    if (!admitted.ok()) {
+      // Fast-fail shed: the settop's open path retries against the
+      // least-loaded sibling shard off the load board (vod_app).
+      Count("mms.admission_shed");
+      return rpc::ReplyError(reply, admitted);
+    }
+    // The grant travels with the reply: every error path refunds it; success
+    // hands it to the session (refunded when the session leaves the table).
+    reply = [this, bitrate_bps, inner = std::move(reply)](Status s,
+                                                          wire::Bytes bytes) {
+      if (!s.ok()) {
+        admission_.Release(bitrate_bps);
+      }
+      inner(std::move(s), std::move(bytes));
+    };
   }
   bool saw_title = false;
   std::vector<MdsReplica*> candidates = CandidatesFor(title, &saw_title);
@@ -333,13 +442,19 @@ void MmsService::FinishOpen(MdsReplica* replica, const std::string& title,
             ras::EntityId::Settop(settop_host),
             [this, settop_host](const ras::EntityId&) { OnSettopDead(settop_host); });
         uint64_t session_id = session.session_id;
-        // Optimistically bump the cached load so rapid-fire opens spread.
+        // Optimistically bump the cached load so rapid-fire opens spread — a
+        // pending delta, retired once a snapshot reaches the open's load_seq
+        // (snapshots at or past it already include the stream).
         auto it = mds_.find(mds_name);
         if (it != mds_.end()) {
           auto movie = it->second.titles.find(title);
-          if (movie != it->second.titles.end()) {
-            it->second.load.reserved_bps += movie->second.bitrate_bps;
-            it->second.load.active_streams += 1;
+          if (movie != it->second.titles.end() &&
+              ticket->load_seq > it->second.load.seq) {
+            LoadDelta delta;
+            delta.covered_seq = ticket->load_seq;
+            delta.bps = movie->second.bitrate_bps;
+            delta.streams = 1;
+            it->second.pending.push_back(delta);
           }
         }
         sessions_[session_id] = std::move(session);
@@ -378,10 +493,57 @@ void MmsService::ReclaimSession(uint64_t session_id, bool tell_mds) {
     audit_->Unwatch(session.watch);
   }
 
+  admission_.Release(session.connection.downstream_bps);
+
   if (tell_mds) {
+    // Reflect the freed load locally right away — but as a pending delta,
+    // not the old blind decrement, which double-subtracted whenever a close
+    // raced a load refresh (the refresh already included the close, then the
+    // decrement landed on top). The delta starts unconfirmed (covered_seq 0);
+    // the Close reply's post-close sequence tags it so the next covering
+    // snapshot retires it.
+    uint64_t delta_id = 0;
+    auto replica = mds_.find(session.mds_name);
+    if (replica != mds_.end() && replica->second.ref == session.mds_ref) {
+      auto movie = replica->second.titles.find(session.title);
+      if (movie != replica->second.titles.end()) {
+        LoadDelta delta;
+        delta.id = delta_id = ++next_delta_id_;
+        delta.bps = -movie->second.bitrate_bps;
+        delta.streams = -1;
+        replica->second.pending.push_back(delta);
+      }
+    }
     // "it tells the MDS to deallocate movie resources" (Section 3.4.5).
     MdsProxy mds(runtime_, session.mds_ref);
-    mds.Close(session.stream_id).OnReady([](const Result<void>&) {});
+    std::string mds_name = session.mds_name;
+    wire::ObjectRef mds_ref = session.mds_ref;
+    mds.Close(session.stream_id)
+        .OnReady([this, mds_name, mds_ref,
+                  delta_id](const Result<uint64_t>& seq) {
+          if (delta_id == 0) {
+            return;
+          }
+          auto it = mds_.find(mds_name);
+          if (it == mds_.end() || it->second.ref != mds_ref) {
+            return;  // Replica entry rebuilt; the delta died with it.
+          }
+          auto& pending = it->second.pending;
+          auto delta = std::find_if(
+              pending.begin(), pending.end(),
+              [delta_id](const LoadDelta& d) { return d.id == delta_id; });
+          if (delta == pending.end()) {
+            return;
+          }
+          if (!seq.ok() || *seq <= it->second.load.seq) {
+            // Close failed (the next snapshot is authoritative; dropping the
+            // decrement errs on the pessimistic side) or a covering snapshot
+            // already landed.
+            pending.erase(delta);
+            return;
+          }
+          delta->covered_seq = *seq;
+        });
   }
   // "...and tells the connection manager to deallocate network bandwidth."
   uint8_t neighborhood = NeighborhoodOfHost(session.settop_host);
@@ -393,19 +555,6 @@ void MmsService::ReclaimSession(uint64_t session_id, bool tell_mds) {
             return cmgr.Release(connection_id);
           },
           [](Result<void>) {});
-
-  // Reflect the freed load locally right away.
-  auto replica = mds_.find(session.mds_name);
-  if (replica != mds_.end()) {
-    auto movie = replica->second.titles.find(session.title);
-    if (movie != replica->second.titles.end() &&
-        replica->second.load.reserved_bps >= movie->second.bitrate_bps) {
-      replica->second.load.reserved_bps -= movie->second.bitrate_bps;
-      if (replica->second.load.active_streams > 0) {
-        replica->second.load.active_streams -= 1;
-      }
-    }
-  }
 }
 
 void MmsService::OnSettopDead(uint32_t settop_host) {
@@ -485,6 +634,7 @@ void MmsService::AdoptSessions(const std::string& mds_name,
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if (it->second.mds_name == mds_name && it->second.watch == 0 &&
         reported.count(it->second.stream_id) == 0) {
+      admission_.Release(it->second.connection.downstream_bps);
       it = sessions_.erase(it);
       Count("mms.session_stale_pruned");
     } else {
@@ -527,6 +677,9 @@ void MmsService::AdoptSessions(const std::string& mds_name,
     session.stream_id = info.stream_id;
     session.movie = info.movie;
     session.connection = info.connection;
+    // Admitted elsewhere (a previous primary's tenure or another shard);
+    // its stream is live, so account it without re-judging the pool.
+    admission_.Adopt(info.connection.downstream_bps);
     if (register_watches) {
       session.watch = audit_->Watch(
           ras::EntityId::Settop(info.settop_host),
@@ -573,9 +726,27 @@ void MmsService::Dispatch(uint32_t method_id, const wire::Bytes& args,
       }
       return rpc::ReplyWith(reply, hosts);
     }
+    case kMmsMethodGetAdmission: {
+      load::AdmissionState state;
+      state.pool_bps = admission_.pool_bps();
+      state.reserved_bps = admission_.reserved_bps();
+      state.peak_granted_bps = admission_.peak_granted_bps();
+      state.rejects = admission_.rejects();
+      state.shedding = admission_.shedding();
+      return rpc::ReplyWith(reply, state);
+    }
     default:
       return rpc::ReplyBadMethod(reply, method_id);
   }
+}
+
+load::LoadReport MmsService::LoadSample() const {
+  load::LoadReport report;
+  report.active_streams = static_cast<uint32_t>(sessions_.size());
+  report.reserved_bps = admission_.reserved_bps();
+  report.capacity_bps = admission_.pool_bps();
+  report.admission_rejects = admission_.rejects();
+  return report;
 }
 
 void MmsService::Count(std::string_view name) {

@@ -31,6 +31,8 @@
 
 #include "src/common/executor.h"
 #include "src/common/metrics.h"
+#include "src/load/admission.h"
+#include "src/load/load_board.h"
 #include "src/media/cmgr.h"
 #include "src/media/mds.h"
 #include "src/media/types.h"
@@ -50,6 +52,7 @@ enum MmsMethod : uint32_t {
   kMmsMethodClose = 2,
   kMmsMethodListSessions = 3,
   kMmsMethodListSessionHosts = 4,
+  kMmsMethodGetAdmission = 5,
 };
 
 struct MmsTicket {
@@ -102,6 +105,13 @@ class MmsProxy : public rpc::Proxy {
     return rpc::DecodeReply<std::vector<uint32_t>>(
         Call(kMmsMethodListSessionHosts, {}));
   }
+  // This shard's admission-controller state (pool, reservations, peak,
+  // rejects). Benches and the chaos CheckAdmissionSound invariant audit the
+  // per-shard grant budget through it.
+  Future<load::AdmissionState> GetAdmission() const {
+    return rpc::DecodeReply<load::AdmissionState>(
+        Call(kMmsMethodGetAdmission, {}));
+  }
 };
 
 class MmsService : public rpc::Skeleton {
@@ -122,6 +132,14 @@ class MmsService : public rpc::Skeleton {
     // AdoptShardMap below.
     uint32_t shard_index = 0;
     wire::ShardMap shard_map;
+    // Cluster load board (ROADMAP "Shard-aware admission"): when set, the
+    // MDS refresh reads one board snapshot per tick instead of fanning a
+    // GetLoad out to every replica; GetLoad remains the fallback for
+    // replicas the board has no fresh entry for. Empty = classic polling.
+    std::string load_board_path;
+    // Per-shard grant budget. pool_bps 0 (the default) disables shard-level
+    // admission; the MDS capacity check then remains the only gate.
+    load::AdmissionController::Options admission;
   };
 
   MmsService(rpc::ObjectRuntime& runtime, Executor& executor,
@@ -163,18 +181,40 @@ class MmsService : public rpc::Skeleton {
   wire::ObjectRef ref() const { return ref_; }
   size_t session_count() const { return sessions_.size(); }
   size_t known_mds_count() const { return mds_.size(); }
+  const load::AdmissionController& admission() const { return admission_; }
+  // The sample this shard publishes to the cluster load board while primary.
+  load::LoadReport LoadSample() const;
 
   std::string_view interface_name() const override { return kMmsInterface; }
   void Dispatch(uint32_t method_id, const wire::Bytes& args,
                 const rpc::CallContext& ctx, rpc::ReplyFn reply) override;
 
  private:
+  // An optimistic load adjustment the MMS applied locally (open granted /
+  // close issued) that the latest authoritative snapshot may not cover yet.
+  // `covered_seq` is the MDS load sequence at or past which a snapshot
+  // already includes the change; 0 = not yet known (close reply in flight).
+  struct LoadDelta {
+    uint64_t covered_seq = 0;
+    int64_t bps = 0;
+    int32_t streams = 0;
+    uint64_t id = 0;  // Tags unconfirmed close deltas until the reply lands.
+  };
+
   struct MdsReplica {
     std::string name;  // Binding name under svc/mds.
     wire::ObjectRef ref;
     bool alive = false;
     std::map<std::string, MovieInfo> titles;
+    // Last authoritative snapshot (board report or GetLoad reply), plus the
+    // optimistic deltas not yet covered by it. The old single-field scheme
+    // (blind += / -= against whatever snapshot last landed) double-counted
+    // whenever a close raced a refresh; sequence reconciliation replaces it.
     MdsLoad load;
+    std::vector<LoadDelta> pending;
+    Time board_seen{};  // When a board-sourced snapshot last applied.
+
+    MdsLoad EffectiveLoad() const;
   };
 
   struct Session {
@@ -190,7 +230,16 @@ class MmsService : public rpc::Skeleton {
   };
 
   void RefreshMdsDirectory();
+  void RefreshBoardLoads();
   void ProbeReplica(const std::string& name, const wire::ObjectRef& ref);
+  // Adopts an authoritative load snapshot if it is at least as recent as the
+  // one we hold, and retires every pending delta it covers.
+  void ApplyLoadSnapshot(MdsReplica& replica, const MdsLoad& snapshot);
+  // Whether the board delivered a snapshot for this replica recently enough
+  // that the per-replica GetLoad poll can be skipped.
+  bool BoardFresh(const MdsReplica& replica) const;
+  // Bitrate of `title` per the freshest live inventory, or 0 if unknown.
+  int64_t BitrateOf(const std::string& title) const;
   // Candidates able to serve `title` now, best (least loaded) first.
   // `saw_title` (optional) reports whether any live replica holds the title
   // at all (distinguishes catalog misses from capacity exhaustion).
@@ -244,7 +293,10 @@ class MmsService : public rpc::Skeleton {
   // settop's budget lives on exactly one shard, so every Allocate/Release
   // for a settop must land there.
   rpc::ShardRouter cmgr_router_;
+  // Per-shard grant budget (disabled unless Options::admission.pool_bps set).
+  load::AdmissionController admission_;
   uint64_t next_session_id_;
+  uint64_t next_delta_id_ = 0;
   PeriodicTimer refresh_timer_;
 };
 

@@ -119,6 +119,40 @@ class ShardRouter {
         });
   }
 
+  // Routes one call to an EXPLICIT shard index under `base` (shard-aware
+  // placement: a client shed by its home shard retries against the sibling
+  // the load board names). Shares the cached-map machinery with Route; the
+  // index is clamped modulo the adopted map's shard count, and an unsharded
+  // base routes to the base path regardless of index.
+  void RouteShard(const std::string& base, uint32_t shard,
+                  const BindingOptions& binding_options,
+                  std::function<void(Binding&)> done) {
+    MapEntry& entry = maps_[base];
+    Time now = table_.runtime().executor().Now();
+    if (entry.valid && !entry.expired &&
+        now - entry.fetched <= options_.map_max_age) {
+      Count("shard.router.hits");
+      DispatchShard(base, entry.map, shard, binding_options, std::move(done));
+      return;
+    }
+    entry.waiters.push_back([this, base, shard, binding_options,
+                             done = std::move(done)](
+                                const wire::ShardMap& map) mutable {
+      DispatchShard(base, map, shard, binding_options, std::move(done));
+    });
+    if (entry.fetching) {
+      Count("shard.map.coalesced");
+      return;
+    }
+    entry.fetching = true;
+    Count("shard.map.reloads");
+    ++map_reloads_;
+    table_.resolver()(wire::ShardMapPath(base),
+                      [this, base](Result<wire::ObjectRef> r) {
+                        OnMapResult(base, std::move(r));
+                      });
+  }
+
   // Forces the next route under `base` to re-read the map.
   void ExpireMap(const std::string& base) {
     auto it = maps_.find(base);
@@ -164,6 +198,15 @@ class ShardRouter {
                 std::function<void(Binding&)> done) {
     done(table_.Get(wire::ShardPath(base, wire::ShardOf(key, map), map),
                     binding_options));
+  }
+
+  void DispatchShard(const std::string& base, const wire::ShardMap& map,
+                     uint32_t shard, const BindingOptions& binding_options,
+                     std::function<void(Binding&)> done) {
+    if (map.sharded()) {
+      shard %= map.shard_count;
+    }
+    done(table_.Get(wire::ShardPath(base, shard, map), binding_options));
   }
 
   void OnMapResult(const std::string& base, Result<wire::ObjectRef> r) {
@@ -264,6 +307,21 @@ class ShardedClient {
                      BoundClient<P>(*runtime, binding)
                          .template Call<T>(std::move(call), std::move(done));
                    });
+  }
+
+  // Like Call, but against an explicit shard index instead of a hashed key
+  // (sibling-shard retry after an admission shed).
+  template <typename T>
+  void CallShard(uint32_t shard, std::function<Future<T>(const P&)> call,
+                 std::function<void(Result<T>)> done) const {
+    ObjectRuntime* runtime = &router_->table().runtime();
+    router_->RouteShard(
+        base_, shard, options_,
+        [runtime, call = std::move(call),
+         done = std::move(done)](Binding& binding) mutable {
+          BoundClient<P>(*runtime, binding)
+              .template Call<T>(std::move(call), std::move(done));
+        });
   }
 
  private:

@@ -1,5 +1,6 @@
 #include "src/settop/vod_app.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -75,30 +76,41 @@ void VodApp::PlayMovie(const std::string& title,
 }
 
 void VodApp::OpenAndPlay(int64_t from_position) {
+  sibling_retried_ = false;
+  OpenAttempt(from_position, std::nullopt);
+}
+
+void VodApp::OpenAttempt(int64_t from_position,
+                         std::optional<uint32_t> shard) {
   uint32_t my_host = runtime_.local_endpoint().host;
-  mms_.Call<media::MmsTicket>(
-      my_host,
-      [title = title_, my_host, sink = sink_ref_](const media::MmsProxy& mms) {
-        return mms.Open(title, my_host, sink);
-      },
-      [this, from_position](Result<media::MmsTicket> ticket) {
+  auto call = [title = title_, my_host,
+               sink = sink_ref_](const media::MmsProxy& mms) {
+    return mms.Open(title, my_host, sink);
+  };
+  auto done = [this, from_position, shard](Result<media::MmsTicket> ticket) {
         if (!playing_) {
           // Stopped while opening: release what we just got.
           if (ticket.ok()) {
-            wire::ObjectRef movie = ticket->movie;
-            mms_.Call<void>(
-                runtime_.local_endpoint().host,
-                [movie](const media::MmsProxy& mms) { return mms.Close(movie); },
-                [](Result<void>) {});
+            CloseVia(shard, ticket->movie);
           }
           return;
         }
         if (!ticket.ok()) {
+          if (!shard.has_value() && !sibling_retried_ &&
+              !options_.load_board_path.empty() &&
+              IsResourceExhausted(ticket.status())) {
+            // Shed by the home shard's admission controller: ask the load
+            // board for a sibling shard with headroom and retry there once.
+            sibling_retried_ = true;
+            RetrySibling(from_position, ticket.status());
+            return;
+          }
           ITV_LOG(Info) << "vod: open '" << title_ << "' failed: "
                         << ticket.status().ToString();
           Finish(ticket.status());
           return;
         }
+        session_shard_ = shard;
         session_id_ = ticket->session_id;
         stream_id_ = ticket->stream_id;
         movie_ = ticket->movie;
@@ -132,7 +144,72 @@ void VodApp::OpenAndPlay(int64_t from_position) {
           gap_timer_ = executor_.ScheduleAfter(options_.data_gap_timeout,
                                                [this] { OnDataGap(); });
         });
-      });
+  };
+  if (shard.has_value()) {
+    mms_.CallShard<media::MmsTicket>(*shard, std::move(call), std::move(done));
+  } else {
+    mms_.Call<media::MmsTicket>(my_host, std::move(call), std::move(done));
+  }
+}
+
+void VodApp::RetrySibling(int64_t from_position, Status original) {
+  bindings_.Bind<load::LoadBoardProxy>(options_.load_board_path)
+      .Call<std::vector<load::LoadReport>>(
+          [](const load::LoadBoardProxy& board) {
+            return board.Snapshot(std::string(media::kMmsName));
+          },
+          [this, from_position,
+           original](Result<std::vector<load::LoadReport>> reports) {
+            if (!playing_) {
+              return;
+            }
+            std::optional<uint32_t> own;
+            if (std::optional<wire::ShardMap> map =
+                    router_.CachedMap(std::string(media::kMmsName));
+                map.has_value() && map->sharded()) {
+              own = wire::ShardOf(runtime_.local_endpoint().host, *map);
+            }
+            std::optional<uint32_t> best;
+            int64_t best_headroom = 0;
+            if (reports.ok()) {
+              for (const load::LoadReport& report : *reports) {
+                // Shard reporter paths are 1-based ("svc/mms/3" = shard 2);
+                // a non-numeric suffix is the unsharded base path.
+                size_t slash = report.reporter.rfind('/');
+                if (slash == std::string::npos) {
+                  continue;
+                }
+                std::string suffix = report.reporter.substr(slash + 1);
+                char* end = nullptr;
+                unsigned long parsed = std::strtoul(suffix.c_str(), &end, 10);
+                if (end == suffix.c_str() || *end != '\0' || parsed == 0) {
+                  continue;
+                }
+                uint32_t shard = static_cast<uint32_t>(parsed - 1);
+                if (own.has_value() && shard == *own) {
+                  continue;
+                }
+                if (report.headroom_bps() > best_headroom) {
+                  best = shard;
+                  best_headroom = report.headroom_bps();
+                }
+              }
+            }
+            if (!best.has_value()) {
+              // No sibling has headroom (or the board is unreachable): the
+              // home shard's shed error stands.
+              Finish(original);
+              return;
+            }
+            ++sibling_retries_;
+            if (metrics_ != nullptr) {
+              metrics_->Add("vod.sibling_retry");
+            }
+            ITV_LOG(Info) << "vod: open '" << title_ << "' shed by home shard; "
+                          << "retrying on shard " << *best + 1 << " ("
+                          << best_headroom << " bps headroom)";
+            OpenAttempt(from_position, best);
+          });
 }
 
 void VodApp::OnData(uint64_t stream_id, int64_t position, uint32_t chunk) {
@@ -197,13 +274,30 @@ void VodApp::CloseSession() {
     return;
   }
   wire::ObjectRef movie = movie_;
+  std::optional<uint32_t> shard = session_shard_;
   session_id_ = 0;
   stream_id_ = 0;
   movie_ = wire::ObjectRef{};
-  mms_.Call<void>(
-      runtime_.local_endpoint().host,
-      [movie](const media::MmsProxy& mms) { return mms.Close(movie); },
-      [](Result<void>) {});
+  session_shard_.reset();
+  CloseVia(shard, movie);
+}
+
+void VodApp::CloseVia(std::optional<uint32_t> shard,
+                      const wire::ObjectRef& movie) {
+  auto call = [movie](const media::MmsProxy& mms) { return mms.Close(movie); };
+  auto done = [this, shard, movie](Result<void> r) {
+    if (shard.has_value() && !r.ok() && IsNotFound(r.status())) {
+      // The sibling shard already handed the session off to the home shard
+      // (wrong-shard drain); close it there.
+      CloseVia(std::nullopt, movie);
+    }
+  };
+  if (shard.has_value()) {
+    mms_.CallShard<void>(*shard, std::move(call), std::move(done));
+  } else {
+    mms_.Call<void>(runtime_.local_endpoint().host, std::move(call),
+                    std::move(done));
+  }
 }
 
 void VodApp::Stop() {

@@ -15,11 +15,13 @@
 #define SRC_SETTOP_VOD_APP_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "src/common/executor.h"
 #include "src/common/metrics.h"
 #include "src/common/trace.h"
+#include "src/load/load_board.h"
 #include "src/media/mms.h"
 #include "src/naming/name_client.h"
 #include "src/rpc/binding_table.h"
@@ -35,6 +37,11 @@ class VodApp {
     Duration data_gap_timeout = Duration::Seconds(2);
     bool auto_resume = true;
     rpc::BindingOptions mms_rebind;
+    // Shard-aware placement (ROADMAP "Shard-aware admission"): when set, an
+    // open the home MMS shard sheds with RESOURCE_EXHAUSTED is retried once
+    // against the sibling shard with the most load-board headroom. Empty
+    // disables the retry (the shed error surfaces directly).
+    std::string load_board_path;
   };
 
   VodApp(rpc::ObjectRuntime& runtime, Executor& executor,
@@ -52,6 +59,7 @@ class VodApp {
   bool playing() const { return playing_; }
   int64_t position_bytes() const { return position_bytes_; }
   uint32_t reopen_count() const { return reopen_count_; }
+  uint32_t sibling_retries() const { return sibling_retries_; }
   uint64_t chunks_received() const { return chunks_received_; }
   uint64_t session_id() const { return session_id_; }
   // Which server is currently streaming (0 = none).
@@ -61,10 +69,20 @@ class VodApp {
   class MediaSinkSkeleton;
 
   void OpenAndPlay(int64_t from_position);
+  // One open attempt: hashed home-shard route when `shard` is empty, or the
+  // explicit sibling shard a shed open retries against.
+  void OpenAttempt(int64_t from_position, std::optional<uint32_t> shard);
+  // Reads the load board and retries the open against the sibling shard with
+  // the most headroom; finishes with `original` if none has any.
+  void RetrySibling(int64_t from_position, Status original);
   void OnData(uint64_t stream_id, int64_t position, uint32_t chunk);
   void OnEndOfStream(uint64_t stream_id);
   void OnDataGap();
   void CloseSession();
+  // Closes `movie` against the shard that opened it (explicit sibling or
+  // hashed home); a NOT_FOUND from a sibling means the session was already
+  // handed off to the home shard, so the close is retried there.
+  void CloseVia(std::optional<uint32_t> shard, const wire::ObjectRef& movie);
   void Finish(Status status);
 
   rpc::ObjectRuntime& runtime_;
@@ -87,8 +105,13 @@ class VodApp {
   uint64_t session_id_ = 0;
   uint64_t stream_id_ = 0;
   wire::ObjectRef movie_;
+  // Shard the current session was opened on (empty = hashed home shard);
+  // closes go back through it until the reshard-style handoff completes.
+  std::optional<uint32_t> session_shard_;
+  bool sibling_retried_ = false;
   int64_t position_bytes_ = 0;
   uint32_t reopen_count_ = 0;
+  uint32_t sibling_retries_ = 0;
   uint64_t chunks_received_ = 0;
   uint32_t mds_host_ = 0;
   TimerId gap_timer_ = kInvalidTimerId;

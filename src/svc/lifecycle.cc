@@ -89,6 +89,7 @@ void ServiceLifecycle::Stop() {
   warm_in_flight_ = false;
   warm_timer_.Stop();
   probe_timer_.Stop();
+  StopLoadReporter();
   if (binder_ != nullptr) {
     binder_->Stop();  // Unbinds if we hold the name.
   }
@@ -188,6 +189,7 @@ void ServiceLifecycle::FinishPromotion(Time recover_begin) {
     tracer->Instant(ctx, trace::kEventRolePromote, TraceDetail());
   }
   ITV_LOG(Info) << "lifecycle " << path_ << ": promoted to primary";
+  StartLoadReporter();
   if (hooks_.on_promoted) {
     hooks_.on_promoted();
   }
@@ -199,6 +201,7 @@ void ServiceLifecycle::DemoteRole() {
   // still in flight: its completion must not promote a demoted replica.
   ++epoch_;
   recover_in_flight_ = false;
+  StopLoadReporter();
   ++demotions_;
   SetRole(ServiceRole::kDemoted);
   Count("svc.role.demote");
@@ -233,6 +236,29 @@ void ServiceLifecycle::WarmTick() {
       Count("svc.role.warm_standby");
     }
   });
+}
+
+void ServiceLifecycle::StartLoadReporter() {
+  if (!hooks_.load_sample) {
+    return;
+  }
+  if (load_reporter_ == nullptr) {
+    load::LoadReporter::Options opts;
+    opts.interval = hooks_.load_report_interval;
+    if (!hooks_.load_board_path.empty()) {
+      opts.board_path = hooks_.load_board_path;
+    }
+    load_reporter_ = std::make_unique<load::LoadReporter>(
+        process_.runtime(), executor(), client_.PathResolverFn(), path_, opts,
+        hooks_.load_sample, metrics_);
+  }
+  load_reporter_->Start();
+}
+
+void ServiceLifecycle::StopLoadReporter() {
+  if (load_reporter_ != nullptr) {
+    load_reporter_->Stop();
+  }
 }
 
 void ServiceLifecycle::ProbeExternalRole() {

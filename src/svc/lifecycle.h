@@ -43,6 +43,8 @@
 
 #include "src/common/executor.h"
 #include "src/common/metrics.h"
+#include "src/load/load_board.h"
+#include "src/load/reporter.h"
 #include "src/naming/name_client.h"
 #include "src/sim/cluster.h"
 
@@ -95,6 +97,14 @@ class ServiceLifecycle {
     // When set, no binder runs: the role mirrors this probe instead
     // (services with their own election, e.g. the NS master).
     std::function<bool()> external_role;
+    // Load-board publication (src/load): while Primary, the lifecycle runs a
+    // load::LoadReporter that samples this and reports to the cluster load
+    // board under the lifecycle's path, every load_report_interval. Demotion
+    // and Stop() halt the reporting, so the board only ever hears from the
+    // replica that owns the name.
+    std::function<load::LoadReport()> load_sample;
+    Duration load_report_interval = Duration::Seconds(2);
+    std::string load_board_path;  // Empty = load::kLoadBoardName.
   };
 
   // `path` is the service name to contest (or, in external_role mode, the
@@ -128,6 +138,7 @@ class ServiceLifecycle {
   uint64_t recover_failures() const { return recover_failures_; }
   uint64_t warm_standby_runs() const { return warm_standby_runs_; }
   naming::PrimaryBinder* binder() { return binder_.get(); }
+  load::LoadReporter* load_reporter() { return load_reporter_.get(); }
 
  private:
   Executor& executor() { return process_.executor(); }
@@ -140,6 +151,8 @@ class ServiceLifecycle {
   void DemoteRole();
   void WarmTick();
   void ProbeExternalRole();
+  void StartLoadReporter();
+  void StopLoadReporter();
   void SetRole(ServiceRole role);
   void Count(std::string_view counter);
   std::string TraceDetail() const;
@@ -154,6 +167,7 @@ class ServiceLifecycle {
 
   ServiceRole role_ = ServiceRole::kStopped;
   std::unique_ptr<naming::PrimaryBinder> binder_;
+  std::unique_ptr<load::LoadReporter> load_reporter_;
   PeriodicTimer warm_timer_;
   PeriodicTimer probe_timer_;
   bool warm_in_flight_ = false;

@@ -5,6 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "src/load/admission.h"
+#include "src/load/load_board.h"
+#include "src/media/mds.h"
 #include "src/wire/message.h"
 #include "src/wire/object_ref.h"
 #include "src/wire/serialize.h"
@@ -242,6 +245,185 @@ TEST(MessageTest, SignedPortionCoversRoutingAndPayload) {
   b = a;
   b.auth.signature = {9, 9};
   EXPECT_EQ(a.SignedPortion(), b.SignedPortion());
+}
+
+// --- Load/media wire types (PR10): round-trip, field order, legacy decode ----
+
+// Tiny deterministic PRNG (splitmix64) so the property loops are stable.
+uint64_t NextRand(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+TEST(MediaWireTest, MdsLoadRoundTrip) {
+  media::MdsLoad in;
+  in.active_streams = 7;
+  in.reserved_bps = 21'000'000;
+  in.capacity_bps = 48'000'000;
+  in.seq = (55ull << 20) + 3;
+  Bytes b = EncodeValue(in);
+  media::MdsLoad out;
+  ASSERT_TRUE(DecodeValue(b, &out));
+  EXPECT_EQ(out, in);
+}
+
+TEST(MediaWireTest, MdsLoadFieldOrderStability) {
+  // The wire layout is a contract: u32 streams, i64 reserved, i64 capacity,
+  // u64 seq. A reader pulling fields in that order must see these values.
+  media::MdsLoad in;
+  in.active_streams = 2;
+  in.reserved_bps = 6'000'000;
+  in.capacity_bps = 48'000'000;
+  in.seq = 9;
+  Writer w;
+  WireWrite(w, in);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.ReadU32(), 2u);
+  EXPECT_EQ(r.ReadI64(), 6'000'000);
+  EXPECT_EQ(r.ReadI64(), 48'000'000);
+  EXPECT_EQ(r.ReadU64(), 9u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(MediaWireTest, MdsLoadLegacyDecodeWithoutSeq) {
+  // A pre-seq encoder stops after capacity_bps; the trailing-field decode
+  // must accept it and default seq to 0.
+  Writer w;
+  w.WriteU32(3);
+  w.WriteI64(9'000'000);
+  w.WriteI64(48'000'000);
+  media::MdsLoad out;
+  ASSERT_TRUE(DecodeValue(w.bytes(), &out));
+  EXPECT_EQ(out.active_streams, 3u);
+  EXPECT_EQ(out.reserved_bps, 9'000'000);
+  EXPECT_EQ(out.capacity_bps, 48'000'000);
+  EXPECT_EQ(out.seq, 0u);
+}
+
+TEST(MediaWireTest, MovieTicketRoundTripAndLegacyDecode) {
+  media::MovieTicket in;
+  in.stream_id = 0x55aa;
+  in.movie.endpoint = {0x0a000101, 500};
+  in.movie.incarnation = 3;
+  in.movie.type_id = TypeIdFromName("itv.Movie");
+  in.movie.object_id = 12;
+  in.load_seq = 1234;
+  Bytes b = EncodeValue(in);
+  media::MovieTicket out;
+  ASSERT_TRUE(DecodeValue(b, &out));
+  EXPECT_EQ(out, in);
+
+  // Pre-load_seq encoding: stream id + movie ref only.
+  Writer w;
+  w.WriteU64(in.stream_id);
+  WireWrite(w, in.movie);
+  media::MovieTicket legacy;
+  ASSERT_TRUE(DecodeValue(w.bytes(), &legacy));
+  EXPECT_EQ(legacy.stream_id, in.stream_id);
+  EXPECT_EQ(legacy.movie, in.movie);
+  EXPECT_EQ(legacy.load_seq, 0u);
+}
+
+TEST(LoadWireTest, LoadReportRoundTrip) {
+  load::LoadReport in;
+  in.reporter = "svc/mds/2";
+  in.active_streams = 5;
+  in.reserved_bps = 15'000'000;
+  in.capacity_bps = 48'000'000;
+  in.admission_rejects = 11;
+  in.seq = (9ull << 20) + 44;
+  Bytes b = EncodeValue(in);
+  load::LoadReport out;
+  ASSERT_TRUE(DecodeValue(b, &out));
+  EXPECT_EQ(out, in);
+  EXPECT_EQ(out.headroom_bps(), 33'000'000);
+}
+
+TEST(LoadWireTest, LoadReportFieldOrderStability) {
+  load::LoadReport in;
+  in.reporter = "svc/mms/1";
+  in.active_streams = 4;
+  in.reserved_bps = 12'000'000;
+  in.capacity_bps = 36'000'000;
+  in.admission_rejects = 2;
+  in.seq = 77;
+  Writer w;
+  WireWrite(w, in);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.ReadString(), "svc/mms/1");
+  EXPECT_EQ(r.ReadU32(), 4u);
+  EXPECT_EQ(r.ReadI64(), 12'000'000);
+  EXPECT_EQ(r.ReadI64(), 36'000'000);
+  EXPECT_EQ(r.ReadU64(), 2u);
+  EXPECT_EQ(r.ReadU64(), 77u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(LoadWireTest, LoadReportVectorRoundTripProperty) {
+  // Randomized encode/decode over vectors (the Snapshot reply shape).
+  uint64_t state = 42;
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<load::LoadReport> in;
+    size_t count = NextRand(state) % 8;
+    for (size_t i = 0; i < count; ++i) {
+      load::LoadReport report;
+      report.reporter = "svc/x/" + std::to_string(NextRand(state) % 100);
+      report.active_streams = static_cast<uint32_t>(NextRand(state) % 1000);
+      report.reserved_bps = static_cast<int64_t>(NextRand(state) % (1ull << 40));
+      report.capacity_bps = static_cast<int64_t>(NextRand(state) % (1ull << 40));
+      report.admission_rejects = NextRand(state) % 10000;
+      report.seq = NextRand(state);
+      in.push_back(std::move(report));
+    }
+    Bytes b = EncodeValue(in);
+    std::vector<load::LoadReport> out;
+    ASSERT_TRUE(DecodeValue(b, &out)) << "iter=" << iter;
+    EXPECT_EQ(out, in) << "iter=" << iter;
+  }
+}
+
+TEST(LoadWireTest, MdsLoadRoundTripProperty) {
+  uint64_t state = 7;
+  for (int iter = 0; iter < 100; ++iter) {
+    media::MdsLoad in;
+    in.active_streams = static_cast<uint32_t>(NextRand(state));
+    in.reserved_bps = static_cast<int64_t>(NextRand(state) >> 1);
+    in.capacity_bps = static_cast<int64_t>(NextRand(state) >> 1);
+    in.seq = NextRand(state);
+    Bytes b = EncodeValue(in);
+    media::MdsLoad out;
+    ASSERT_TRUE(DecodeValue(b, &out)) << "iter=" << iter;
+    EXPECT_EQ(out, in) << "iter=" << iter;
+  }
+}
+
+TEST(LoadWireTest, AdmissionStateRoundTrip) {
+  load::AdmissionState in;
+  in.pool_bps = 36'000'000;
+  in.reserved_bps = 33'000'000;
+  in.peak_granted_bps = 36'000'000;
+  in.rejects = 17;
+  in.shedding = true;
+  Bytes b = EncodeValue(in);
+  load::AdmissionState out;
+  ASSERT_TRUE(DecodeValue(b, &out));
+  EXPECT_EQ(out, in);
+}
+
+TEST(LoadWireTest, TruncatedLoadReportRejected) {
+  load::LoadReport in;
+  in.reporter = "svc/mds/1";
+  in.seq = 5;
+  Bytes b = EncodeValue(in);
+  for (size_t cut : {b.size() - 1, b.size() / 2, size_t{1}}) {
+    Bytes t(b.begin(), b.begin() + static_cast<long>(cut));
+    load::LoadReport out;
+    EXPECT_FALSE(DecodeValue(t, &out)) << "cut=" << cut;
+  }
 }
 
 }  // namespace

@@ -13,8 +13,8 @@
 //
 // Usage:
 //   chaos_fuzz --seeds N [--seed-base B] [--out DIR] [--faults K]
-//              [--horizon SECONDS] [--shards N] [--reshard] [--no-shrink]
-//              [--single-primary] [--quiet]
+//              [--horizon SECONDS] [--shards N] [--reshard] [--skewed-load]
+//              [--no-shrink] [--single-primary] [--quiet]
 //   chaos_fuzz --seed S [--out DIR] ...
 //
 // --shards N deploys MMS and CMgr with N shards each (an mmsd replica on
@@ -27,6 +27,13 @@
 // Each run then also checks reshard-convergence (successor map won, every
 // session in exactly one shard primary's table) and single-primary per
 // shard. Implies --single-primary.
+//
+// --skewed-load deploys MMS with 4 shards and 16 viewers, ~80% of them on
+// settop hosts that hash to shard 0, so the hot shard's admission pool runs
+// dry while its siblings idle. Viewers retry shed opens against the
+// least-loaded sibling via the load board (which joins the kill list), and
+// each run additionally checks admission-sound: no shard ever granted past
+// its pool, and no viewer stays shed while a sibling has headroom.
 //
 // Exit status: 0 if every seed passed, 1 otherwise.
 
@@ -139,6 +146,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--reshard") {
       reshard = true;
       options.mms_shards = 4;
+      options.check_single_primary = true;
+    } else if (arg == "--skewed-load") {
+      options.skewed_load = true;
+      options.mms_shards = 4;
+      options.viewer_count = 16;
       options.check_single_primary = true;
     } else if (arg == "--no-shrink") {
       shrink = false;
